@@ -1,0 +1,99 @@
+// Ablation 1 (DESIGN.md §5): what does the Gremlin Server layer itself
+// cost? Runs the four read queries against the same provider twice —
+// through the server (GraphSON codec + request queue + worker pool) and
+// embedded (direct step execution) — isolating the overhead §4.2/§4.4
+// attribute to the server.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "snb/datagen.h"
+#include "snb/params.h"
+#include "sut/gremlin_sut.h"
+#include "util/stopwatch.h"
+
+namespace graphbench {
+namespace {
+
+double MeanMs(GremlinServer* server, const Traversal& t, bool embedded,
+              int reps) {
+  Stopwatch clock;
+  int ok = 0;
+  for (int i = 0; i < reps; ++i) {
+    auto r = embedded ? server->SubmitEmbedded(t) : server->Submit(t);
+    if (r.ok()) ++ok;
+  }
+  return ok ? clock.ElapsedMillis() / ok : -1;
+}
+
+}  // namespace
+}  // namespace graphbench
+
+int main(int argc, char** argv) {
+  using namespace graphbench;
+  std::printf("=== Ablation: Gremlin Server layer on/off (Neo4j-Gremlin "
+              "provider) ===\n");
+  int reps = int(bench::FlagInt(argc, argv, "reps", 100));
+
+  snb::Dataset data = snb::Generate(snb::ScaleA());
+  std::unique_ptr<GremlinSut> sut = MakeNeo4jGremlinSut();
+  if (Status s = sut->Load(data); !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  snb::ParamPools params(data, 7);
+
+  TablePrinter table("Gremlin Server vs embedded execution (mean ms)");
+  table.SetHeader({"Query", "Via server", "Embedded", "Server overhead"});
+
+  struct QueryCase {
+    const char* name;
+    Traversal traversal;
+  };
+  std::vector<QueryCase> cases;
+  {
+    QueryCase point{"Point lookup", {}};
+    point.traversal.V()
+        .HasIndexed("Person", "id", Value(params.NextPersonId()))
+        .ValueMap({"firstName", "lastName", "gender", "birthday",
+                   "browserUsed", "locationIP"});
+    cases.push_back(std::move(point));
+
+    QueryCase onehop{"1-hop", {}};
+    onehop.traversal.V()
+        .HasIndexed("Person", "id", Value(params.NextPersonId()))
+        .Both("knows")
+        .ValueMap({"id", "firstName", "lastName"});
+    cases.push_back(std::move(onehop));
+
+    QueryCase twohop{"2-hop", {}};
+    twohop.traversal.V()
+        .HasIndexed("Person", "id", Value(params.NextPersonId()))
+        .As("p")
+        .Both("knows")
+        .Both("knows")
+        .WhereNeq("p")
+        .Dedup()
+        .Values("id");
+    cases.push_back(std::move(twohop));
+
+    auto [a, b] = params.NextPersonPair();
+    QueryCase sp{"Shortest path", {}};
+    sp.traversal.V()
+        .HasIndexed("Person", "id", Value(a))
+        .ShortestPath("knows", "id", Value(b));
+    cases.push_back(std::move(sp));
+  }
+
+  for (const QueryCase& c : cases) {
+    double via_server = MeanMs(sut->server(), c.traversal, false, reps);
+    double embedded = MeanMs(sut->server(), c.traversal, true, reps);
+    table.AddRow({c.name, bench::FormatMillis(via_server),
+                  bench::FormatMillis(embedded),
+                  embedded > 0
+                      ? StringPrintf("%.2fx", via_server / embedded)
+                      : "-"});
+  }
+  table.Print();
+  return 0;
+}

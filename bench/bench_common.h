@@ -1,0 +1,73 @@
+#ifndef GRAPHBENCH_BENCH_BENCH_COMMON_H_
+#define GRAPHBENCH_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the paper-reproduction benchmark binaries.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snb/datagen.h"
+#include "sut/sut.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace graphbench {
+namespace bench {
+
+/// Minimal --flag=value parsing.
+inline std::string FlagValue(int argc, char** argv, const char* name,
+                             const char* fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (StartsWith(argv[i], prefix)) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline int64_t FlagInt(int argc, char** argv, const char* name,
+                       int64_t fallback) {
+  std::string v = FlagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::stoll(v);
+}
+
+/// Scale selection: "a" is the SF3 analog, "b" the SF10 analog.
+inline snb::DatagenOptions ScaleFromFlag(int argc, char** argv) {
+  std::string scale = FlagValue(argc, argv, "scale", "a");
+  return scale == "b" ? snb::ScaleB() : snb::ScaleA();
+}
+
+inline std::string ScaleName(const snb::DatagenOptions& options) {
+  return options.num_persons == snb::ScaleB().num_persons ? "SF-B (SF10 analog)"
+                                                          : "SF-A (SF3 analog)";
+}
+
+/// Loads a SUT and reports the elapsed seconds.
+inline Result<double> TimedLoad(Sut* sut, const snb::Dataset& data) {
+  Stopwatch timer;
+  GB_RETURN_IF_ERROR(sut->Load(data));
+  return timer.ElapsedSeconds();
+}
+
+inline std::string FormatMillis(double millis) {
+  if (millis < 0) return "-";
+  if (millis < 0.1) return StringPrintf("%.3f", millis);
+  if (millis < 10) return StringPrintf("%.2f", millis);
+  return StringPrintf("%.1f", millis);
+}
+
+inline std::string FormatBytesMb(uint64_t bytes) {
+  return StringPrintf("%.1f", double(bytes) / 1e6);
+}
+
+}  // namespace bench
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Reproduces Table 1: dataset statistics and loaded database sizes for
+// both scale factors across all eight system configurations.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "snb/datagen.h"
+#include "sut/sut.h"
+
+namespace graphbench {
+namespace {
+
+void RunScale(const snb::DatagenOptions& options) {
+  snb::Dataset data = snb::Generate(options);
+  std::printf("\nDataset %s: %llu vertices, %llu edges, raw %.1f MB, "
+              "%zu update ops\n",
+              bench::ScaleName(options).c_str(),
+              (unsigned long long)data.VertexCount(),
+              (unsigned long long)data.EdgeCount(),
+              double(data.RawBytes()) / 1e6, data.update_stream.size());
+
+  TablePrinter table("Table 1 analog — loaded database sizes (MB), " +
+                     bench::ScaleName(options));
+  table.SetHeader({"System", "Size (MB)", "Load time (s)"});
+  for (SutKind kind : AllSutKinds()) {
+    std::unique_ptr<Sut> sut = MakeSut(kind);
+    auto seconds = bench::TimedLoad(sut.get(), data);
+    if (!seconds.ok()) {
+      table.AddRow({sut->name(), "error", seconds.status().ToString()});
+      continue;
+    }
+    table.AddRow({sut->name(), bench::FormatBytesMb(sut->SizeBytes()),
+                  StringPrintf("%.2f", *seconds)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace graphbench
+
+int main(int argc, char** argv) {
+  using namespace graphbench;
+  std::printf("=== Table 1: dataset statistics and database sizes ===\n");
+  bool quick = bench::FlagInt(argc, argv, "quick", 0) != 0;
+  RunScale(snb::ScaleA());
+  if (!quick) RunScale(snb::ScaleB());
+  return 0;
+}

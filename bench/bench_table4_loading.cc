@@ -1,0 +1,62 @@
+// Reproduces Table 4 (Appendix A): single-loader data ingestion for the
+// TinkerPop3-compliant systems — total load time plus vertex/s and edge/s
+// rates, loading the SF-A snapshot through the structure API.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "snb/datagen.h"
+#include "sut/gremlin_sut.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace graphbench;
+  std::printf("=== Table 4: single-loader ingestion, TinkerPop systems "
+              "===\n");
+  snb::DatagenOptions scale = bench::ScaleFromFlag(argc, argv);
+  snb::Dataset data = snb::Generate(scale);
+  uint64_t vertex_count = data.VertexCount();
+  std::printf("dataset %s: %llu vertices, %llu edges\n\n",
+              bench::ScaleName(scale).c_str(),
+              (unsigned long long)vertex_count,
+              (unsigned long long)data.EdgeCount());
+
+  TablePrinter table("Table 4 analog — data loading, single loader");
+  table.SetHeader({"System", "Total time (s)", "Vertex / second",
+                   "Edge / second"});
+
+  struct Factory {
+    const char* name;
+    std::unique_ptr<GremlinSut> (*make)(GremlinServerOptions);
+  };
+  const Factory factories[] = {
+      {"Neo4j (Gremlin)", &MakeNeo4jGremlinSut},
+      {"Titan-C (Gremlin)", &MakeTitanCSut},
+      {"Titan-B (Gremlin)", &MakeTitanBSut},
+      {"Sqlg (Gremlin)", &MakeSqlgSut},
+  };
+
+  for (const Factory& f : factories) {
+    std::unique_ptr<GremlinSut> sut = f.make({});
+    Stopwatch vertex_clock;
+    Status vs = sut->LoadVertices(data, 0, 1);
+    double vertex_seconds = vertex_clock.ElapsedSeconds();
+    Stopwatch edge_clock;
+    Status es = sut->LoadEdges(data, 0, 1);
+    double edge_seconds = edge_clock.ElapsedSeconds();
+    if (!vs.ok() || !es.ok()) {
+      table.AddRow({f.name, "error",
+                    vs.ok() ? es.ToString() : vs.ToString(), ""});
+      continue;
+    }
+    uint64_t edges = sut->graph()->EdgeCount();
+    table.AddRow(
+        {f.name, StringPrintf("%.2f", vertex_seconds + edge_seconds),
+         StringPrintf("%.0f", double(vertex_count) /
+                                  std::max(vertex_seconds, 1e-9)),
+         StringPrintf("%.0f",
+                      double(edges) / std::max(edge_seconds, 1e-9))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// language_tour: the same logical question — "who are the distinct
+// friends-of-friends of person X?" — asked of four engines in their own
+// query languages: SQL, Cypher, SPARQL, and a Gremlin traversal. Shows the
+// raw query-language layer underneath the uniform Sut facade, and verifies
+// all four return the same answer.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "engines/native/cypher_engine.h"
+#include "engines/relational/database.h"
+#include "snb/datagen.h"
+#include "sut/cypher_sut.h"
+#include "sut/gremlin_sut.h"
+#include "sut/relational_sut.h"
+#include "sut/sparql_sut.h"
+#include "tinkerpop/traversal.h"
+#include "util/string_util.h"
+
+using namespace graphbench;
+
+int main() {
+  snb::DatagenOptions options;
+  options.num_persons = 120;
+  options.seed = 41;
+  snb::Dataset data = snb::Generate(options);
+  int64_t person = data.persons[10].id;
+  std::printf("question: distinct friends-of-friends of person %lld\n\n",
+              (long long)person);
+
+  std::set<int64_t> answers[4];
+
+  // --- SQL over the row-store RDBMS -------------------------------------
+  {
+    RelationalSut sut(StorageMode::kRow);
+    if (!sut.Load(data).ok()) return 1;
+    std::string sql =
+        "SELECT DISTINCT p.id FROM knows k1 "
+        "JOIN knows k2 ON k1.person2Id = k2.person1Id "
+        "JOIN person p ON k2.person2Id = p.id "
+        "WHERE k1.person1Id = ? AND p.id <> ?";
+    std::printf("SQL:\n  %s\n", sql.c_str());
+    auto r = sut.database()->Execute(sql, {Value(person), Value(person)});
+    if (!r.ok()) return 1;
+    for (const Row& row : r->rows) answers[0].insert(row[0].as_int());
+    std::printf("  -> %zu rows\n\n", r->rows.size());
+  }
+
+  // --- Cypher over the native graph store -------------------------------
+  {
+    CypherSut sut;
+    if (!sut.Load(data).ok()) return 1;
+    std::string cypher =
+        "MATCH (p:Person {id: $id})-[:knows]-(f)-[:knows]-(ff) "
+        "WHERE ff.id <> $id RETURN DISTINCT ff.id";
+    std::printf("Cypher:\n  %s\n", cypher.c_str());
+    CypherEngine engine(sut.graph());
+    auto r = engine.Execute(cypher, {{"id", Value(person)}});
+    if (!r.ok()) return 1;
+    for (const Row& row : r->rows) answers[1].insert(row[0].as_int());
+    std::printf("  -> %zu rows\n\n", r->rows.size());
+  }
+
+  // --- SPARQL over the triple store --------------------------------------
+  {
+    SparqlSut sut;
+    if (!sut.Load(data).ok()) return 1;
+    std::string sparql = StringPrintf(
+        "SELECT DISTINCT ?ffid WHERE { ?p snb:id %lld . ?p snb:knows ?f . "
+        "?f snb:knows ?ff . FILTER(?ff != ?p) . ?ff snb:id ?ffid }",
+        (long long)person);
+    std::printf("SPARQL:\n  %s\n", sparql.c_str());
+    auto r = sut.engine()->Execute(sparql);
+    if (!r.ok()) return 1;
+    for (const Row& row : r->rows) answers[2].insert(row[0].as_int());
+    std::printf("  -> %zu rows\n\n", r->rows.size());
+  }
+
+  // --- Gremlin through the Gremlin Server --------------------------------
+  {
+    std::unique_ptr<GremlinSut> sut = MakeNeo4jGremlinSut();
+    if (!sut->Load(data).ok()) return 1;
+    std::printf(
+        "Gremlin:\n  g.V().has('Person','id',%lld).as('p')"
+        ".both('knows').both('knows').where(neq('p')).dedup()"
+        ".values('id')\n",
+        (long long)person);
+    Traversal t;
+    t.V().HasIndexed("Person", "id", Value(person))
+        .As("p")
+        .Both("knows")
+        .Both("knows")
+        .WhereNeq("p")
+        .Dedup()
+        .Values("id");
+    auto r = sut->server()->Submit(t);
+    if (!r.ok()) return 1;
+    for (const Value& v : *r) answers[3].insert(v.as_int());
+    std::printf("  -> %zu values\n\n", r->size());
+  }
+
+  bool agree = answers[0] == answers[1] && answers[1] == answers[2] &&
+               answers[2] == answers[3];
+  std::printf("all four languages agree: %s (%zu friends-of-friends)\n",
+              agree ? "yes" : "NO", answers[0].size());
+  return agree ? 0 : 1;
+}

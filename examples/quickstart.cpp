@@ -1,0 +1,83 @@
+// Quickstart: build a tiny social network in two different engines through
+// the uniform Sut API, run the four benchmark queries, and apply a live
+// update. Start here to see the public API surface.
+
+#include <cstdio>
+
+#include "snb/datagen.h"
+#include "sut/sut.h"
+
+using namespace graphbench;
+
+namespace {
+
+void Show(const char* what, const Result<QueryResult>& r) {
+  if (!r.ok()) {
+    std::printf("  %s: error %s\n", what, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %s: %zu row(s)", what, r->rows.size());
+  if (!r->rows.empty()) {
+    std::printf("  first = [");
+    for (size_t i = 0; i < r->rows[0].size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", r->rows[0][i].ToString().c_str());
+    }
+    std::printf("]");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // 1. Generate a small SNB-like social network (deterministic).
+  snb::DatagenOptions options;
+  options.num_persons = 200;
+  options.seed = 7;
+  snb::Dataset data = snb::Generate(options);
+  std::printf("generated %llu vertices, %llu edges, %zu streamed updates\n",
+              (unsigned long long)data.VertexCount(),
+              (unsigned long long)data.EdgeCount(),
+              data.update_stream.size());
+
+  // 2. Load it into two very different systems: a row-store RDBMS driven
+  //    by SQL and a native graph database driven by Cypher.
+  for (SutKind kind : {SutKind::kPostgresSql, SutKind::kNeo4jCypher}) {
+    std::unique_ptr<Sut> sut = MakeSut(kind);
+    if (Status s = sut->Load(data); !s.ok()) {
+      std::printf("load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n== %s (resident %.1f MB) ==\n", sut->name().c_str(),
+                double(sut->SizeBytes()) / 1e6);
+
+    int64_t person = data.persons.front().id;
+    Show("point lookup", sut->PointLookup(person));
+    Show("1-hop friends", sut->OneHop(person));
+    Show("2-hop friends-of-friends", sut->TwoHop(person));
+
+    int64_t other = data.persons.back().id;
+    auto path = sut->ShortestPathLen(person, other);
+    std::printf("  shortest path %lld -> %lld: %s\n", (long long)person,
+                (long long)other,
+                path.ok() ? std::to_string(*path).c_str()
+                          : path.status().ToString().c_str());
+
+    // 3. Apply one live update from the generated stream and observe it.
+    for (const auto& op : data.update_stream) {
+      if (op.kind != snb::UpdateOp::Kind::kAddFriendship) continue;
+      if (Status s = sut->Apply(op); !s.ok()) {
+        std::printf("update failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("  applied AddFriendship(%lld, %lld); ",
+                  (long long)op.knows.person1, (long long)op.knows.person2);
+      auto friends = sut->OneHop(op.knows.person1);
+      std::printf("person %lld now has %zu friend(s)\n",
+                  (long long)op.knows.person1,
+                  friends.ok() ? friends->rows.size() : 0);
+      break;
+    }
+  }
+  return 0;
+}

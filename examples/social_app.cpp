@@ -1,0 +1,120 @@
+// social_app: a miniature social-networking backend session — the workload
+// the paper's introduction motivates — running on a store of your choice.
+//
+//   ./social_app [--engine=postgres|virtuoso|neo4j|sparql|titan]
+//
+// Simulates a user opening the app: profile, friend list, news feed
+// (friends' recent posts), "people you may know" (2-hop minus 1-hop), and
+// degrees of separation to another user.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "snb/datagen.h"
+#include "sut/sut.h"
+#include "util/stopwatch.h"
+
+using namespace graphbench;
+
+namespace {
+
+SutKind PickEngine(int argc, char** argv) {
+  std::string engine = "postgres";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--engine=", 9) == 0) engine = argv[i] + 9;
+  }
+  if (engine == "virtuoso") return SutKind::kVirtuosoSql;
+  if (engine == "neo4j") return SutKind::kNeo4jCypher;
+  if (engine == "sparql") return SutKind::kVirtuosoSparql;
+  if (engine == "titan") return SutKind::kTitanC;
+  return SutKind::kPostgresSql;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  snb::DatagenOptions options;
+  options.num_persons = 500;
+  options.seed = 2026;
+  snb::Dataset data = snb::Generate(options);
+
+  std::unique_ptr<Sut> sut = MakeSut(PickEngine(argc, argv));
+  std::printf("engine: %s\n", sut->name().c_str());
+  Stopwatch load_clock;
+  if (Status s = sut->Load(data); !s.ok()) {
+    std::printf("load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %llu vertices / %llu edges in %.2fs\n\n",
+              (unsigned long long)data.VertexCount(),
+              (unsigned long long)data.EdgeCount(),
+              load_clock.ElapsedSeconds());
+
+  // "Log in" as the person with the most friends (most interesting page).
+  std::map<int64_t, int> degree;
+  for (const auto& k : data.knows) {
+    ++degree[k.person1];
+    ++degree[k.person2];
+  }
+  int64_t me = data.persons.front().id;
+  for (const auto& [id, d] : degree) {
+    if (d > degree[me]) me = id;
+  }
+
+  auto profile = sut->PointLookup(me);
+  if (!profile.ok() || profile->rows.empty()) {
+    std::printf("profile lookup failed\n");
+    return 1;
+  }
+  std::printf("Profile of user %lld: %s %s\n", (long long)me,
+              profile->rows[0][0].ToString().c_str(),
+              profile->rows[0][1].ToString().c_str());
+
+  auto friends = sut->OneHop(me);
+  if (!friends.ok()) return 1;
+  std::printf("Friends (%zu):", friends->rows.size());
+  for (size_t i = 0; i < std::min<size_t>(5, friends->rows.size()); ++i) {
+    std::printf(" %s", friends->rows[i][1].ToString().c_str());
+  }
+  std::printf("%s\n", friends->rows.size() > 5 ? " ..." : "");
+
+  // News feed: most recent posts by each friend.
+  std::printf("\nNews feed:\n");
+  int shown = 0;
+  for (const Row& f : friends->rows) {
+    auto posts = sut->RecentPosts(f[0].as_int(), 1);
+    if (!posts.ok() || posts->rows.empty()) continue;
+    std::printf("  [%s] %s\n", f[1].ToString().c_str(),
+                posts->rows[0][1].ToString().substr(0, 48).c_str());
+    if (++shown == 5) break;
+  }
+  if (shown == 0) std::printf("  (friends have not posted yet)\n");
+
+  // People you may know: 2-hop minus direct friends.
+  auto two_hop = sut->TwoHop(me);
+  if (!two_hop.ok()) return 1;
+  std::set<int64_t> direct;
+  for (const Row& f : friends->rows) direct.insert(f[0].as_int());
+  std::printf("\nPeople you may know:");
+  int suggested = 0;
+  for (const Row& row : two_hop->rows) {
+    int64_t candidate = row[0].as_int();
+    if (direct.count(candidate)) continue;
+    std::printf(" %lld", (long long)candidate);
+    if (++suggested == 8) break;
+  }
+  std::printf("\n");
+
+  // Degrees of separation to the least-connected user.
+  int64_t stranger = data.persons.back().id;
+  auto distance = sut->ShortestPathLen(me, stranger);
+  if (distance.ok()) {
+    std::printf("\nDegrees of separation to user %lld: %d\n",
+                (long long)stranger, *distance);
+  }
+  return 0;
+}

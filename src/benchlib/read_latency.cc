@@ -1,0 +1,112 @@
+#include "benchlib/read_latency.h"
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "snb/params.h"
+#include "sut/sut.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace graphbench {
+namespace benchlib {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  if (ms < 0.1) return StringPrintf("%.3f", ms);
+  if (ms < 10) return StringPrintf("%.2f", ms);
+  return StringPrintf("%.1f", ms);
+}
+
+}  // namespace
+
+std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
+                                const ReadLatencyOptions& options,
+                                const std::string& title) {
+  snb::Dataset data = snb::Generate(scale);
+
+  struct Loaded {
+    std::unique_ptr<Sut> sut;
+  };
+  std::vector<Loaded> suts;
+  for (SutKind kind : AllSutKinds()) {
+    Loaded l;
+    l.sut = MakeSut(kind);
+    Status s = l.sut->Load(data);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed for %s: %s\n",
+                   l.sut->name().c_str(), s.ToString().c_str());
+      continue;
+    }
+    suts.push_back(std::move(l));
+  }
+
+  TablePrinter table(title);
+  std::vector<std::string> header{"Query"};
+  for (const auto& l : suts) header.push_back(l.sut->name());
+  table.SetHeader(header);
+
+  enum QueryType { kPoint, kOneHop, kTwoHop, kShortestPath };
+  const char* kNames[] = {"Point lookup", "1-hop", "2-hop", "Shortest path"};
+
+  for (int qt = kPoint; qt <= kShortestPath; ++qt) {
+    std::vector<std::string> row{kNames[qt]};
+    std::vector<double> means;
+    for (const auto& l : suts) {
+      // Identical deterministic parameter sequence per SUT.
+      snb::ParamPools params(data, options.seed);
+      Stopwatch total;
+      int completed = 0;
+      for (int rep = 0; rep < options.repetitions; ++rep) {
+        Status s;
+        switch (qt) {
+          case kPoint:
+            s = l.sut->PointLookup(params.NextPersonId()).status();
+            break;
+          case kOneHop:
+            s = l.sut->OneHop(params.NextPersonId()).status();
+            break;
+          case kTwoHop:
+            s = l.sut->TwoHop(params.NextPersonId()).status();
+            break;
+          case kShortestPath: {
+            auto [a, b] = params.NextPersonPair();
+            s = l.sut->ShortestPathLen(a, b).status();
+            break;
+          }
+        }
+        if (s.ok()) ++completed;
+      }
+      double mean_ms = completed > 0
+                           ? total.ElapsedMillis() / double(completed)
+                           : -1;
+      means.push_back(mean_ms);
+      row.push_back(FormatMs(mean_ms));
+    }
+    table.AddRow(row);
+
+    // Ratio row: each system vs the fastest for this query type.
+    double best = -1;
+    for (double m : means) {
+      if (m >= 0 && (best < 0 || m < best)) best = m;
+    }
+    std::vector<std::string> ratio{std::string("  vs best")};
+    for (double m : means) {
+      ratio.push_back(m < 0 || best <= 0
+                          ? "-"
+                          : StringPrintf("%.1fx", m / best));
+    }
+    table.AddRow(ratio);
+  }
+
+  std::string rendered = table.ToString();
+  std::fputs(rendered.c_str(), stdout);
+  std::fflush(stdout);
+  return rendered;
+}
+
+}  // namespace benchlib
+}  // namespace graphbench

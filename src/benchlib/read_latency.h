@@ -1,0 +1,29 @@
+#ifndef GRAPHBENCH_BENCHLIB_READ_LATENCY_H_
+#define GRAPHBENCH_BENCHLIB_READ_LATENCY_H_
+
+#include <string>
+
+#include "snb/datagen.h"
+
+namespace graphbench {
+namespace benchlib {
+
+struct ReadLatencyOptions {
+  /// Executions per query type (the paper uses 100).
+  int repetitions = 100;
+  uint64_t seed = 77;
+};
+
+/// Runs the §4.2 read-only experiment — point lookup, 1-hop, 2-hop,
+/// single-pair shortest path, each `repetitions` times with no concurrent
+/// load — against all eight SUTs, and prints the Table 2/3-shaped result
+/// (mean latency in ms) plus a ratio row (each system vs the row's best).
+/// Returns the printed table as a string (for tests).
+std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
+                                const ReadLatencyOptions& options,
+                                const std::string& title);
+
+}  // namespace benchlib
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_BENCHLIB_READ_LATENCY_H_

@@ -1,0 +1,190 @@
+#include "driver/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "snb/update_codec.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace graphbench {
+
+InteractiveDriver::InteractiveDriver(Sut* sut, mq::Broker* broker,
+                                     DriverOptions options)
+    : sut_(sut), broker_(broker), options_(options) {}
+
+Status InteractiveDriver::ProduceUpdates(mq::Broker* broker,
+                                         std::string_view topic,
+                                         const snb::Dataset& data) {
+  // Single partition preserves the scheduled order end-to-end, which is
+  // what makes timestamp-order replay dependency-safe.
+  Status s = broker->CreateTopic(topic, 1);
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  mq::Producer producer(broker, std::string(topic));
+  for (const snb::UpdateOp& op : data.update_stream) {
+    GB_RETURN_IF_ERROR(
+        producer.Send("", snb::EncodeUpdate(op), op.scheduled_date)
+            .status());
+  }
+  return Status::OK();
+}
+
+Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
+                                             snb::ParamPools* params) {
+  DriverMetrics metrics;
+  const size_t buckets =
+      size_t(options_.run_millis / options_.timeline_bucket_millis) + 2;
+  metrics.write_timeline.assign(buckets, 0);
+  metrics.read_timeline.assign(buckets, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0}, read_errors{0};
+  std::atomic<uint64_t> writes{0}, write_errors{0}, dep_violations{0};
+  std::mutex timeline_mu;
+
+  Stopwatch run_clock;
+  auto bucket_of = [&](uint64_t micros) {
+    size_t b = size_t(int64_t(micros / 1000) /
+                      options_.timeline_bucket_millis);
+    return std::min(b, buckets - 1);
+  };
+
+  // --- The single writer: drain the Kafka queue into the SUT -----------
+  std::atomic<uint64_t> write_micros_active{0};
+  std::atomic<uint64_t> late{0};
+  std::thread writer([&] {
+    mq::Consumer consumer(broker_, std::string(topic));
+    // Paced mode: op k is due at k / rate seconds into the run.
+    const double pace = options_.replay_updates_per_second;
+    uint64_t op_index = 0;
+    // Dependency tracking: ops arrive in scheduled order; the watermark
+    // is the latest scheduled_date already applied. An op whose
+    // dependency_date exceeds the watermark would have run before its
+    // dependencies — counted (it cannot happen with a single ordered
+    // partition, but the check is the driver's §2.2 contract).
+    int64_t watermark = 0;
+    Stopwatch writer_clock;
+    for (;;) {
+      auto batch = consumer.Poll(64);
+      if (!batch.ok()) break;
+      if (batch->empty()) {
+        if (stop.load() || consumer.CaughtUp()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      for (const mq::Message& m : *batch) {
+        auto op = snb::DecodeUpdate(m.payload);
+        if (!op.ok()) {
+          ++write_errors;
+          continue;
+        }
+        if (op->dependency_date > watermark &&
+            op->dependency_date > 0) {
+          // Dependency not yet satisfied by an applied op; with ordered
+          // replay this means the dependency is in the static snapshot
+          // (fine) or missing (violation). Snapshot deps have dates
+          // before the stream's first op.
+          if (op->dependency_date >= op->scheduled_date) {
+            ++dep_violations;
+          }
+        }
+        if (pace > 0) {
+          uint64_t due_us = uint64_t(double(op_index) / pace * 1e6);
+          uint64_t now_us = run_clock.ElapsedMicros();
+          if (now_us < due_us) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(due_us - now_us));
+          } else if (now_us > due_us + uint64_t(options_
+                                                    .timeline_bucket_millis) *
+                                           1000) {
+            ++late;  // the SUT fell behind the pre-set rate
+          }
+        }
+        ++op_index;
+        Stopwatch op_clock;
+        Status s = sut_->Apply(*op);
+        uint64_t us = op_clock.ElapsedMicros();
+        metrics.write_latency_micros.Add(us);
+        if (s.ok()) {
+          ++writes;
+          watermark = std::max(watermark, op->scheduled_date);
+          std::lock_guard<std::mutex> lock(timeline_mu);
+          ++metrics.write_timeline[bucket_of(run_clock.ElapsedMicros())];
+        } else {
+          ++write_errors;
+        }
+        if (stop.load()) break;
+      }
+      if (stop.load()) break;
+    }
+    write_micros_active = writer_clock.ElapsedMicros();
+  });
+
+  // --- Concurrent readers over the modified query mix -------------------
+  std::vector<std::thread> readers;
+  readers.reserve(options_.num_readers);
+  for (size_t r = 0; r < options_.num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      snb::ParamPools local(*params);  // independent deterministic stream
+      Rng mix_rng(options_.seed + r * 7919);
+      while (!stop.load()) {
+        double roll = mix_rng.NextDouble();
+        Stopwatch op_clock;
+        Status s;
+        if (roll < options_.two_hop_fraction) {
+          s = sut_->TwoHop(local.NextPersonId()).status();
+        } else if (roll <
+                   options_.two_hop_fraction + options_.one_hop_fraction) {
+          s = sut_->OneHop(local.NextPersonId()).status();
+        } else if (roll < options_.two_hop_fraction +
+                              options_.one_hop_fraction +
+                              options_.recent_posts_fraction) {
+          s = sut_->RecentPosts(local.NextPersonId(),
+                                options_.recent_posts_limit)
+                  .status();
+        } else {
+          s = sut_->PointLookup(local.NextPersonId()).status();
+        }
+        uint64_t us = op_clock.ElapsedMicros();
+        metrics.read_latency_micros.Add(us);
+        if (s.ok()) {
+          ++reads;
+          std::lock_guard<std::mutex> lock(timeline_mu);
+          ++metrics.read_timeline[bucket_of(run_clock.ElapsedMicros())];
+        } else {
+          ++read_errors;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options_.run_millis));
+  stop = true;
+  for (auto& t : readers) t.join();
+  writer.join();
+
+  metrics.elapsed_seconds = run_clock.ElapsedSeconds();
+  metrics.reads_completed = reads;
+  metrics.read_errors = read_errors;
+  metrics.writes_completed = writes;
+  metrics.write_errors = write_errors;
+  metrics.dependency_violations = dep_violations;
+  metrics.late_writes = late;
+  metrics.write_seconds =
+      double(write_micros_active.load()) / 1e6;
+  metrics.reads_per_second =
+      metrics.elapsed_seconds > 0
+          ? double(metrics.reads_completed) / metrics.elapsed_seconds
+          : 0;
+  // Writes are bounded by the stream length; rate over active drain time.
+  metrics.writes_per_second =
+      metrics.write_seconds > 0
+          ? double(metrics.writes_completed) / metrics.write_seconds
+          : 0;
+  return metrics;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,46 @@
+#ifndef GRAPHBENCH_ENGINES_NATIVE_CYPHER_ENGINE_H_
+#define GRAPHBENCH_ENGINES_NATIVE_CYPHER_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engines/native/native_graph.h"
+#include "engines/relational/query_result.h"
+#include "lang/cypher/ast.h"
+#include "util/result.h"
+
+namespace graphbench {
+
+/// Declarative query front-end over the native graph store: the
+/// Neo4j-with-Cypher configuration. Queries are parsed and planned per
+/// execution (as a server does), then run as pipelined pattern expansions
+/// directly over the store's adjacency records.
+///
+/// Planning: each MATCH chain is solved left-to-right; the first node of a
+/// chain must be resolvable — by an inline property equality (index lookup
+/// when one exists), by a label scan, or by already being bound by an
+/// earlier chain. The SNB interactive queries all satisfy this.
+class CypherEngine {
+ public:
+  using Params = std::map<std::string, Value>;
+
+  explicit CypherEngine(NativeGraph* graph) : graph_(graph) {}
+
+  /// Parses and executes one statement with named $parameters.
+  Result<QueryResult> Execute(std::string_view query, const Params& params);
+
+  NativeGraph* graph() { return graph_; }
+
+ private:
+  struct Binding;  // var name -> VertexId slots; defined in the .cc
+
+  Result<Value> EvalConst(const cypher::Expr& e, const Params& params) const;
+
+  NativeGraph* graph_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_NATIVE_CYPHER_ENGINE_H_

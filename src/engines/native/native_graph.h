@@ -1,0 +1,144 @@
+#ifndef GRAPHBENCH_ENGINES_NATIVE_NATIVE_GRAPH_H_
+#define GRAPHBENCH_ENGINES_NATIVE_NATIVE_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace graphbench {
+
+/// Tuning knobs for the native store.
+struct NativeGraphOptions {
+  /// Run a checkpoint every N writes (0 disables). Neo4j 2.3's periodic
+  /// checkpointing is what causes the sudden write-throughput drops the
+  /// paper observes in Figure 3. The checkpoint is real work: the records
+  /// written since the last checkpoint are serialized into the store's
+  /// snapshot buffer while the write latch is held exclusively.
+  uint64_t checkpoint_interval_writes = 20000;
+  /// Floor on the stall per checkpointed write, modelling the fsync cost
+  /// a memory-resident analogue doesn't pay. Applied on top of the real
+  /// serialization work, capped by `max_pause_micros`.
+  uint64_t checkpoint_micros_per_dirty_write = 3;
+  uint64_t checkpoint_max_pause_micros = 100000;
+};
+
+/// Specialized graph database with native graph storage: the Neo4j analog.
+///
+/// Vertex records embed adjacency lists grouped by edge label ("index-free
+/// adjacency"): expanding a vertex's neighbourhood dereferences in-record
+/// pointers and never consults an index, so traversal latency is
+/// independent of graph size — the property §4.2 credits Neo4j with.
+class NativeGraph : public PropertyGraph {
+ public:
+  explicit NativeGraph(NativeGraphOptions options = {});
+
+  NativeGraph(const NativeGraph&) = delete;
+  NativeGraph& operator=(const NativeGraph&) = delete;
+
+  Result<VertexId> AddVertex(std::string_view label,
+                             const PropertyMap& props) override;
+  Result<EdgeId> AddEdge(std::string_view label, VertexId src, VertexId dst,
+                         const PropertyMap& props) override;
+  Status GetVertex(VertexId v, std::string* label,
+                   PropertyMap* props) const override;
+  Status GetEdge(EdgeId e, std::string* label, VertexId* src, VertexId* dst,
+                 PropertyMap* props) const override;
+  Result<Value> VertexProperty(VertexId v,
+                               std::string_view key) const override;
+  Status SetVertexProperty(VertexId v, std::string_view key,
+                           const Value& value) override;
+  Result<std::vector<Neighbor>> Neighbors(VertexId v,
+                                          std::string_view edge_label,
+                                          Direction dir) const override;
+  Result<VertexId> FindVertex(std::string_view label, std::string_view key,
+                              const Value& value) const override;
+  std::vector<VertexId> VerticesByLabel(
+      std::string_view label) const override;
+  uint64_t VertexCount() const override;
+  uint64_t EdgeCount() const override;
+  uint64_t ApproximateSizeBytes() const override;
+  std::string name() const override { return "native-graph"; }
+
+  /// Declares a unique index on (vertex label, property). The benchmark
+  /// creates one on every label's "id" property, per the paper's fairness
+  /// rule (§4.1). Existing vertices are back-filled.
+  Status CreateUniqueIndex(std::string_view label, std::string_view key);
+
+  /// Unweighted single-pair shortest-path length over `edge_label`
+  /// (treated as undirected, SNB `knows` semantics). -1 when unreachable.
+  /// Runs directly on adjacency records (what Cypher's shortestPath()
+  /// compiles to). Bidirectional BFS.
+  Result<int> ShortestPathLength(VertexId a, VertexId b,
+                                 std::string_view edge_label) const;
+
+  /// Number of checkpoints taken so far (observable for tests/benchmarks).
+  uint64_t checkpoints_taken() const { return checkpoints_; }
+
+  /// Serializes the whole store (labels, vertices with properties, edges)
+  /// into `out` — the store-file a restart would recover from.
+  Status SnapshotTo(std::string* out) const;
+
+  /// Rebuilds this (empty) store from a snapshot, including unique
+  /// indexes. Fails on a non-empty store or corrupt input.
+  Status RestoreFrom(std::string_view snapshot);
+
+ private:
+  struct AdjGroup {
+    uint32_t edge_label;
+    std::vector<Neighbor> out;
+    std::vector<Neighbor> in;
+  };
+  struct VertexRec {
+    uint32_t label;
+    PropertyMap props;
+    std::vector<AdjGroup> adj;  // sorted insertion order; few edge labels
+  };
+  struct EdgeRec {
+    uint32_t label;
+    VertexId src;
+    VertexId dst;
+    PropertyMap props;
+  };
+
+  // Interns `label`, assigning the next id on first use. Caller holds mu_
+  // exclusively.
+  uint32_t InternLabel(std::string_view label);
+  // Returns the label id or -1 without interning (shared lock suffices).
+  int LookupLabel(std::string_view label) const;
+  AdjGroup& GroupFor(VertexRec& rec, uint32_t edge_label);
+  // Checkpoint bookkeeping; called with mu_ held exclusively.
+  void MaybeCheckpointLocked();
+
+  // Serializes records [from_vertex, from_edge) into the snapshot tail;
+  // called by the checkpointer with mu_ held exclusively.
+  void SerializeRecentLocked(size_t from_vertex, size_t from_edge,
+                             std::string* out) const;
+
+  NativeGraphOptions options_;
+  mutable std::shared_mutex mu_;
+  std::vector<VertexRec> vertices_;
+  std::vector<EdgeRec> edges_;
+  // Incremental checkpoint state: everything before these marks has been
+  // serialized into checkpoint_buffer_.
+  size_t checkpointed_vertices_ = 0;
+  size_t checkpointed_edges_ = 0;
+  std::string checkpoint_buffer_;
+  std::unordered_map<std::string, uint32_t> label_ids_;
+  std::vector<std::string> label_names_;
+  // (label_id, property key) -> value -> vertex. Unique indexes only.
+  std::map<std::pair<uint32_t, std::string>,
+           std::unordered_map<Value, VertexId, ValueHash>>
+      indexes_;
+  uint64_t bytes_ = 0;
+  uint64_t writes_since_checkpoint_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_NATIVE_NATIVE_GRAPH_H_

@@ -1,0 +1,67 @@
+#ifndef GRAPHBENCH_ENGINES_RDF_RDF_ENGINE_H_
+#define GRAPHBENCH_ENGINES_RDF_RDF_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engines/rdf/term_dictionary.h"
+#include "engines/rdf/triple_store.h"
+#include "engines/relational/query_result.h"
+#include "lang/sparql/ast.h"
+#include "util/result.h"
+
+namespace graphbench {
+
+/// RDF store with a SPARQL front-end: the Virtuoso-SPARQL analog. The
+/// whole graph lives in one dictionary-encoded triple table with up to
+/// four covering indexes; SPARQL basic graph patterns translate into
+/// index-range joins (the "query translation cost" of §4.2) and every
+/// update maintains all indexes (the write tax of §4.3).
+class RdfEngine {
+ public:
+  explicit RdfEngine(int num_indexes = 4);
+
+  /// Parses and executes one SPARQL query. Constants are inlined in the
+  /// query text, as SPARQL clients do.
+  Result<QueryResult> Execute(std::string_view sparql);
+
+  /// Loader/update path (bulk import bypasses SPARQL, as Virtuoso's bulk
+  /// loader does; per-update inserts are issued by the writer thread).
+  Status AddTriple(const Term& subject, std::string_view predicate,
+                   const Term& object);
+
+  /// Unweighted shortest-path length over `predicate` edges (undirected),
+  /// BFS over the POS/SPO indexes. Exposed for tests; SPARQL reaches it
+  /// through the shortestPath() projection extension.
+  Result<int> ShortestPath(uint64_t from_id, uint64_t to_id,
+                           uint64_t pred_id) const;
+
+  uint64_t TripleCount() const { return store_.size(); }
+  uint64_t ApproximateSizeBytes() const {
+    return store_.ApproximateSizeBytes() + dict_.ApproximateSizeBytes();
+  }
+
+  TermDictionary& dict() { return dict_; }
+  const TripleStore& store() const { return store_; }
+
+ private:
+  // One BGP solution: TermIds per variable (kWildcard = unbound).
+  using BindingRow = std::vector<uint64_t>;
+
+  struct ResolvedPattern {
+    // kWildcard components hold variable slots in `var_slot`.
+    uint64_t s, p, o;
+    int s_var = -1, p_var = -1, o_var = -1;
+    bool impossible = false;  // constant term not in dictionary
+  };
+
+  Result<QueryResult> ExecuteParsed(const sparql::Query& q);
+
+  TermDictionary dict_;
+  TripleStore store_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_RDF_RDF_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "engines/rdf/term_dictionary.h"
+
+#include <mutex>
+
+#include "graph/value_codec.h"
+
+namespace graphbench {
+
+std::string TermDictionary::EncodeKey(const Term& term) {
+  std::string key;
+  key.push_back(char(uint8_t(term.kind)));
+  if (term.kind == Term::Kind::kIri) {
+    key += term.iri;
+  } else {
+    valuecodec::EncodeValue(&key, term.literal);
+  }
+  return key;
+}
+
+TermDictionary::TermId TermDictionary::InternTerm(Term term) {
+  std::string key = EncodeKey(term);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  TermId id = terms_.size();
+  bytes_ += key.size() + 64;
+  terms_.push_back(std::move(term));
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TermDictionary::TermId TermDictionary::InternIri(std::string_view iri) {
+  return InternTerm(Term::Iri(iri));
+}
+
+TermDictionary::TermId TermDictionary::InternLiteral(const Value& v) {
+  return InternTerm(Term::Literal(v));
+}
+
+std::optional<TermDictionary::TermId> TermDictionary::LookupIri(
+    std::string_view iri) const {
+  std::string key = EncodeKey(Term::Iri(iri));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TermDictionary::TermId> TermDictionary::LookupLiteral(
+    const Value& v) const {
+  std::string key = EncodeKey(Term::Literal(v));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term TermDictionary::Decode(TermId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (id >= terms_.size()) return Term();
+  return terms_[size_t(id)];
+}
+
+uint64_t TermDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return terms_.size();
+}
+
+uint64_t TermDictionary::ApproximateSizeBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,73 @@
+#ifndef GRAPHBENCH_ENGINES_RDF_TERM_DICTIONARY_H_
+#define GRAPHBENCH_ENGINES_RDF_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/value.h"
+
+namespace graphbench {
+
+/// An RDF term: an IRI (resources, predicates) or a literal value.
+struct Term {
+  enum class Kind : uint8_t { kIri = 0, kLiteral = 1 };
+  Kind kind = Kind::kIri;
+  std::string iri;  // kIri
+  Value literal;    // kLiteral
+
+  static Term Iri(std::string_view s) {
+    Term t;
+    t.kind = Kind::kIri;
+    t.iri = std::string(s);
+    return t;
+  }
+  static Term Literal(Value v) {
+    Term t;
+    t.kind = Kind::kLiteral;
+    t.literal = std::move(v);
+    return t;
+  }
+
+  std::string ToString() const {
+    return kind == Kind::kIri ? iri : literal.ToString();
+  }
+};
+
+/// Bidirectional term <-> dense-id mapping, the dictionary encoding every
+/// triple store uses. Interning is write-locked; lookups take shared locks
+/// (part of SPARQL's per-query translation cost, §4.2).
+class TermDictionary {
+ public:
+  using TermId = uint64_t;
+
+  /// Returns the id for the term, interning it if new.
+  TermId InternIri(std::string_view iri);
+  TermId InternLiteral(const Value& v);
+
+  /// Read-side lookup; nullopt when the term was never interned.
+  std::optional<TermId> LookupIri(std::string_view iri) const;
+  std::optional<TermId> LookupLiteral(const Value& v) const;
+
+  /// Reverse mapping; terms ids are dense so this is a vector access.
+  Term Decode(TermId id) const;
+
+  uint64_t size() const;
+  uint64_t ApproximateSizeBytes() const;
+
+ private:
+  static std::string EncodeKey(const Term& term);
+  TermId InternTerm(Term term);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<Term> terms_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_RDF_TERM_DICTIONARY_H_

@@ -1,0 +1,107 @@
+#include "engines/rdf/triple_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace graphbench {
+
+namespace {
+
+// Permutations: index key position -> triple component (0=s,1=p,2=o).
+constexpr int kSpoPerm[3] = {0, 1, 2};
+constexpr int kPosPerm[3] = {1, 2, 0};
+constexpr int kOspPerm[3] = {2, 0, 1};
+constexpr int kPsoPerm[3] = {1, 0, 2};
+
+std::array<uint64_t, 3> Permute(const int perm[3], uint64_t s, uint64_t p,
+                                uint64_t o) {
+  uint64_t c[3] = {s, p, o};
+  return {c[perm[0]], c[perm[1]], c[perm[2]]};
+}
+
+}  // namespace
+
+TripleStore::TripleStore(int num_indexes)
+    : num_indexes_(std::clamp(num_indexes, 1, 4)) {}
+
+Status TripleStore::Insert(uint64_t s, uint64_t p, uint64_t o) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = spo_.insert({s, p, o});
+  if (!inserted) return Status::AlreadyExists("triple");
+  if (num_indexes_ >= 2) pos_.insert(Permute(kPosPerm, s, p, o));
+  if (num_indexes_ >= 3) osp_.insert(Permute(kOspPerm, s, p, o));
+  if (num_indexes_ >= 4) pso_.insert(Permute(kPsoPerm, s, p, o));
+  return Status::OK();
+}
+
+void TripleStore::ScanIndex(const std::set<Key>& index, const int perm[3],
+                            uint64_t s, uint64_t p, uint64_t o,
+                            std::vector<Triple>* out) const {
+  uint64_t comps[3] = {s, p, o};
+  // Bound prefix length under this index's order.
+  Key lo = {0, 0, 0};
+  int prefix = 0;
+  while (prefix < 3 && comps[perm[prefix]] != kWildcard) {
+    lo[size_t(prefix)] = comps[perm[prefix]];
+    ++prefix;
+  }
+  auto it = prefix == 0 ? index.begin() : index.lower_bound(lo);
+  for (; it != index.end(); ++it) {
+    const Key& k = *it;
+    bool prefix_ok = true;
+    for (int i = 0; i < prefix; ++i) {
+      if (k[size_t(i)] != comps[perm[i]]) {
+        prefix_ok = false;
+        break;
+      }
+    }
+    if (!prefix_ok) break;  // past the bound prefix range
+    // Residual filter on non-prefix bound positions.
+    uint64_t c[3];
+    for (int i = 0; i < 3; ++i) c[perm[i]] = k[size_t(i)];
+    if ((s != kWildcard && c[0] != s) || (p != kWildcard && c[1] != p) ||
+        (o != kWildcard && c[2] != o)) {
+      continue;
+    }
+    out->push_back(Triple{c[0], c[1], c[2]});
+  }
+}
+
+void TripleStore::Match(uint64_t s, uint64_t p, uint64_t o,
+                        std::vector<Triple>* out) const {
+  out->clear();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const bool bs = s != kWildcard, bp = p != kWildcard, bo = o != kWildcard;
+  // Choose the index whose order puts the bound components first;
+  // fall back to an SPO scan with residual filters when the matching
+  // index is not materialized (ablation configurations).
+  if (bs) {
+    ScanIndex(spo_, kSpoPerm, s, p, o, out);
+  } else if (bp && bo && num_indexes_ >= 2) {
+    ScanIndex(pos_, kPosPerm, s, p, o, out);
+  } else if (bo && num_indexes_ >= 3) {
+    ScanIndex(osp_, kOspPerm, s, p, o, out);
+  } else if (bp && !bo && num_indexes_ >= 4) {
+    ScanIndex(pso_, kPsoPerm, s, p, o, out);
+  } else {
+    ScanIndex(spo_, kSpoPerm, s, p, o, out);
+  }
+}
+
+bool TripleStore::Contains(uint64_t s, uint64_t p, uint64_t o) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return spo_.count({s, p, o}) > 0;
+}
+
+uint64_t TripleStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return spo_.size();
+}
+
+uint64_t TripleStore::ApproximateSizeBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Each std::set node: 3 u64 + tree overhead (~40 bytes).
+  return spo_.size() * uint64_t(num_indexes_) * (24 + 40);
+}
+
+}  // namespace graphbench

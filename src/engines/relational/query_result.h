@@ -1,0 +1,52 @@
+#ifndef GRAPHBENCH_ENGINES_RELATIONAL_QUERY_RESULT_H_
+#define GRAPHBENCH_ENGINES_RELATIONAL_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace graphbench {
+
+/// Tabular result of a query in any of the engines (SQL, SPARQL, Cypher
+/// all return these so the benchmark can compare outputs across systems).
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Rows affected for DML statements (INSERT).
+  uint64_t affected = 0;
+};
+
+/// Hash/equality for Row, used by DISTINCT and hash joins.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : row) h = h * 31 + v.Hash();
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Lexicographic Row comparison (ORDER BY support).
+inline int CompareRows(const Row& a, const Row& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return a.size() == b.size() ? 0 : (a.size() < b.size() ? -1 : 1);
+}
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_RELATIONAL_QUERY_RESULT_H_

@@ -1,0 +1,510 @@
+#include "engines/relational/sql_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphbench {
+
+using sql::BinOp;
+using sql::Expr;
+
+namespace {
+
+// Flattens an AND tree into individual conjuncts.
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kBinary && e->op == BinOp::kAnd) {
+    FlattenConjuncts(e->lhs.get(), out);
+    FlattenConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool CompareSatisfies(BinOp op, int cmp) {
+  switch (op) {
+    case BinOp::kEq: return cmp == 0;
+    case BinOp::kNe: return cmp != 0;
+    case BinOp::kLt: return cmp < 0;
+    case BinOp::kLe: return cmp <= 0;
+    case BinOp::kGt: return cmp > 0;
+    case BinOp::kGe: return cmp >= 0;
+    case BinOp::kAnd: return false;  // handled elsewhere
+  }
+  return false;
+}
+
+}  // namespace
+
+SqlExecutor::SqlExecutor(Database* db, const sql::SelectStmt& stmt,
+                         const std::vector<Value>& params)
+    : db_(db), stmt_(stmt), params_(params) {}
+
+int SqlExecutor::AliasIndex(const std::string& alias) const {
+  for (size_t i = 0; i < aliases_.size(); ++i) {
+    if (aliases_[i].alias == alias) return int(i);
+  }
+  return -1;
+}
+
+Status SqlExecutor::ResolveColumn(const Expr& e, int* alias_idx,
+                                  int* col_idx) const {
+  if (!e.table_alias.empty()) {
+    int ai = AliasIndex(e.table_alias);
+    if (ai < 0) {
+      return Status::InvalidArgument("unknown alias " + e.table_alias);
+    }
+    int ci = aliases_[size_t(ai)].table->schema().ColumnIndex(e.column);
+    if (ci < 0) {
+      return Status::InvalidArgument("unknown column " + e.table_alias +
+                                     "." + e.column);
+    }
+    *alias_idx = ai;
+    *col_idx = ci;
+    return Status::OK();
+  }
+  // Unqualified: first table whose schema has the column.
+  for (size_t i = 0; i < aliases_.size(); ++i) {
+    int ci = aliases_[i].table->schema().ColumnIndex(e.column);
+    if (ci >= 0) {
+      *alias_idx = int(i);
+      *col_idx = ci;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown column " + e.column);
+}
+
+bool SqlExecutor::AllBound(const Expr& e, size_t bound_count) const {
+  switch (e.kind) {
+    case Expr::Kind::kColumn: {
+      int ai, ci;
+      if (!ResolveColumn(e, &ai, &ci).ok()) return false;
+      return size_t(ai) < bound_count;
+    }
+    case Expr::Kind::kBinary:
+      return AllBound(*e.lhs, bound_count) && AllBound(*e.rhs, bound_count);
+    case Expr::Kind::kShortestPath:
+      return AllBound(*e.sp_from, bound_count) &&
+             AllBound(*e.sp_to, bound_count);
+    default:
+      return true;
+  }
+}
+
+Result<Value> SqlExecutor::FetchColumn(int alias_idx, int col_idx,
+                                       const Binding& binding) const {
+  RowId id = binding[size_t(alias_idx)];
+  Table* table = aliases_[size_t(alias_idx)].table;
+  if (db_->mode() == StorageMode::kRow) {
+    // Tuple-at-a-time: the row store hands back the whole tuple and the
+    // executor projects out of it, as a row engine does.
+    Row row;
+    GB_RETURN_IF_ERROR(table->Get(id, &row));
+    return row[size_t(col_idx)];
+  }
+  Value v;
+  GB_RETURN_IF_ERROR(table->GetColumn(id, size_t(col_idx), &v));
+  return v;
+}
+
+Result<Value> SqlExecutor::Eval(const Expr& e, const Binding& binding) const {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kParam:
+      if (e.param_index < 0 || size_t(e.param_index) >= params_.size()) {
+        return Status::InvalidArgument("parameter index out of range");
+      }
+      return params_[size_t(e.param_index)];
+    case Expr::Kind::kColumn: {
+      int ai, ci;
+      GB_RETURN_IF_ERROR(ResolveColumn(e, &ai, &ci));
+      if (binding[size_t(ai)] == kUnbound) {
+        return Status::Internal("column evaluated before its join");
+      }
+      return FetchColumn(ai, ci, binding);
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == BinOp::kAnd) {
+        GB_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs, binding));
+        if (!l.as_bool()) return Value(false);
+        return Eval(*e.rhs, binding);
+      }
+      GB_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs, binding));
+      GB_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs, binding));
+      return Value(CompareSatisfies(e.op, l.Compare(r)));
+    }
+    case Expr::Kind::kShortestPath: {
+      GB_ASSIGN_OR_RETURN(Value from, Eval(*e.sp_from, binding));
+      GB_ASSIGN_OR_RETURN(Value to, Eval(*e.sp_to, binding));
+      GB_ASSIGN_OR_RETURN(
+          int len, db_->ShortestPath(e.sp_table, e.sp_src_col, e.sp_dst_col,
+                                     from, to));
+      return Value(int64_t{len});
+    }
+    case Expr::Kind::kCountStar:
+      return Status::Internal("COUNT(*) outside aggregation context");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<std::vector<SqlExecutor::Binding>> SqlExecutor::BuildDrivingSet(
+    std::vector<const Expr*>* conjuncts) {
+  Table* driving = aliases_[0].table;
+  const std::string& table_name = stmt_.from[0].table;
+
+  // Look for an indexed equality conjunct on the driving table.
+  for (auto it = conjuncts->begin(); it != conjuncts->end(); ++it) {
+    const Expr* c = *it;
+    if (c->kind != Expr::Kind::kBinary || c->op != BinOp::kEq) continue;
+    const Expr* col = nullptr;
+    const Expr* other = nullptr;
+    for (auto [a, b] : {std::pair{c->lhs.get(), c->rhs.get()},
+                        std::pair{c->rhs.get(), c->lhs.get()}}) {
+      if (a->kind == Expr::Kind::kColumn &&
+          (b->kind == Expr::Kind::kLiteral ||
+           b->kind == Expr::Kind::kParam)) {
+        col = a;
+        other = b;
+        break;
+      }
+    }
+    if (col == nullptr) continue;
+    int ai, ci;
+    if (!ResolveColumn(*col, &ai, &ci).ok() || ai != 0) continue;
+    HashIndex* index = db_->GetIndex(
+        table_name, driving->schema().columns()[size_t(ci)].name);
+    if (index == nullptr) continue;
+    Binding empty(aliases_.size(), kUnbound);
+    GB_ASSIGN_OR_RETURN(Value key, Eval(*other, empty));
+    std::vector<Binding> out;
+    for (RowId id : index->Lookup(key)) {
+      Binding b(aliases_.size(), kUnbound);
+      b[0] = id;
+      out.push_back(std::move(b));
+    }
+    conjuncts->erase(it);  // consumed by the index lookup
+    return out;
+  }
+
+  // Fall back to a full scan; residual conjuncts filter later.
+  std::vector<Binding> out;
+  for (auto it = driving->NewScanIterator(); it->Valid(); it->Next()) {
+    Binding b(aliases_.size(), kUnbound);
+    b[0] = it->row_id();
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Result<std::vector<SqlExecutor::Binding>> SqlExecutor::JoinNext(
+    std::vector<Binding> input, size_t alias_idx, const Expr& on) {
+  if (on.kind != Expr::Kind::kBinary || on.op != BinOp::kEq ||
+      on.lhs->kind != Expr::Kind::kColumn ||
+      on.rhs->kind != Expr::Kind::kColumn) {
+    return Status::NotSupported("JOIN ON requires column equality");
+  }
+  int l_ai, l_ci, r_ai, r_ci;
+  GB_RETURN_IF_ERROR(ResolveColumn(*on.lhs, &l_ai, &l_ci));
+  GB_RETURN_IF_ERROR(ResolveColumn(*on.rhs, &r_ai, &r_ci));
+  int new_ci, old_ai, old_ci;
+  if (size_t(l_ai) == alias_idx) {
+    new_ci = l_ci;
+    old_ai = r_ai;
+    old_ci = r_ci;
+  } else if (size_t(r_ai) == alias_idx) {
+    new_ci = r_ci;
+    old_ai = l_ai;
+    old_ci = l_ci;
+  } else {
+    return Status::NotSupported("ON must reference the joined table");
+  }
+
+  Table* new_table = aliases_[alias_idx].table;
+  const std::string& new_col =
+      new_table->schema().columns()[size_t(new_ci)].name;
+  HashIndex* index = db_->GetIndex(stmt_.from[alias_idx].table, new_col);
+
+  std::vector<Binding> out;
+  if (index != nullptr) {
+    // Index nested-loop join.
+    for (Binding& b : input) {
+      GB_ASSIGN_OR_RETURN(Value key, FetchColumn(old_ai, old_ci, b));
+      for (RowId id : index->Lookup(key)) {
+        Binding nb = b;
+        nb[alias_idx] = id;
+        out.push_back(std::move(nb));
+      }
+    }
+    return out;
+  }
+
+  // Hash join: build on the new table's join column.
+  std::unordered_map<Value, std::vector<RowId>, ValueHash> build;
+  for (auto it = new_table->NewScanIterator(); it->Valid(); it->Next()) {
+    Value key;
+    GB_RETURN_IF_ERROR(
+        new_table->GetColumn(it->row_id(), size_t(new_ci), &key));
+    build[key].push_back(it->row_id());
+  }
+  for (Binding& b : input) {
+    GB_ASSIGN_OR_RETURN(Value key, FetchColumn(old_ai, old_ci, b));
+    auto hit = build.find(key);
+    if (hit == build.end()) continue;
+    for (RowId id : hit->second) {
+      Binding nb = b;
+      nb[alias_idx] = id;
+      out.push_back(std::move(nb));
+    }
+  }
+  return out;
+}
+
+Status SqlExecutor::ApplyReadyConjuncts(
+    std::vector<const Expr*>* conjuncts, size_t bound_count,
+    std::vector<Binding>* bindings) const {
+  for (auto it = conjuncts->begin(); it != conjuncts->end();) {
+    if (!AllBound(**it, bound_count)) {
+      ++it;
+      continue;
+    }
+    std::vector<Binding> kept;
+    kept.reserve(bindings->size());
+    for (Binding& b : *bindings) {
+      GB_ASSIGN_OR_RETURN(Value pass, Eval(**it, b));
+      if (pass.is_bool() && pass.as_bool()) kept.push_back(std::move(b));
+    }
+    *bindings = std::move(kept);
+    it = conjuncts->erase(it);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> SqlExecutor::Aggregate(
+    const std::vector<Binding>& bindings) const {
+  struct Accumulator {
+    int64_t count = 0;
+    double sum = 0;
+    bool ints_only = true;
+    Value min, max;
+    Value first;       // for non-aggregate (group key) items
+    bool has_first = false;
+  };
+  struct Group {
+    Row key;
+    std::vector<Accumulator> accs;
+  };
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Group> groups;
+
+  for (const Binding& b : bindings) {
+    Row key;
+    key.reserve(stmt_.group_by.size());
+    for (const auto& g : stmt_.group_by) {
+      GB_ASSIGN_OR_RETURN(Value v, Eval(*g, b));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{std::move(key),
+                             std::vector<Accumulator>(stmt_.items.size())});
+    }
+    Group& group = groups[it->second];
+    for (size_t i = 0; i < stmt_.items.size(); ++i) {
+      const Expr& e = *stmt_.items[i].expr;
+      Accumulator& acc = group.accs[i];
+      if (e.kind == Expr::Kind::kCountStar) {
+        ++acc.count;
+      } else if (e.kind == Expr::Kind::kAggregate) {
+        GB_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs, b));
+        if (v.is_null()) continue;  // SQL: aggregates skip NULLs
+        ++acc.count;
+        if (v.is_numeric()) {
+          acc.sum += v.numeric();
+          acc.ints_only &= v.is_int();
+        }
+        if (acc.min.is_null() || v.Compare(acc.min) < 0) acc.min = v;
+        if (acc.max.is_null() || v.Compare(acc.max) > 0) acc.max = v;
+      } else if (!acc.has_first) {
+        GB_ASSIGN_OR_RETURN(acc.first, Eval(e, b));
+        acc.has_first = true;
+      }
+    }
+  }
+
+  // A global aggregate over zero rows still yields one (empty) group.
+  if (groups.empty() && stmt_.group_by.empty()) {
+    groups.push_back(Group{{}, std::vector<Accumulator>(
+                                   stmt_.items.size())});
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(groups.size());
+  for (const Group& group : groups) {
+    Row row;
+    row.reserve(stmt_.items.size());
+    for (size_t i = 0; i < stmt_.items.size(); ++i) {
+      const Expr& e = *stmt_.items[i].expr;
+      const Accumulator& acc = group.accs[i];
+      switch (e.kind) {
+        case Expr::Kind::kCountStar:
+          row.push_back(Value(acc.count));
+          break;
+        case Expr::Kind::kAggregate:
+          switch (e.agg_fn) {
+            case sql::AggFn::kCount:
+              row.push_back(Value(acc.count));
+              break;
+            case sql::AggFn::kSum:
+              row.push_back(acc.ints_only ? Value(int64_t(acc.sum))
+                                          : Value(acc.sum));
+              break;
+            case sql::AggFn::kAvg:
+              row.push_back(acc.count ? Value(acc.sum / double(acc.count))
+                                      : Value());
+              break;
+            case sql::AggFn::kMin:
+              row.push_back(acc.min);
+              break;
+            case sql::AggFn::kMax:
+              row.push_back(acc.max);
+              break;
+          }
+          break;
+        default:
+          row.push_back(acc.first);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // ORDER BY in aggregate mode references select-item aliases.
+  if (!stmt_.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> keys;  // (column index, desc)
+    for (const auto& o : stmt_.order_by) {
+      if (o.expr->kind != Expr::Kind::kColumn || !o.expr->table_alias.empty()) {
+        return Status::NotSupported(
+            "aggregate ORDER BY must name a select alias");
+      }
+      size_t column = stmt_.items.size();
+      for (size_t i = 0; i < stmt_.items.size(); ++i) {
+        if (stmt_.items[i].name == o.expr->column) {
+          column = i;
+          break;
+        }
+      }
+      if (column == stmt_.items.size()) {
+        return Status::InvalidArgument("unknown ORDER BY alias " +
+                                       o.expr->column);
+      }
+      keys.emplace_back(column, o.desc);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (auto [column, desc] : keys) {
+                         int c = a[column].Compare(b[column]);
+                         if (c != 0) return desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  return rows;
+}
+
+Result<QueryResult> SqlExecutor::Run() {
+  // Resolve FROM aliases.
+  for (const auto& ref : stmt_.from) {
+    Table* t = db_->GetTable(ref.table);
+    if (t == nullptr) {
+      return Status::InvalidArgument("unknown table " + ref.table);
+    }
+    aliases_.push_back(AliasInfo{ref.alias, t});
+  }
+
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(stmt_.where.get(), &conjuncts);
+
+  std::vector<Binding> bindings;
+  if (aliases_.empty()) {
+    bindings.emplace_back();  // one empty binding: SELECT SHORTEST_PATH(..)
+  } else {
+    GB_ASSIGN_OR_RETURN(bindings, BuildDrivingSet(&conjuncts));
+    GB_RETURN_IF_ERROR(ApplyReadyConjuncts(&conjuncts, 1, &bindings));
+    for (size_t i = 1; i < aliases_.size(); ++i) {
+      GB_ASSIGN_OR_RETURN(
+          bindings, JoinNext(std::move(bindings), i, *stmt_.from[i].on));
+      GB_RETURN_IF_ERROR(ApplyReadyConjuncts(&conjuncts, i + 1, &bindings));
+    }
+  }
+  if (!conjuncts.empty()) {
+    return Status::NotSupported("unappliable WHERE predicate");
+  }
+
+  QueryResult result;
+  for (const auto& item : stmt_.items) result.columns.push_back(item.name);
+
+  // Aggregation path: any aggregate item or an explicit GROUP BY.
+  bool has_aggregate = !stmt_.group_by.empty();
+  for (const auto& item : stmt_.items) {
+    has_aggregate |= item.expr->kind == Expr::Kind::kCountStar ||
+                     item.expr->kind == Expr::Kind::kAggregate;
+  }
+  if (has_aggregate) {
+    GB_ASSIGN_OR_RETURN(result.rows, Aggregate(bindings));
+    size_t limit = stmt_.limit < 0 ? result.rows.size()
+                                   : std::min(size_t(stmt_.limit),
+                                              result.rows.size());
+    result.rows.resize(limit);
+    return result;
+  }
+
+  // Projection, with ORDER BY keys computed alongside.
+  struct Projected {
+    Row row;
+    Row sort_key;
+  };
+  std::vector<Projected> projected;
+  projected.reserve(bindings.size());
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  for (const Binding& b : bindings) {
+    Row row;
+    row.reserve(stmt_.items.size());
+    for (const auto& item : stmt_.items) {
+      GB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, b));
+      row.push_back(std::move(v));
+    }
+    if (stmt_.distinct && !seen.insert(row).second) continue;
+    Row sort_key;
+    for (const auto& o : stmt_.order_by) {
+      GB_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, b));
+      sort_key.push_back(std::move(v));
+    }
+    projected.push_back(Projected{std::move(row), std::move(sort_key)});
+  }
+
+  if (!stmt_.order_by.empty()) {
+    std::stable_sort(projected.begin(), projected.end(),
+                     [this](const Projected& a, const Projected& b) {
+                       for (size_t i = 0; i < stmt_.order_by.size(); ++i) {
+                         int c = a.sort_key[i].Compare(b.sort_key[i]);
+                         if (c != 0) {
+                           return stmt_.order_by[i].desc ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  size_t limit = stmt_.limit < 0 ? projected.size()
+                                 : std::min(size_t(stmt_.limit),
+                                            projected.size());
+  result.rows.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    result.rows.push_back(std::move(projected[i].row));
+  }
+  return result;
+}
+
+}  // namespace graphbench

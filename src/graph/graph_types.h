@@ -1,0 +1,78 @@
+#ifndef GRAPHBENCH_GRAPH_GRAPH_TYPES_H_
+#define GRAPHBENCH_GRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/value.h"
+
+namespace graphbench {
+
+/// Engine-internal vertex/edge identifiers (dense, assigned at insert).
+/// Distinct from application-level IDs (the SNB "id" property), which are
+/// looked up through the per-label unique index, as in the paper (§4.1).
+using VertexId = uint64_t;
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertexId = ~VertexId{0};
+inline constexpr EdgeId kInvalidEdgeId = ~EdgeId{0};
+
+enum class Direction : uint8_t { kOut = 0, kIn = 1, kBoth = 2 };
+
+/// Ordered list of named properties. Small and flat: SNB entities carry
+/// ~5-10 properties, so linear search beats hashing.
+class PropertyMap {
+ public:
+  PropertyMap() = default;
+  PropertyMap(std::initializer_list<std::pair<std::string, Value>> init) {
+    for (auto& [k, v] : init) Set(k, v);
+  }
+
+  void Set(std::string_view key, Value value) {
+    for (auto& [k, v] : entries_) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    entries_.emplace_back(std::string(key), std::move(value));
+  }
+
+  /// Null Value when absent.
+  const Value& Get(std::string_view key) const {
+    static const Value kNull;
+    for (const auto& [k, v] : entries_) {
+      if (k == key) return v;
+    }
+    return kNull;
+  }
+
+  bool Has(std::string_view key) const {
+    for (const auto& [k, v] : entries_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<std::pair<std::string, Value>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/// An adjacency entry: the neighbouring vertex plus the connecting edge.
+struct Neighbor {
+  VertexId vertex;
+  EdgeId edge;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_GRAPH_GRAPH_TYPES_H_

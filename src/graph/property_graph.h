@@ -1,0 +1,62 @@
+#ifndef GRAPHBENCH_GRAPH_PROPERTY_GRAPH_H_
+#define GRAPHBENCH_GRAPH_PROPERTY_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphbench {
+
+/// Engine-facing property-graph interface: directed, edge-labelled
+/// multigraph with key-value properties on vertices and edges. Implemented
+/// by NativeGraph (index-free adjacency, Neo4j analog) and TitanGraph
+/// (KV-backed, TitanDB analog); TinkerPop providers adapt it to the
+/// Gremlin structure API.
+class PropertyGraph {
+ public:
+  virtual ~PropertyGraph() = default;
+
+  virtual Result<VertexId> AddVertex(std::string_view label,
+                                     const PropertyMap& props) = 0;
+  virtual Result<EdgeId> AddEdge(std::string_view label, VertexId src,
+                                 VertexId dst, const PropertyMap& props) = 0;
+
+  virtual Status GetVertex(VertexId v, std::string* label,
+                           PropertyMap* props) const = 0;
+  virtual Status GetEdge(EdgeId e, std::string* label, VertexId* src,
+                         VertexId* dst, PropertyMap* props) const = 0;
+
+  /// Single vertex property (Null when absent).
+  virtual Result<Value> VertexProperty(VertexId v,
+                                       std::string_view key) const = 0;
+  virtual Status SetVertexProperty(VertexId v, std::string_view key,
+                                   const Value& value) = 0;
+
+  /// Adjacency of `v` restricted to `edge_label` (empty = any) and
+  /// direction.
+  virtual Result<std::vector<Neighbor>> Neighbors(
+      VertexId v, std::string_view edge_label, Direction dir) const = 0;
+
+  /// Unique lookup through the (label, property) index. Engines index the
+  /// "id" property of every vertex label (the paper's fairness rule).
+  virtual Result<VertexId> FindVertex(std::string_view label,
+                                      std::string_view key,
+                                      const Value& value) const = 0;
+
+  /// All vertices of `label` (any label when empty). For scans/loaders.
+  virtual std::vector<VertexId> VerticesByLabel(
+      std::string_view label) const = 0;
+
+  virtual uint64_t VertexCount() const = 0;
+  virtual uint64_t EdgeCount() const = 0;
+  virtual uint64_t ApproximateSizeBytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_GRAPH_PROPERTY_GRAPH_H_

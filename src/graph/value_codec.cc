@@ -1,0 +1,130 @@
+#include "graph/value_codec.h"
+
+#include <cstring>
+
+namespace graphbench {
+namespace valuecodec {
+
+namespace {
+
+void AppendVarU64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(char(uint8_t(v) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(char(uint8_t(v)));
+}
+
+bool DecodeVarU64(std::string_view* src, uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (!src->empty() && shift < 64) {
+    uint8_t b = uint8_t((*src)[0]);
+    src->remove_prefix(1);
+    out |= uint64_t(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+void EncodeValue(std::string* dst, const Value& v) {
+  dst->push_back(char(uint8_t(v.type())));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      dst->push_back(v.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt: {
+      uint64_t bits = uint64_t(v.as_int());
+      // ZigZag so small negatives stay short.
+      AppendVarU64(dst, (bits << 1) ^ uint64_t(v.as_int() >> 63));
+      break;
+    }
+    case Value::Type::kDouble: {
+      double d = v.as_double();
+      char buf[sizeof(double)];
+      std::memcpy(buf, &d, sizeof(double));
+      dst->append(buf, sizeof(double));
+      break;
+    }
+    case Value::Type::kString: {
+      AppendVarU64(dst, v.as_string().size());
+      dst->append(v.as_string());
+      break;
+    }
+  }
+}
+
+bool DecodeValue(std::string_view* src, Value* v) {
+  if (src->empty()) return false;
+  auto type = Value::Type(uint8_t((*src)[0]));
+  src->remove_prefix(1);
+  switch (type) {
+    case Value::Type::kNull:
+      *v = Value();
+      return true;
+    case Value::Type::kBool:
+      if (src->empty()) return false;
+      *v = Value((*src)[0] != 0);
+      src->remove_prefix(1);
+      return true;
+    case Value::Type::kInt: {
+      uint64_t zz;
+      if (!DecodeVarU64(src, &zz)) return false;
+      *v = Value(int64_t((zz >> 1) ^ (~(zz & 1) + 1)));
+      return true;
+    }
+    case Value::Type::kDouble: {
+      if (src->size() < sizeof(double)) return false;
+      double d;
+      std::memcpy(&d, src->data(), sizeof(double));
+      src->remove_prefix(sizeof(double));
+      *v = Value(d);
+      return true;
+    }
+    case Value::Type::kString: {
+      uint64_t len;
+      if (!DecodeVarU64(src, &len)) return false;
+      if (src->size() < len) return false;
+      *v = Value(std::string(src->substr(0, size_t(len))));
+      src->remove_prefix(size_t(len));
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodePropertyMap(std::string* dst, const PropertyMap& props) {
+  AppendVarU64(dst, props.size());
+  for (const auto& [key, value] : props.entries()) {
+    AppendVarU64(dst, key.size());
+    dst->append(key);
+    EncodeValue(dst, value);
+  }
+}
+
+bool DecodePropertyMap(std::string_view* src, PropertyMap* props) {
+  uint64_t n;
+  if (!DecodeVarU64(src, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t klen;
+    if (!DecodeVarU64(src, &klen)) return false;
+    if (src->size() < klen) return false;
+    std::string key(src->substr(0, size_t(klen)));
+    src->remove_prefix(size_t(klen));
+    Value value;
+    if (!DecodeValue(src, &value)) return false;
+    props->Set(key, std::move(value));
+  }
+  return true;
+}
+
+}  // namespace valuecodec
+}  // namespace graphbench

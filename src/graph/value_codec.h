@@ -1,0 +1,29 @@
+#ifndef GRAPHBENCH_GRAPH_VALUE_CODEC_H_
+#define GRAPHBENCH_GRAPH_VALUE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph_types.h"
+#include "util/value.h"
+
+namespace graphbench {
+
+/// Binary (de)serialization for Value and PropertyMap. Used by the
+/// KV-backed TitanGraph (every vertex/edge crosses this codec — part of the
+/// storage-abstraction overhead the paper attributes to TitanDB) and by the
+/// Gremlin Server wire protocol analog.
+namespace valuecodec {
+
+void EncodeValue(std::string* dst, const Value& v);
+/// Advances `*src`; false on malformed input.
+bool DecodeValue(std::string_view* src, Value* v);
+
+void EncodePropertyMap(std::string* dst, const PropertyMap& props);
+bool DecodePropertyMap(std::string_view* src, PropertyMap* props);
+
+}  // namespace valuecodec
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_GRAPH_VALUE_CODEC_H_

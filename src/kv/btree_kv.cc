@@ -1,0 +1,192 @@
+#include "kv/btree_kv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+namespace graphbench {
+
+struct BTreeKv::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<std::string> keys;
+  // Internal nodes: children.size() == keys.size() + 1.
+  std::vector<Node*> children;
+  // Leaf nodes: values parallel to keys, plus a next-leaf link.
+  std::vector<std::string> values;
+  Node* next = nullptr;
+};
+
+class BTreeKv::Iter : public KvIterator {
+ public:
+  // Snapshot iterator: copies the live key/value pairs under the shared
+  // latch at construction so iteration never observes partial splits.
+  explicit Iter(const BTreeKv* tree) {
+    std::shared_lock<std::shared_mutex> lock(tree->latch_);
+    for (const Node* n = tree->first_leaf_; n != nullptr; n = n->next) {
+      for (size_t i = 0; i < n->keys.size(); ++i) {
+        entries_.emplace_back(n->keys[i], n->values[i]);
+      }
+    }
+  }
+
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(std::string_view target) override {
+    pos_ = size_t(std::lower_bound(entries_.begin(), entries_.end(), target,
+                                   [](const auto& e, std::string_view t) {
+                                     return e.first < t;
+                                   }) -
+                  entries_.begin());
+  }
+  bool Valid() const override { return pos_ < entries_.size(); }
+  void Next() override { ++pos_; }
+  std::string_view key() const override { return entries_[pos_].first; }
+  std::string_view value() const override { return entries_[pos_].second; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t pos_ = 0;
+};
+
+BTreeKv::BTreeKv(size_t fanout) : fanout_(std::max<size_t>(fanout, 4)) {
+  root_ = new Node();
+  first_leaf_ = root_;
+}
+
+BTreeKv::~BTreeKv() { FreeSubtree(root_); }
+
+void BTreeKv::FreeSubtree(Node* node) {
+  if (!node->leaf) {
+    for (Node* c : node->children) FreeSubtree(c);
+  }
+  delete node;
+}
+
+BTreeKv::Node* BTreeKv::FindLeaf(std::string_view key) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    size_t i = size_t(std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+                      n->keys.begin());
+    n = n->children[i];
+  }
+  return n;
+}
+
+Status BTreeKv::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  size_t idx = size_t(it - leaf->keys.begin());
+  if (it != leaf->keys.end() && *it == key) {
+    bytes_ += value.size();
+    bytes_ -= leaf->values[idx].size();
+    leaf->values[idx].assign(value);
+    return Status::OK();
+  }
+  leaf->keys.insert(it, std::string(key));
+  leaf->values.insert(leaf->values.begin() + ptrdiff_t(idx),
+                      std::string(value));
+  ++count_;
+  bytes_ += key.size() + value.size() + 32;  // 32: node bookkeeping estimate
+  if (leaf->keys.size() > fanout_) SplitUpward(leaf);
+  return Status::OK();
+}
+
+void BTreeKv::SplitUpward(Node* node) {
+  while (node->keys.size() > fanout_) {
+    size_t mid = node->keys.size() / 2;
+    Node* right = new Node();
+    right->leaf = node->leaf;
+    std::string separator;
+    if (node->leaf) {
+      separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + ptrdiff_t(mid),
+                         node->keys.end());
+      right->values.assign(node->values.begin() + ptrdiff_t(mid),
+                           node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next = node->next;
+      node->next = right;
+    } else {
+      separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + ptrdiff_t(mid) + 1,
+                         node->keys.end());
+      right->children.assign(node->children.begin() + ptrdiff_t(mid) + 1,
+                             node->children.end());
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      for (Node* c : right->children) c->parent = right;
+    }
+    Node* parent = node->parent;
+    if (parent == nullptr) {
+      parent = new Node();
+      parent->leaf = false;
+      parent->children.push_back(node);
+      node->parent = parent;
+      root_ = parent;
+    }
+    right->parent = parent;
+    auto pos = std::lower_bound(parent->keys.begin(), parent->keys.end(),
+                                separator);
+    size_t pidx = size_t(pos - parent->keys.begin());
+    parent->keys.insert(pos, separator);
+    parent->children.insert(parent->children.begin() + ptrdiff_t(pidx) + 1,
+                            right);
+    node = parent;
+  }
+}
+
+Status BTreeKv::Get(std::string_view key, std::string* value) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return Status::NotFound("key not in btree");
+  }
+  value->assign(leaf->values[size_t(it - leaf->keys.begin())]);
+  return Status::OK();
+}
+
+Status BTreeKv::Delete(std::string_view key) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return Status::NotFound("key not in btree");
+  }
+  size_t idx = size_t(it - leaf->keys.begin());
+  bytes_ -= leaf->keys[idx].size() + leaf->values[idx].size() + 32;
+  // Lazy deletion: underfull leaves are tolerated (no rebalancing), which
+  // keeps deletes cheap; the workload is insert/read dominated.
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + ptrdiff_t(idx));
+  --count_;
+  return Status::OK();
+}
+
+std::unique_ptr<KvIterator> BTreeKv::NewIterator() const {
+  return std::make_unique<Iter>(this);
+}
+
+Status BTreeKv::ScanPrefix(
+    std::string_view prefix,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  out->clear();
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  Node* leaf = FindLeaf(prefix);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), prefix);
+  size_t idx = size_t(it - leaf->keys.begin());
+  while (leaf != nullptr) {
+    for (; idx < leaf->keys.size(); ++idx) {
+      const std::string& key = leaf->keys[idx];
+      if (key.compare(0, prefix.size(), prefix) != 0) return Status::OK();
+      out->emplace_back(key, leaf->values[idx]);
+    }
+    leaf = leaf->next;
+    idx = 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace graphbench

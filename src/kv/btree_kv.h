@@ -1,0 +1,64 @@
+#ifndef GRAPHBENCH_KV_BTREE_KV_H_
+#define GRAPHBENCH_KV_BTREE_KV_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "kv/kv_store.h"
+
+namespace graphbench {
+
+/// In-memory B+-tree key-value store: the BerkeleyDB analog backing
+/// Titan-B.
+///
+/// Writers take the tree latch exclusively for the whole structural update
+/// (lookup + insert + possible splits), readers take it shared. This coarse,
+/// transactional latching is the behaviour the paper attributes to
+/// BerkeleyDB: excellent single-threaded ingest, severe degradation under
+/// concurrent read/write mixes (§4.3, Appendix A).
+class BTreeKv : public KvStore {
+ public:
+  /// `fanout` is the max keys per node before a split (>= 4).
+  explicit BTreeKv(size_t fanout = 64);
+  ~BTreeKv() override;
+
+  BTreeKv(const BTreeKv&) = delete;
+  BTreeKv& operator=(const BTreeKv&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  std::unique_ptr<KvIterator> NewIterator() const override;
+  Status ScanPrefix(
+      std::string_view prefix,
+      std::vector<std::pair<std::string, std::string>>* out) const override;
+  uint64_t Count() const override { return count_; }
+  uint64_t ApproximateSizeBytes() const override { return bytes_; }
+  bool SupportsTransactionalIsolation() const override { return true; }
+  std::string name() const override { return "btree"; }
+
+ private:
+  struct Node;
+  class Iter;
+
+  // Returns the leaf that should contain `key` (no locking; caller holds
+  // the latch).
+  Node* FindLeaf(std::string_view key) const;
+  // Splits `node` (which is over-full) and propagates upward via parent
+  // pointers; may create a new root.
+  void SplitUpward(Node* node);
+  void FreeSubtree(Node* node);
+
+  mutable std::shared_mutex latch_;
+  size_t fanout_;
+  Node* root_;
+  Node* first_leaf_;
+  uint64_t count_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_KV_BTREE_KV_H_

@@ -1,0 +1,70 @@
+#ifndef GRAPHBENCH_KV_KV_STORE_H_
+#define GRAPHBENCH_KV_KV_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace graphbench {
+
+/// Forward-only ordered iterator over a KV store (RocksDB-style contract:
+/// position with Seek*/ then loop while Valid()).
+class KvIterator {
+ public:
+  virtual ~KvIterator() = default;
+
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first key >= target.
+  virtual void Seek(std::string_view target) = 0;
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+
+  /// Valid only while Valid() is true.
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+};
+
+/// Ordered key-value store interface. Two in-memory implementations back the
+/// TitanDB analog: BTreeKv (BerkeleyDB-like, transactional, coarse latching)
+/// and LsmKv (Cassandra-like, no isolation, steady write path).
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Get(std::string_view key, std::string* value) const = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  /// Ordered iteration over the live keyspace.
+  virtual std::unique_ptr<KvIterator> NewIterator() const = 0;
+
+  /// Collects all live entries whose key starts with `prefix`, in key
+  /// order. The efficient range-read primitive the graph layer uses for
+  /// adjacency rows (a snapshot iterator would be O(store size)).
+  virtual Status ScanPrefix(
+      std::string_view prefix,
+      std::vector<std::pair<std::string, std::string>>* out) const = 0;
+
+  /// Number of live keys.
+  virtual uint64_t Count() const = 0;
+
+  /// Approximate resident bytes (keys + values + structural overhead).
+  virtual uint64_t ApproximateSizeBytes() const = 0;
+
+  /// True when concurrent writers are isolated by the store itself.
+  /// Layers above a non-transactional store (Titan over Cassandra) must
+  /// provide their own locking for read-modify-write sequences (§4.3).
+  virtual bool SupportsTransactionalIsolation() const = 0;
+
+  /// Human-readable backend name for benchmark output.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_KV_KV_STORE_H_

@@ -1,0 +1,121 @@
+#ifndef GRAPHBENCH_KV_LSM_KV_H_
+#define GRAPHBENCH_KV_LSM_KV_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "kv/kv_store.h"
+
+namespace graphbench {
+
+/// Immutable sorted run (an in-memory SSTable analog). Entries are unique
+/// by key; a true `tombstone` flag marks deletions.
+class SortedRun {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool tombstone = false;
+  };
+
+  explicit SortedRun(std::vector<Entry> entries);
+
+  /// Returns the entry for `key` (possibly a tombstone) or nullptr.
+  const Entry* Find(std::string_view key) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  std::vector<Entry> entries_;
+  uint64_t size_bytes_ = 0;
+};
+
+/// Options controlling LSM shape; defaults mimic a small write-optimized
+/// store.
+struct LsmOptions {
+  /// Per-shard memtable flush threshold in bytes.
+  uint64_t memtable_bytes = 1 << 20;
+  /// Compact (merge all runs) when the run count reaches this.
+  size_t max_runs = 8;
+};
+
+/// In-memory log-structured merge KV store: the Cassandra analog backing
+/// Titan-C.
+///
+/// The memtable is hash-partitioned into independent shards, each with its
+/// own latch — Cassandra's partitioned write path. Concurrent readers and
+/// writers touching different shards do not contend, which is why Titan-C
+/// keeps a steady write rate under concurrent load while the tree-latched
+/// Titan-B degrades (§4.3, Appendix A). There is NO transactional
+/// isolation: concurrent read-modify-write sequences race unless a layer
+/// above locks (TitanGraph's uniqueness locking, §4.3).
+class LsmKv : public KvStore {
+ public:
+  static constexpr size_t kShards = 16;
+
+  explicit LsmKv(LsmOptions options = {});
+
+  LsmKv(const LsmKv&) = delete;
+  LsmKv& operator=(const LsmKv&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Delete(std::string_view key) override;
+  std::unique_ptr<KvIterator> NewIterator() const override;
+  Status ScanPrefix(
+      std::string_view prefix,
+      std::vector<std::pair<std::string, std::string>>* out) const override;
+  uint64_t Count() const override;
+  uint64_t ApproximateSizeBytes() const override;
+  bool SupportsTransactionalIsolation() const override { return false; }
+  std::string name() const override { return "lsm"; }
+
+  /// Observable internals for tests/benchmarks.
+  size_t num_runs() const;
+  uint64_t compactions_run() const;
+
+  /// Forces a flush of every shard memtable (tests).
+  void Flush();
+
+ private:
+  class Iter;
+
+  struct MemValue {
+    std::string value;
+    bool tombstone = false;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, MemValue> memtable;
+    uint64_t bytes = 0;
+  };
+
+  size_t ShardOf(std::string_view key) const {
+    return std::hash<std::string_view>()(key) % kShards;
+  }
+
+  // Write `tombstone ? delete : put` into the owning shard; flush the
+  // shard and maybe compact when thresholds trip.
+  Status WriteInternal(std::string_view key, std::string_view value,
+                       bool tombstone);
+  // Drains `shard`'s memtable into a new run. Takes runs_mu_.
+  void FlushShard(Shard* shard);
+  void MaybeCompactLocked();
+
+  LsmOptions options_;
+  std::array<Shard, kShards> shards_;
+  mutable std::shared_mutex runs_mu_;
+  std::vector<std::shared_ptr<SortedRun>> runs_;  // oldest first
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_KV_LSM_KV_H_

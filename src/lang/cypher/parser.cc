@@ -1,0 +1,309 @@
+#include "lang/cypher/parser.h"
+
+#include "lang/lexer.h"
+
+namespace graphbench {
+namespace cypher {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>* tokens) : cur_(tokens) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    if (cur_.TryKeyword("MATCH")) {
+      do {
+        GB_ASSIGN_OR_RETURN(PatternChain chain, ParseChain());
+        q.match.push_back(std::move(chain));
+      } while (cur_.TryPunct(","));
+      if (cur_.TryKeyword("WHERE")) {
+        GB_ASSIGN_OR_RETURN(q.where, ParseExpr());
+      }
+    }
+    if (cur_.TryKeyword("CREATE")) {
+      do {
+        GB_ASSIGN_OR_RETURN(PatternChain chain, ParseChain());
+        if (chain.rels.empty()) {
+          if (chain.nodes.size() != 1) {
+            return Status::InvalidArgument("CREATE node pattern malformed");
+          }
+          q.create_nodes.push_back(std::move(chain.nodes[0]));
+        } else if (chain.rels.size() == 1 && chain.nodes.size() == 2) {
+          if (chain.rels[0].dir == Direction::kBoth) {
+            return Status::InvalidArgument(
+                "CREATE relationships must be directed");
+          }
+          if (chain.rels[0].max_hops != 1) {
+            return Status::InvalidArgument(
+                "CREATE cannot use variable-length patterns");
+          }
+          Query::CreateRel cr;
+          bool forward = chain.rels[0].dir == Direction::kOut;
+          cr.from_var = chain.nodes[forward ? 0 : 1].var;
+          cr.to_var = chain.nodes[forward ? 1 : 0].var;
+          cr.rel = std::move(chain.rels[0]);
+          cr.rel.dir = Direction::kOut;
+          q.create_rels.push_back(std::move(cr));
+        } else {
+          return Status::InvalidArgument(
+              "CREATE supports single nodes or single relationships");
+        }
+      } while (cur_.TryPunct(","));
+    }
+    if (cur_.TryKeyword("RETURN")) {
+      q.distinct = cur_.TryKeyword("DISTINCT");
+      do {
+        ReturnItem item;
+        GB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (cur_.TryKeyword("AS")) {
+          item.name = cur_.Advance().text;
+        } else {
+          item.name = DeriveName(*item.expr);
+        }
+        q.ret.push_back(std::move(item));
+      } while (cur_.TryPunct(","));
+      if (cur_.TryKeyword("ORDER")) {
+        GB_RETURN_IF_ERROR(cur_.ExpectKeyword("BY"));
+        do {
+          OrderItem item;
+          GB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+          if (cur_.TryKeyword("DESC")) {
+            item.desc = true;
+          } else {
+            cur_.TryKeyword("ASC");
+          }
+          q.order_by.push_back(std::move(item));
+        } while (cur_.TryPunct(","));
+      }
+      if (cur_.TryKeyword("LIMIT")) {
+        const Token& t = cur_.Advance();
+        if (t.kind != Token::Kind::kInteger) {
+          return Status::InvalidArgument("LIMIT expects an integer");
+        }
+        q.limit = t.literal.as_int();
+      }
+    }
+    if (q.match.empty() && q.create_nodes.empty() && q.create_rels.empty()) {
+      return Status::InvalidArgument("expected MATCH or CREATE");
+    }
+    if (!cur_.AtEnd()) {
+      return Status::InvalidArgument("trailing tokens near '" +
+                                     cur_.Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  Result<PatternChain> ParseChain() {
+    PatternChain chain;
+    GB_ASSIGN_OR_RETURN(NodePattern node, ParseNode());
+    chain.nodes.push_back(std::move(node));
+    for (;;) {
+      Direction dir;
+      if (cur_.Peek().IsPunct("<-")) {
+        cur_.Advance();
+        dir = Direction::kIn;
+      } else if (cur_.Peek().IsPunct("-")) {
+        cur_.Advance();
+        dir = Direction::kBoth;  // may become kOut after the closing arrow
+      } else {
+        break;
+      }
+      RelPattern rel;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("["));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(":"));
+      rel.type = cur_.Advance().text;
+      if (cur_.TryPunct("*")) {
+        // -[:T*]- (unbounded is capped), -[:T*n]-, or -[:T*min..max]-.
+        rel.min_hops = 1;
+        rel.max_hops = 16;  // engine-enforced cap for bare '*'
+        if (cur_.Peek().kind == Token::Kind::kInteger) {
+          rel.min_hops = int(cur_.Advance().literal.as_int());
+          rel.max_hops = rel.min_hops;
+          if (cur_.TryPunct("..")) {
+            if (cur_.Peek().kind != Token::Kind::kInteger) {
+              return Status::InvalidArgument("expected upper hop bound");
+            }
+            rel.max_hops = int(cur_.Advance().literal.as_int());
+          }
+        }
+        if (rel.min_hops < 1 || rel.max_hops < rel.min_hops) {
+          return Status::InvalidArgument("bad variable-length bounds");
+        }
+      }
+      if (cur_.Peek().IsPunct("{")) {
+        GB_RETURN_IF_ERROR(ParsePropBlock(&rel.props));
+      }
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("]"));
+      if (dir == Direction::kIn) {
+        GB_RETURN_IF_ERROR(cur_.ExpectPunct("-"));
+      } else if (cur_.TryPunct("->")) {
+        dir = Direction::kOut;
+      } else {
+        GB_RETURN_IF_ERROR(cur_.ExpectPunct("-"));
+      }
+      rel.dir = dir;
+      GB_ASSIGN_OR_RETURN(NodePattern next, ParseNode());
+      chain.rels.push_back(std::move(rel));
+      chain.nodes.push_back(std::move(next));
+    }
+    return chain;
+  }
+
+  Result<NodePattern> ParseNode() {
+    NodePattern node;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+    if (cur_.Peek().kind == Token::Kind::kIdentifier) {
+      node.var = cur_.Advance().text;
+    }
+    if (cur_.TryPunct(":")) {
+      node.label = cur_.Advance().text;
+    }
+    if (cur_.Peek().IsPunct("{")) {
+      GB_RETURN_IF_ERROR(ParsePropBlock(&node.props));
+    }
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+    return node;
+  }
+
+  Status ParsePropBlock(
+      std::vector<std::pair<std::string, std::unique_ptr<Expr>>>* out) {
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("{"));
+    do {
+      std::string key = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(":"));
+      auto value_or = ParseExpr();
+      if (!value_or.ok()) return value_or.status();
+      out->emplace_back(std::move(key), std::move(value_or).value());
+    } while (cur_.TryPunct(","));
+    return cur_.ExpectPunct("}");
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    GB_ASSIGN_OR_RETURN(auto lhs, ParseComparison());
+    while (cur_.TryKeyword("AND")) {
+      GB_ASSIGN_OR_RETURN(auto rhs, ParseComparison());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = BinOp::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    GB_ASSIGN_OR_RETURN(auto lhs, ParsePrimary());
+    BinOp op;
+    const Token& t = cur_.Peek();
+    if (t.IsPunct("=")) op = BinOp::kEq;
+    else if (t.IsPunct("<>") || t.IsPunct("!=")) op = BinOp::kNe;
+    else if (t.IsPunct("<")) op = BinOp::kLt;
+    else if (t.IsPunct("<=")) op = BinOp::kLe;
+    else if (t.IsPunct(">")) op = BinOp::kGt;
+    else if (t.IsPunct(">=")) op = BinOp::kGe;
+    else return lhs;
+    cur_.Advance();
+    GB_ASSIGN_OR_RETURN(auto rhs, ParsePrimary());
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    auto node = std::make_unique<Expr>();
+    const Token& t = cur_.Peek();
+    switch (t.kind) {
+      case Token::Kind::kInteger:
+      case Token::Kind::kFloat:
+      case Token::Kind::kString:
+        node->kind = Expr::Kind::kLiteral;
+        node->literal = cur_.Advance().literal;
+        return node;
+      case Token::Kind::kParam:
+        node->kind = Expr::Kind::kParam;
+        node->var = cur_.Advance().text;
+        if (node->var.empty()) {
+          return Status::InvalidArgument("Cypher parameters must be named");
+        }
+        return node;
+      case Token::Kind::kIdentifier:
+        break;
+      default:
+        return Status::InvalidArgument("unexpected token '" + t.text + "'");
+    }
+    if (t.IsKeyword("count")) {
+      cur_.Advance();
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("*"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      node->kind = Expr::Kind::kCountStar;
+      return node;
+    }
+    if (t.IsKeyword("length")) {
+      // length(shortestPath((a)-[:T*]-(b)))
+      cur_.Advance();
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("shortestPath"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      node->path_from = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("-"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("["));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(":"));
+      node->path_rel_type = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("*"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("]"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("-"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      node->path_to = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      node->kind = Expr::Kind::kPathLength;
+      return node;
+    }
+    // var.prop or bare var (bare vars are only valid as property-less
+    // references inside shortestPath, handled above, so require ".prop").
+    std::string var = cur_.Advance().text;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("."));
+    node->kind = Expr::Kind::kProp;
+    node->var = std::move(var);
+    node->key = cur_.Advance().text;
+    return node;
+  }
+
+  static std::string DeriveName(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kProp:
+        return e.var + "." + e.key;
+      case Expr::Kind::kCountStar:
+        return "count";
+      case Expr::Kind::kPathLength:
+        return "length";
+      default:
+        return "expr";
+    }
+  }
+
+  TokenCursor cur_;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) {
+  std::vector<Token> tokens;
+  GB_RETURN_IF_ERROR(Tokenize(text, LexerOptions{}, &tokens));
+  Parser parser(&tokens);
+  return parser.ParseQuery();
+}
+
+}  // namespace cypher
+}  // namespace graphbench

@@ -1,0 +1,26 @@
+#ifndef GRAPHBENCH_LANG_CYPHER_PARSER_H_
+#define GRAPHBENCH_LANG_CYPHER_PARSER_H_
+
+#include <string_view>
+
+#include "lang/cypher/ast.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace cypher {
+
+/// Parses the Cypher subset:
+///
+///   MATCH (a:Label {k: $p})-[:TYPE]->(b), (c {k: 1})
+///   [WHERE expr] RETURN [DISTINCT] expr [AS x], ...
+///   [ORDER BY expr [DESC], ...] [LIMIT n]
+///
+///   [MATCH ...] CREATE (n:Label {..}) | CREATE (a)-[:TYPE {..}]->(b)
+///
+/// plus length(shortestPath((a)-[:TYPE*]-(b))) in RETURN items.
+Result<Query> Parse(std::string_view text);
+
+}  // namespace cypher
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_LANG_CYPHER_PARSER_H_

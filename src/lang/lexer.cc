@@ -1,0 +1,155 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace graphbench {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == Kind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c, bool allow_colon) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         (allow_colon && c == ':');
+}
+
+}  // namespace
+
+Status Tokenize(std::string_view input, const LexerOptions& options,
+                std::vector<Token>* tokens) {
+  tokens->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i], options.colon_in_identifiers)) {
+        ++i;
+      }
+      tok.kind = Token::Kind::kIdentifier;
+      tok.text = std::string(input.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+                (tokens->empty() ||
+                 tokens->back().kind == Token::Kind::kPunct))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') {
+          // ".." or ".name" terminates the number (SQL alias.column).
+          if (i + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            break;
+          }
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      if (is_float) {
+        tok.kind = Token::Kind::kFloat;
+        tok.literal = Value(std::stod(text));
+      } else {
+        tok.kind = Token::Kind::kInteger;
+        tok.literal = Value(int64_t(std::stoll(text)));
+      }
+      tok.text = std::move(text);
+    } else if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          body.push_back(input[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (input[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        body.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) return Status::InvalidArgument("unterminated string");
+      tok.kind = Token::Kind::kString;
+      tok.literal = Value(body);
+      tok.text = std::move(body);
+    } else if (c == '?') {
+      ++i;
+      if (options.question_mark_is_variable && i < n &&
+          IsIdentStart(input[i])) {
+        size_t start = i;
+        while (i < n && IsIdentChar(input[i], false)) ++i;
+        tok.kind = Token::Kind::kVariable;
+        tok.text = std::string(input.substr(start, i - start));
+      } else {
+        tok.kind = Token::Kind::kParam;
+      }
+    } else if (c == '$' && i + 1 < n && IsIdentStart(input[i + 1])) {
+      ++i;
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i], false)) ++i;
+      tok.kind = Token::Kind::kParam;
+      tok.text = std::string(input.substr(start, i - start));
+    } else {
+      // Multi-char operators first.
+      static constexpr std::string_view kTwoChar[] = {"<>", "<=", ">=", "!=",
+                                                      "->", "<-", ".."};
+      tok.kind = Token::Kind::kPunct;
+      bool matched = false;
+      for (std::string_view op : kTwoChar) {
+        if (input.substr(i, 2) == op) {
+          tok.text = std::string(op);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens->push_back(std::move(tok));
+  }
+  tokens->push_back(Token{});  // kEnd sentinel
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectKeyword(std::string_view kw) {
+  if (!TryKeyword(kw)) {
+    return Status::InvalidArgument("expected keyword '" + std::string(kw) +
+                                   "' near '" + Peek().text + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenCursor::ExpectPunct(std::string_view p) {
+  if (!TryPunct(p)) {
+    return Status::InvalidArgument("expected '" + std::string(p) +
+                                   "' near '" + Peek().text + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace graphbench

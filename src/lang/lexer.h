@@ -1,0 +1,94 @@
+#ifndef GRAPHBENCH_LANG_LEXER_H_
+#define GRAPHBENCH_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/value.h"
+
+namespace graphbench {
+
+/// One lexical token. Shared by the SQL, Cypher, and SPARQL parsers:
+/// all three languages tokenize into identifiers, numbers, quoted strings,
+/// parameters, and punctuation.
+struct Token {
+  enum class Kind {
+    kIdentifier,   // person, firstName, snb:knows (SPARQL prefixed names)
+    kInteger,      // 42
+    kFloat,        // 3.14
+    kString,       // 'abc' or "abc"
+    kParam,        // ?  (positional) or $name (named)
+    kVariable,     // ?name (SPARQL variable)
+    kPunct,        // ( ) , . ; = <> <= >= < > + - * / [ ] { } : | !=
+    kEnd,
+  };
+
+  Kind kind = Kind::kEnd;
+  std::string text;    // identifier/punct spelling, param name, string body
+  Value literal;       // for kInteger/kFloat/kString
+
+  bool IsPunct(std::string_view p) const {
+    return kind == Kind::kPunct && text == p;
+  }
+  /// Case-insensitive keyword test (identifiers only).
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Options controlling language-specific lexing quirks.
+struct LexerOptions {
+  /// SPARQL: "?x" is a variable; SQL: "?" is a positional parameter.
+  bool question_mark_is_variable = false;
+  /// SPARQL: allow ':' inside identifiers (prefixed names like snb:knows).
+  bool colon_in_identifiers = false;
+};
+
+/// Tokenizes `input`. On success fills `tokens` (terminated by kEnd).
+Status Tokenize(std::string_view input, const LexerOptions& options,
+                std::vector<Token>* tokens);
+
+/// Cursor over a token stream with the helpers recursive-descent parsers
+/// need.
+class TokenCursor {
+ public:
+  explicit TokenCursor(const std::vector<Token>* tokens) : tokens_(tokens) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_->size() ? (*tokens_)[i] : tokens_->back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ < tokens_->size() - 1) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+
+  /// Consumes the keyword if present.
+  bool TryKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  /// Consumes the punctuation if present.
+  bool TryPunct(std::string_view p) {
+    if (Peek().IsPunct(p)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw);
+  Status ExpectPunct(std::string_view p);
+
+ private:
+  const std::vector<Token>* tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_LANG_LEXER_H_

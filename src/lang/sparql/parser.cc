@@ -1,0 +1,226 @@
+#include "lang/sparql/parser.h"
+
+#include "lang/lexer.h"
+
+namespace graphbench {
+namespace sparql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>* tokens) : cur_(tokens) {}
+
+  Result<Query> ParseQuery() {
+    Query q;
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("SELECT"));
+    q.distinct = cur_.TryKeyword("DISTINCT");
+    // Projections.
+    for (;;) {
+      const Token& t = cur_.Peek();
+      if (t.kind == Token::Kind::kVariable) {
+        SelectExpr e;
+        e.var = cur_.Advance().text;
+        q.select.push_back(std::move(e));
+      } else if (t.IsPunct("(")) {
+        cur_.Advance();
+        GB_ASSIGN_OR_RETURN(SelectExpr e, ParsePathExpr());
+        q.select.push_back(std::move(e));
+        GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      } else {
+        break;
+      }
+    }
+    if (q.select.empty()) {
+      return Status::InvalidArgument("SELECT needs at least one projection");
+    }
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("WHERE"));
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("{"));
+    while (!cur_.Peek().IsPunct("}")) {
+      if (cur_.TryKeyword("FILTER")) {
+        GB_ASSIGN_OR_RETURN(Filter f, ParseFilter());
+        q.filters.push_back(std::move(f));
+        cur_.TryPunct(".");
+        continue;
+      }
+      TriplePattern tp;
+      GB_ASSIGN_OR_RETURN(tp.s, ParseTerm());
+      GB_ASSIGN_OR_RETURN(tp.p, ParseTerm());
+      GB_ASSIGN_OR_RETURN(tp.o, ParseTerm());
+      q.patterns.push_back(std::move(tp));
+      // Predicate-object lists: "?s p1 o1 ; p2 o2 ."
+      while (cur_.TryPunct(";")) {
+        TriplePattern more;
+        more.s = q.patterns.back().s;
+        GB_ASSIGN_OR_RETURN(more.p, ParseTerm());
+        GB_ASSIGN_OR_RETURN(more.o, ParseTerm());
+        q.patterns.push_back(std::move(more));
+      }
+      cur_.TryPunct(".");
+    }
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("}"));
+    if (cur_.TryKeyword("GROUP")) {
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("BY"));
+      while (cur_.Peek().kind == Token::Kind::kVariable) {
+        q.group_by.push_back(cur_.Advance().text);
+      }
+      if (q.group_by.empty()) {
+        return Status::InvalidArgument("GROUP BY needs variables");
+      }
+    }
+    if (cur_.TryKeyword("ORDER")) {
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("BY"));
+      for (;;) {
+        bool desc = false;
+        if (cur_.TryKeyword("DESC")) {
+          GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+          desc = true;
+        } else {
+          cur_.TryKeyword("ASC");
+        }
+        const Token& v = cur_.Peek();
+        if (v.kind != Token::Kind::kVariable) break;
+        q.order_by.emplace_back(cur_.Advance().text, desc);
+        if (desc) GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+        cur_.TryPunct(",");  // SPARQL keys are space-separated; comma ok
+        if (cur_.Peek().kind != Token::Kind::kVariable &&
+            !cur_.Peek().IsKeyword("DESC") && !cur_.Peek().IsKeyword("ASC")) {
+          break;
+        }
+      }
+      if (q.order_by.empty()) {
+        return Status::InvalidArgument("ORDER BY needs a variable");
+      }
+    }
+    if (cur_.TryKeyword("LIMIT")) {
+      const Token& t = cur_.Advance();
+      if (t.kind != Token::Kind::kInteger) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      q.limit = t.literal.as_int();
+    }
+    if (!cur_.AtEnd()) {
+      return Status::InvalidArgument("trailing tokens near '" +
+                                     cur_.Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  Result<SelectExpr> ParsePathExpr() {
+    SelectExpr e;
+    const Token& fn = cur_.Advance();
+    if (fn.IsKeyword("COUNT")) {
+      e.is_count = true;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      const Token& v = cur_.Advance();
+      if (v.kind != Token::Kind::kVariable) {
+        return Status::InvalidArgument("COUNT expects a variable");
+      }
+      e.var = v.text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("AS"));
+      const Token& as = cur_.Advance();
+      if (as.kind != Token::Kind::kVariable) {
+        return Status::InvalidArgument("AS target must be a variable");
+      }
+      e.as_name = as.text;
+      return e;
+    }
+    e.is_path = true;
+    if (!fn.IsKeyword("shortestPath")) {
+      return Status::InvalidArgument("expected shortestPath(...) or COUNT");
+    }
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+    const Token& a = cur_.Advance();
+    if (a.kind != Token::Kind::kVariable) {
+      return Status::InvalidArgument("shortestPath arg must be a variable");
+    }
+    e.from_var = a.text;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(","));
+    const Token& b = cur_.Advance();
+    if (b.kind != Token::Kind::kVariable) {
+      return Status::InvalidArgument("shortestPath arg must be a variable");
+    }
+    e.to_var = b.text;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(","));
+    const Token& p = cur_.Advance();
+    if (p.kind != Token::Kind::kIdentifier) {
+      return Status::InvalidArgument("shortestPath predicate must be an IRI");
+    }
+    e.pred_iri = p.text;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("AS"));
+    const Token& as = cur_.Advance();
+    if (as.kind != Token::Kind::kVariable) {
+      return Status::InvalidArgument("AS target must be a variable");
+    }
+    e.as_name = as.text;
+    return e;
+  }
+
+  Result<Filter> ParseFilter() {
+    Filter f;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+    const Token& a = cur_.Advance();
+    if (a.kind != Token::Kind::kVariable) {
+      return Status::InvalidArgument("FILTER expects variables");
+    }
+    f.var_a = a.text;
+    if (cur_.TryPunct("!=")) {
+      f.not_equal = true;
+    } else if (cur_.TryPunct("=")) {
+      f.not_equal = false;
+    } else {
+      return Status::InvalidArgument("FILTER supports = and != only");
+    }
+    const Token& b = cur_.Advance();
+    if (b.kind != Token::Kind::kVariable) {
+      return Status::InvalidArgument("FILTER expects variables");
+    }
+    f.var_b = b.text;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+    return f;
+  }
+
+  Result<TermPattern> ParseTerm() {
+    const Token& t = cur_.Peek();
+    TermPattern out;
+    switch (t.kind) {
+      case Token::Kind::kVariable:
+        out.kind = TermPattern::Kind::kVariable;
+        out.text = cur_.Advance().text;
+        return out;
+      case Token::Kind::kIdentifier:
+        out.kind = TermPattern::Kind::kIri;
+        out.text = cur_.Advance().text;
+        return out;
+      case Token::Kind::kInteger:
+      case Token::Kind::kFloat:
+      case Token::Kind::kString:
+        out.kind = TermPattern::Kind::kLiteral;
+        out.literal = cur_.Advance().literal;
+        return out;
+      default:
+        return Status::InvalidArgument("unexpected token '" + t.text +
+                                       "' in triple pattern");
+    }
+  }
+
+  TokenCursor cur_;
+};
+
+}  // namespace
+
+Result<Query> Parse(std::string_view text) {
+  LexerOptions options;
+  options.question_mark_is_variable = true;
+  options.colon_in_identifiers = true;
+  std::vector<Token> tokens;
+  GB_RETURN_IF_ERROR(Tokenize(text, options, &tokens));
+  Parser parser(&tokens);
+  return parser.ParseQuery();
+}
+
+}  // namespace sparql
+}  // namespace graphbench

@@ -1,0 +1,25 @@
+#ifndef GRAPHBENCH_LANG_SPARQL_PARSER_H_
+#define GRAPHBENCH_LANG_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "lang/sparql/ast.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace sparql {
+
+/// Parses the SPARQL subset:
+///
+///   SELECT [DISTINCT] ?v ... | (shortestPath(?a, ?b, pred) AS ?d)
+///   WHERE { s p o . s p o . FILTER(?x != ?y) ... }
+///   [ORDER BY [DESC(]?v[)] ...] [LIMIT n]
+///
+/// Prefixed names (snb:knows) are treated as opaque IRIs; literals are
+/// integers, floats, or quoted strings.
+Result<Query> Parse(std::string_view text);
+
+}  // namespace sparql
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_LANG_SPARQL_PARSER_H_

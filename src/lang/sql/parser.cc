@@ -1,0 +1,339 @@
+#include "lang/sql/parser.h"
+
+#include <utility>
+
+#include "lang/lexer.h"
+#include "util/string_util.h"
+
+namespace graphbench {
+namespace sql {
+
+namespace {
+
+/// Recursive-descent parser over the shared token stream.
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>* tokens) : cur_(tokens) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (cur_.Peek().IsKeyword("SELECT")) {
+      GB_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.select = std::move(select);
+    } else if (cur_.Peek().IsKeyword("INSERT")) {
+      GB_ASSIGN_OR_RETURN(auto insert, ParseInsert());
+      stmt.kind = Statement::Kind::kInsert;
+      stmt.insert = std::move(insert);
+    } else if (cur_.Peek().IsKeyword("UPDATE")) {
+      GB_ASSIGN_OR_RETURN(auto update, ParseUpdate());
+      stmt.kind = Statement::Kind::kUpdate;
+      stmt.update = std::move(update);
+    } else if (cur_.Peek().IsKeyword("DELETE")) {
+      GB_ASSIGN_OR_RETURN(auto del, ParseDelete());
+      stmt.kind = Statement::Kind::kDelete;
+      stmt.del = std::move(del);
+    } else {
+      return Status::InvalidArgument(
+          "expected SELECT, INSERT, UPDATE, or DELETE");
+    }
+    if (cur_.TryPunct(";")) {
+      // trailing semicolon ok
+    }
+    if (!cur_.AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after statement: '" +
+                                     cur_.Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    stmt->distinct = cur_.TryKeyword("DISTINCT");
+    // Select list.
+    do {
+      SelectItem item;
+      GB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (cur_.TryKeyword("AS")) {
+        item.name = cur_.Advance().text;
+      } else {
+        item.name = DeriveName(*item.expr);
+      }
+      stmt->items.push_back(std::move(item));
+    } while (cur_.TryPunct(","));
+
+    if (cur_.TryKeyword("FROM")) {
+      bool first = true;
+      for (;;) {
+        TableRef ref;
+        ref.table = cur_.Advance().text;
+        ref.alias = ref.table;
+        if (cur_.Peek().kind == Token::Kind::kIdentifier &&
+            !IsClauseKeyword(cur_.Peek())) {
+          ref.alias = cur_.Advance().text;
+        }
+        if (!first) {
+          GB_RETURN_IF_ERROR(cur_.ExpectKeyword("ON"));
+          GB_ASSIGN_OR_RETURN(ref.on, ParseExpr());
+        }
+        stmt->from.push_back(std::move(ref));
+        first = false;
+        if (cur_.TryKeyword("JOIN")) continue;
+        if (cur_.TryPunct(",")) continue;  // comma joins need a WHERE eq
+        break;
+      }
+    }
+    if (cur_.TryKeyword("WHERE")) {
+      GB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (cur_.TryKeyword("GROUP")) {
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("BY"));
+      do {
+        GB_ASSIGN_OR_RETURN(auto key, ParseExpr());
+        stmt->group_by.push_back(std::move(key));
+      } while (cur_.TryPunct(","));
+    }
+    if (cur_.TryKeyword("ORDER")) {
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        GB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (cur_.TryKeyword("DESC")) {
+          item.desc = true;
+        } else {
+          cur_.TryKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (cur_.TryPunct(","));
+    }
+    if (cur_.TryKeyword("LIMIT")) {
+      const Token& t = cur_.Advance();
+      if (t.kind != Token::Kind::kInteger) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      stmt->limit = t.literal.as_int();
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("INSERT"));
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    stmt->table = cur_.Advance().text;
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+    do {
+      stmt->columns.push_back(cur_.Advance().text);
+    } while (cur_.TryPunct(","));
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("VALUES"));
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+    do {
+      GB_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+      stmt->values.push_back(std::move(expr));
+    } while (cur_.TryPunct(","));
+    GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    stmt->table = cur_.Advance().text;
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("SET"));
+    do {
+      std::string column = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("="));
+      GB_ASSIGN_OR_RETURN(auto value, ParsePrimary());
+      stmt->sets.emplace_back(std::move(column), std::move(value));
+    } while (cur_.TryPunct(","));
+    if (cur_.TryKeyword("WHERE")) {
+      GB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("DELETE"));
+    GB_RETURN_IF_ERROR(cur_.ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    stmt->table = cur_.Advance().text;
+    if (cur_.TryKeyword("WHERE")) {
+      GB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  static bool IsClauseKeyword(const Token& t) {
+    for (const char* kw : {"FROM", "JOIN", "ON", "WHERE", "ORDER", "LIMIT",
+                           "AS", "GROUP", "BY", "USING"}) {
+      if (t.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  // Expression grammar: expr := cmp (AND cmp)* ; cmp := primary (op primary)?
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    GB_ASSIGN_OR_RETURN(auto lhs, ParseComparison());
+    while (cur_.TryKeyword("AND")) {
+      GB_ASSIGN_OR_RETURN(auto rhs, ParseComparison());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->op = BinOp::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    GB_ASSIGN_OR_RETURN(auto lhs, ParsePrimary());
+    BinOp op;
+    const Token& t = cur_.Peek();
+    if (t.IsPunct("=")) op = BinOp::kEq;
+    else if (t.IsPunct("<>") || t.IsPunct("!=")) op = BinOp::kNe;
+    else if (t.IsPunct("<")) op = BinOp::kLt;
+    else if (t.IsPunct("<=")) op = BinOp::kLe;
+    else if (t.IsPunct(">")) op = BinOp::kGt;
+    else if (t.IsPunct(">=")) op = BinOp::kGe;
+    else return lhs;
+    cur_.Advance();
+    GB_ASSIGN_OR_RETURN(auto rhs, ParsePrimary());
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    auto node = std::make_unique<Expr>();
+    const Token& t = cur_.Peek();
+    switch (t.kind) {
+      case Token::Kind::kInteger:
+      case Token::Kind::kFloat:
+      case Token::Kind::kString:
+        node->kind = Expr::Kind::kLiteral;
+        node->literal = cur_.Advance().literal;
+        return node;
+      case Token::Kind::kParam:
+        cur_.Advance();
+        node->kind = Expr::Kind::kParam;
+        node->param_index = next_param_++;
+        return node;
+      case Token::Kind::kIdentifier:
+        break;
+      default:
+        if (t.IsPunct("(")) {
+          cur_.Advance();
+          GB_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+          GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+          return inner;
+        }
+        return Status::InvalidArgument("unexpected token '" + t.text + "'");
+    }
+    if (t.IsKeyword("COUNT") && cur_.Peek(1).IsPunct("(")) {
+      cur_.Advance();
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      if (cur_.TryPunct("*")) {
+        GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+        node->kind = Expr::Kind::kCountStar;
+        return node;
+      }
+      GB_ASSIGN_OR_RETURN(node->lhs, ParseExpr());
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      node->kind = Expr::Kind::kAggregate;
+      node->agg_fn = AggFn::kCount;
+      return node;
+    }
+    for (auto [kw, fn] : {std::pair{"SUM", AggFn::kSum},
+                          std::pair{"MIN", AggFn::kMin},
+                          std::pair{"MAX", AggFn::kMax},
+                          std::pair{"AVG", AggFn::kAvg}}) {
+      // Aggregate only when called like a function; "min" stays usable as
+      // a column name otherwise.
+      if (!t.IsKeyword(kw) || !cur_.Peek(1).IsPunct("(")) continue;
+      cur_.Advance();
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      GB_ASSIGN_OR_RETURN(node->lhs, ParseExpr());
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      node->kind = Expr::Kind::kAggregate;
+      node->agg_fn = fn;
+      return node;
+    }
+    if (t.IsKeyword("SHORTEST_PATH")) {
+      cur_.Advance();
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      GB_ASSIGN_OR_RETURN(node->sp_from, ParseExpr());
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(","));
+      GB_ASSIGN_OR_RETURN(node->sp_to, ParseExpr());
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      GB_RETURN_IF_ERROR(cur_.ExpectKeyword("USING"));
+      node->sp_table = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct("("));
+      node->sp_src_col = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(","));
+      node->sp_dst_col = cur_.Advance().text;
+      GB_RETURN_IF_ERROR(cur_.ExpectPunct(")"));
+      node->kind = Expr::Kind::kShortestPath;
+      return node;
+    }
+    // Column reference: ident or alias.ident. Reserved words cannot name
+    // columns (catches malformed queries like "SELECT FROM t").
+    if (IsClauseKeyword(t) || t.IsKeyword("SELECT") || t.IsKeyword("AND") ||
+        t.IsKeyword("INSERT") || t.IsKeyword("VALUES") ||
+        t.IsKeyword("DISTINCT")) {
+      return Status::InvalidArgument("unexpected keyword '" + t.text + "'");
+    }
+    node->kind = Expr::Kind::kColumn;
+    std::string first = cur_.Advance().text;
+    if (cur_.TryPunct(".")) {
+      node->table_alias = std::move(first);
+      node->column = cur_.Advance().text;
+    } else {
+      node->column = std::move(first);
+    }
+    return node;
+  }
+
+  static std::string DeriveName(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kColumn:
+        return e.column;
+      case Expr::Kind::kCountStar:
+        return "count";
+      case Expr::Kind::kAggregate:
+        switch (e.agg_fn) {
+          case AggFn::kCount: return "count";
+          case AggFn::kSum: return "sum";
+          case AggFn::kMin: return "min";
+          case AggFn::kMax: return "max";
+          case AggFn::kAvg: return "avg";
+        }
+        return "agg";
+      case Expr::Kind::kShortestPath:
+        return "shortest_path";
+      default:
+        return "expr";
+    }
+  }
+
+  TokenCursor cur_;
+  int next_param_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view text) {
+  std::vector<Token> tokens;
+  GB_RETURN_IF_ERROR(Tokenize(text, LexerOptions{}, &tokens));
+  Parser parser(&tokens);
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace graphbench

@@ -1,0 +1,29 @@
+#ifndef GRAPHBENCH_LANG_SQL_PARSER_H_
+#define GRAPHBENCH_LANG_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "lang/sql/ast.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace sql {
+
+/// Parses one SQL statement (SELECT or INSERT) of the supported subset:
+///
+///   SELECT [DISTINCT] expr [AS name], ...
+///   FROM t1 [a1] [JOIN t2 [a2] ON a1.x = a2.y ...]
+///   [WHERE cond AND cond ...]
+///   [ORDER BY expr [ASC|DESC], ...]
+///   [LIMIT n]
+///
+///   INSERT INTO t (c1, ...) VALUES (v1, ...)
+///
+/// Placeholders `?` bind positionally at execution. SHORTEST_PATH(a, b)
+/// USING edge_table(src_col, dst_col) is the transitivity extension.
+Result<Statement> Parse(std::string_view text);
+
+}  // namespace sql
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_LANG_SQL_PARSER_H_

@@ -1,0 +1,136 @@
+#include "mq/broker.h"
+
+#include <atomic>
+#include <functional>
+
+namespace graphbench {
+namespace mq {
+
+uint64_t PartitionLog::Append(Message message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  message.offset = log_.size();
+  log_.push_back(std::move(message));
+  return log_.back().offset;
+}
+
+size_t PartitionLog::Read(uint64_t offset, size_t max,
+                          std::vector<Message>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t copied = 0;
+  for (uint64_t i = offset; i < log_.size() && copied < max; ++i, ++copied) {
+    out->push_back(log_[size_t(i)]);
+  }
+  return copied;
+}
+
+uint64_t PartitionLog::end_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+Status Broker::CreateTopic(std::string_view name, uint32_t partitions) {
+  if (partitions == 0) {
+    return Status::InvalidArgument("topic needs >= 1 partition");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = topics_.try_emplace(std::string(name));
+  if (!inserted) return Status::AlreadyExists("topic");
+  it->second = std::make_unique<Topic>();
+  for (uint32_t p = 0; p < partitions; ++p) {
+    it->second->partitions.push_back(std::make_unique<PartitionLog>());
+  }
+  return Status::OK();
+}
+
+Broker::Topic* Broker::FindTopic(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(std::string(name));
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+Result<uint64_t> Broker::Produce(std::string_view topic, Message message) {
+  Topic* t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("topic");
+  uint32_t partition;
+  if (message.key.empty()) {
+    partition =
+        uint32_t(t->round_robin.fetch_add(1) % t->partitions.size());
+  } else {
+    partition =
+        uint32_t(std::hash<std::string>()(message.key) %
+                 t->partitions.size());
+  }
+  message.partition = partition;
+  return t->partitions[partition]->Append(std::move(message));
+}
+
+Result<size_t> Broker::Fetch(std::string_view topic, uint32_t partition,
+                             uint64_t offset, size_t max,
+                             std::vector<Message>* out) const {
+  const Topic* t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("topic");
+  if (partition >= t->partitions.size()) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  return t->partitions[partition]->Read(offset, max, out);
+}
+
+Result<uint32_t> Broker::PartitionCount(std::string_view topic) const {
+  const Topic* t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("topic");
+  return uint32_t(t->partitions.size());
+}
+
+Result<uint64_t> Broker::EndOffset(std::string_view topic,
+                                   uint32_t partition) const {
+  const Topic* t = FindTopic(topic);
+  if (t == nullptr) return Status::NotFound("topic");
+  if (partition >= t->partitions.size()) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  return t->partitions[partition]->end_offset();
+}
+
+Result<uint64_t> Producer::Send(std::string_view key,
+                                std::string_view payload,
+                                int64_t timestamp_micros) {
+  Message m;
+  m.key = std::string(key);
+  m.payload = std::string(payload);
+  m.timestamp_micros = timestamp_micros;
+  return broker_->Produce(topic_, std::move(m));
+}
+
+Consumer::Consumer(Broker* broker, std::string topic)
+    : broker_(broker), topic_(std::move(topic)) {
+  auto partitions = broker_->PartitionCount(topic_);
+  offsets_.assign(partitions.ok() ? *partitions : 0, 0);
+}
+
+Result<std::vector<Message>> Consumer::Poll(size_t max) {
+  std::vector<Message> out;
+  if (offsets_.empty()) return Status::NotFound("topic");
+  // Round-robin across partitions for fairness.
+  for (size_t scanned = 0; scanned < offsets_.size() && out.size() < max;
+       ++scanned) {
+    uint32_t p = next_partition_;
+    next_partition_ = uint32_t((next_partition_ + 1) % offsets_.size());
+    GB_ASSIGN_OR_RETURN(size_t n,
+                        broker_->Fetch(topic_, p, offsets_[p],
+                                       max - out.size(), &out));
+    offsets_[p] += n;
+    consumed_ += n;
+  }
+  return out;
+}
+
+bool Consumer::CaughtUp() const {
+  for (uint32_t p = 0; p < offsets_.size(); ++p) {
+    auto end = broker_->EndOffset(topic_, p);
+    if (!end.ok() || offsets_[p] < *end) return false;
+  }
+  return true;
+}
+
+}  // namespace mq
+}  // namespace graphbench

@@ -1,0 +1,118 @@
+#ifndef GRAPHBENCH_MQ_BROKER_H_
+#define GRAPHBENCH_MQ_BROKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphbench {
+namespace mq {
+
+/// One record in a partition log.
+struct Message {
+  std::string key;
+  std::string payload;
+  int64_t timestamp_micros = 0;
+  // Assigned by the broker on append:
+  uint32_t partition = 0;
+  uint64_t offset = 0;
+};
+
+/// Append-only partition log with offset-based reads (the Kafka storage
+/// model: consumers track their own offsets; messages are never removed).
+class PartitionLog {
+ public:
+  /// Appends and returns the assigned offset.
+  uint64_t Append(Message message);
+
+  /// Reads up to `max` messages starting at `offset`. Returns how many were
+  /// copied; zero when the log end is reached.
+  size_t Read(uint64_t offset, size_t max, std::vector<Message>* out) const;
+
+  uint64_t end_offset() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Message> log_;
+};
+
+/// In-process message broker: the Kafka analog of the paper's benchmarking
+/// architecture (Figure 1). The LDBC driver produces update operations
+/// into a topic; the single writer consumes them and applies them to the
+/// SUT, decoupling update generation from execution.
+class Broker {
+ public:
+  Status CreateTopic(std::string_view name, uint32_t partitions);
+
+  /// Appends to the partition chosen by hash(key) (empty key: round-robin).
+  Result<uint64_t> Produce(std::string_view topic, Message message);
+
+  /// Direct partition read (consumers use this via Consumer::Poll).
+  Result<size_t> Fetch(std::string_view topic, uint32_t partition,
+                       uint64_t offset, size_t max,
+                       std::vector<Message>* out) const;
+
+  Result<uint32_t> PartitionCount(std::string_view topic) const;
+  Result<uint64_t> EndOffset(std::string_view topic,
+                             uint32_t partition) const;
+
+ private:
+  struct Topic {
+    std::vector<std::unique_ptr<PartitionLog>> partitions;
+    std::atomic<uint64_t> round_robin{0};
+  };
+  Topic* FindTopic(std::string_view name) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Topic>> topics_;
+};
+
+/// Publishes messages to one topic.
+class Producer {
+ public:
+  Producer(Broker* broker, std::string topic)
+      : broker_(broker), topic_(std::move(topic)) {}
+
+  Result<uint64_t> Send(std::string_view key, std::string_view payload,
+                        int64_t timestamp_micros = 0);
+
+ private:
+  Broker* broker_;
+  std::string topic_;
+};
+
+/// Offset-tracking consumer over all partitions of one topic (a
+/// single-member consumer group).
+class Consumer {
+ public:
+  Consumer(Broker* broker, std::string topic);
+
+  /// Reads up to `max` available messages across partitions, advancing
+  /// this consumer's offsets. Returns an empty vector when caught up.
+  Result<std::vector<Message>> Poll(size_t max);
+
+  /// Total messages consumed so far.
+  uint64_t consumed() const { return consumed_; }
+
+  /// True when every partition has been fully read.
+  bool CaughtUp() const;
+
+ private:
+  Broker* broker_;
+  std::string topic_;
+  std::vector<uint64_t> offsets_;
+  uint64_t consumed_ = 0;
+  uint32_t next_partition_ = 0;
+};
+
+}  // namespace mq
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_MQ_BROKER_H_

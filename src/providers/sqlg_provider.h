@@ -1,0 +1,93 @@
+#ifndef GRAPHBENCH_PROVIDERS_SQLG_PROVIDER_H_
+#define GRAPHBENCH_PROVIDERS_SQLG_PROVIDER_H_
+
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/relational/database.h"
+#include "tinkerpop/structure.h"
+
+namespace graphbench {
+
+/// TinkerPop provider over the relational engine: the Sqlg configuration
+/// (graph API on Postgres). Vertex labels map to vertex tables, edge
+/// labels to edge tables holding (src, dst) application ids. Every
+/// structure-API call becomes one or more small table/index operations —
+/// the per-step request translation that, per §4.3/§4.4, forfeits the
+/// optimization opportunities a single SQL statement would give the same
+/// storage engine.
+class SqlgProvider : public GremlinGraph {
+ public:
+  explicit SqlgProvider(Database* db) : db_(db) {}
+
+  /// Maps a vertex label to its table; the table must have an "id" column
+  /// with a unique index (Sqlg's ID scheme).
+  Status RegisterVertexLabel(std::string_view label, std::string_view table);
+
+  /// Maps an edge label to its table and endpoint metadata. `embedded`
+  /// edges are stored as foreign-key columns of a vertex table (e.g. a
+  /// post's creatorId); AddEdge on them is a no-op because the columns
+  /// were written with the vertex row.
+  Status RegisterEdgeLabel(std::string_view label, std::string_view table,
+                           std::string_view src_col, std::string_view dst_col,
+                           std::string_view src_label,
+                           std::string_view dst_label,
+                           bool embedded = false);
+
+  Result<GVertex> AddVertex(std::string_view label,
+                            const PropertyMap& props) override;
+  Status AddEdge(std::string_view label, GVertex from, GVertex to,
+                 const PropertyMap& props) override;
+  Result<std::vector<GVertex>> VerticesByProperty(
+      std::string_view label, std::string_view key,
+      const Value& value) override;
+  Result<std::vector<GVertex>> AllVertices(std::string_view label) override;
+  Result<std::vector<GVertex>> Adjacent(GVertex v,
+                                        std::string_view edge_label,
+                                        Direction dir) override;
+  Result<Value> Property(GVertex v, std::string_view key) override;
+  Result<std::string> Label(GVertex v) override;
+  uint64_t VertexCount() const override;
+  uint64_t EdgeCount() const override;
+  uint64_t ApproximateSizeBytes() const override {
+    return db_->TotalSizeBytes();
+  }
+  std::string name() const override { return "sqlg"; }
+
+ private:
+  struct VertexMeta {
+    std::string label;
+    std::string table;
+  };
+  struct EdgeMeta {
+    std::string table;
+    std::string src_col;
+    std::string dst_col;
+    std::string src_label;
+    std::string dst_label;
+    bool embedded = false;
+  };
+
+  // GVertex ids encode (vertex-label ordinal << 48) | row id.
+  static constexpr int kTableShift = 48;
+  GVertex Encode(size_t label_ordinal, RowId row) const {
+    return GVertex{(uint64_t(label_ordinal) << kTableShift) | row};
+  }
+  size_t OrdinalOf(GVertex v) const { return size_t(v.id >> kTableShift); }
+  RowId RowOf(GVertex v) const {
+    return v.id & ((uint64_t{1} << kTableShift) - 1);
+  }
+
+  int LabelOrdinal(std::string_view label) const;
+
+  mutable std::shared_mutex mu_;
+  Database* db_;
+  std::vector<VertexMeta> vertex_labels_;
+  std::unordered_map<std::string, EdgeMeta> edge_labels_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_PROVIDERS_SQLG_PROVIDER_H_

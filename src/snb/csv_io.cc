@@ -1,0 +1,365 @@
+#include "snb/csv_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "snb/update_codec.h"
+#include "util/string_util.h"
+
+namespace graphbench {
+namespace snb {
+
+namespace {
+
+// Field values never contain '|' (generated content is words/numbers),
+// but escape defensively: '|' -> "\p", '\' -> "\\", '\n' -> "\n".
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '|': out += "\\p"; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'p': out.push_back('|'); break;
+      case 'n': out.push_back('\n'); break;
+      default: out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+class CsvWriter {
+ public:
+  CsvWriter(std::string_view dir, std::string_view file) {
+    path_ = std::string(dir) + "/" + std::string(file);
+    out_.open(path_);
+  }
+  bool ok() const { return out_.good(); }
+  const std::string& path() const { return path_; }
+
+  void Row(const std::vector<std::string>& fields) {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i) out_ << '|';
+      out_ << fields[i];
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+Result<std::vector<std::vector<std::string>>> ReadRows(
+    std::string_view dir, std::string_view file, size_t arity) {
+  std::string path = std::string(dir) + "/" + std::string(file);
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("missing csv file " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (header) {  // skip header row
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '|');
+    if (fields.size() != arity) {
+      return Status::Corruption("bad arity in " + path + ": " + line);
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+int64_t ToI64(const std::string& s) { return std::stoll(s); }
+
+std::string I64(int64_t v) { return std::to_string(v); }
+
+// Update stream rows carry the binary codec payload, hex-encoded, so one
+// CSV round-trips every operation kind exactly.
+std::string ToHex(const std::string& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> FromHex(const std::string& hex) {
+  if (hex.size() % 2) return Status::Corruption("odd hex length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    out.push_back(char(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteCsv(const Dataset& data, std::string_view dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(std::string(dir), ec);
+  if (ec) return Status::Internal("cannot create " + std::string(dir));
+
+  {
+    CsvWriter w(dir, "person.csv");
+    w.Row({"id", "firstName", "lastName", "gender", "birthday",
+           "creationDate", "browserUsed", "locationIP", "cityId"});
+    for (const auto& p : data.persons) {
+      w.Row({I64(p.id), Escape(p.first_name), Escape(p.last_name),
+             Escape(p.gender), I64(p.birthday), I64(p.creation_date),
+             Escape(p.browser), Escape(p.location_ip), I64(p.city_id)});
+    }
+    if (!w.ok()) return Status::Internal("write failed: " + w.path());
+  }
+  {
+    CsvWriter w(dir, "knows.csv");
+    w.Row({"person1Id", "person2Id", "creationDate"});
+    for (const auto& k : data.knows) {
+      w.Row({I64(k.person1), I64(k.person2), I64(k.creation_date)});
+    }
+  }
+  {
+    CsvWriter w(dir, "forum.csv");
+    w.Row({"id", "title", "creationDate", "moderatorId"});
+    for (const auto& f : data.forums) {
+      w.Row({I64(f.id), Escape(f.title), I64(f.creation_date),
+             I64(f.moderator)});
+    }
+  }
+  {
+    CsvWriter w(dir, "forum_member.csv");
+    w.Row({"forumId", "personId", "joinDate"});
+    for (const auto& m : data.members) {
+      w.Row({I64(m.forum), I64(m.person), I64(m.join_date)});
+    }
+  }
+  {
+    CsvWriter w(dir, "post.csv");
+    w.Row({"id", "content", "creationDate", "creatorId", "forumId",
+           "browserUsed"});
+    for (const auto& p : data.posts) {
+      w.Row({I64(p.id), Escape(p.content), I64(p.creation_date),
+             I64(p.creator), I64(p.forum), Escape(p.browser)});
+    }
+  }
+  {
+    CsvWriter w(dir, "comment.csv");
+    w.Row({"id", "content", "creationDate", "creatorId", "replyOfPost",
+           "replyOfComment"});
+    for (const auto& c : data.comments) {
+      w.Row({I64(c.id), Escape(c.content), I64(c.creation_date),
+             I64(c.creator), I64(c.reply_of_post),
+             I64(c.reply_of_comment)});
+    }
+  }
+  {
+    CsvWriter w(dir, "likes.csv");
+    w.Row({"personId", "postId", "commentId", "creationDate"});
+    for (const auto& l : data.likes) {
+      w.Row({I64(l.person), I64(l.post), I64(l.comment),
+             I64(l.creation_date)});
+    }
+  }
+  {
+    CsvWriter w(dir, "tag.csv");
+    w.Row({"id", "name"});
+    for (const auto& t : data.tags) w.Row({I64(t.id), Escape(t.name)});
+  }
+  {
+    CsvWriter w(dir, "post_tag.csv");
+    w.Row({"postId", "tagId"});
+    for (const auto& pt : data.post_tags) {
+      w.Row({I64(pt.post), I64(pt.tag)});
+    }
+  }
+  {
+    CsvWriter w(dir, "place.csv");
+    w.Row({"id", "name"});
+    for (const auto& p : data.places) w.Row({I64(p.id), Escape(p.name)});
+  }
+  {
+    CsvWriter w(dir, "organisation.csv");
+    w.Row({"id", "name", "type"});
+    for (const auto& o : data.organisations) {
+      w.Row({I64(o.id), Escape(o.name), Escape(o.type)});
+    }
+  }
+  {
+    CsvWriter w(dir, "study_at.csv");
+    w.Row({"personId", "organisationId", "classYear"});
+    for (const auto& s : data.study_at) {
+      w.Row({I64(s.person), I64(s.organisation), I64(s.year)});
+    }
+  }
+  {
+    CsvWriter w(dir, "work_at.csv");
+    w.Row({"personId", "organisationId", "workFrom"});
+    for (const auto& s : data.work_at) {
+      w.Row({I64(s.person), I64(s.organisation), I64(s.year)});
+    }
+  }
+  {
+    CsvWriter w(dir, "update_stream.csv");
+    w.Row({"scheduledDate", "payloadHex"});
+    for (const auto& op : data.update_stream) {
+      w.Row({I64(op.scheduled_date), ToHex(EncodeUpdate(op))});
+    }
+    if (!w.ok()) return Status::Internal("write failed: " + w.path());
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(std::string_view dir) {
+  Dataset data;
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "person.csv", 9));
+    for (auto& f : rows) {
+      Person p;
+      p.id = ToI64(f[0]);
+      p.first_name = Unescape(f[1]);
+      p.last_name = Unescape(f[2]);
+      p.gender = Unescape(f[3]);
+      p.birthday = ToI64(f[4]);
+      p.creation_date = ToI64(f[5]);
+      p.browser = Unescape(f[6]);
+      p.location_ip = Unescape(f[7]);
+      p.city_id = ToI64(f[8]);
+      data.persons.push_back(std::move(p));
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "knows.csv", 3));
+    for (auto& f : rows) {
+      data.knows.push_back({ToI64(f[0]), ToI64(f[1]), ToI64(f[2])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "forum.csv", 4));
+    for (auto& f : rows) {
+      Forum forum;
+      forum.id = ToI64(f[0]);
+      forum.title = Unescape(f[1]);
+      forum.creation_date = ToI64(f[2]);
+      forum.moderator = ToI64(f[3]);
+      data.forums.push_back(std::move(forum));
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "forum_member.csv", 3));
+    for (auto& f : rows) {
+      data.members.push_back({ToI64(f[0]), ToI64(f[1]), ToI64(f[2])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "post.csv", 6));
+    for (auto& f : rows) {
+      Post p;
+      p.id = ToI64(f[0]);
+      p.content = Unescape(f[1]);
+      p.creation_date = ToI64(f[2]);
+      p.creator = ToI64(f[3]);
+      p.forum = ToI64(f[4]);
+      p.browser = Unescape(f[5]);
+      data.posts.push_back(std::move(p));
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "comment.csv", 6));
+    for (auto& f : rows) {
+      Comment c;
+      c.id = ToI64(f[0]);
+      c.content = Unescape(f[1]);
+      c.creation_date = ToI64(f[2]);
+      c.creator = ToI64(f[3]);
+      c.reply_of_post = ToI64(f[4]);
+      c.reply_of_comment = ToI64(f[5]);
+      data.comments.push_back(std::move(c));
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "likes.csv", 4));
+    for (auto& f : rows) {
+      data.likes.push_back(
+          {ToI64(f[0]), ToI64(f[1]), ToI64(f[2]), ToI64(f[3])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "tag.csv", 2));
+    for (auto& f : rows) data.tags.push_back({ToI64(f[0]), Unescape(f[1])});
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "post_tag.csv", 2));
+    for (auto& f : rows) data.post_tags.push_back({ToI64(f[0]),
+                                                   ToI64(f[1])});
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "place.csv", 2));
+    for (auto& f : rows) {
+      data.places.push_back({ToI64(f[0]), Unescape(f[1])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "organisation.csv", 3));
+    for (auto& f : rows) {
+      data.organisations.push_back(
+          {ToI64(f[0]), Unescape(f[1]), Unescape(f[2])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "study_at.csv", 3));
+    for (auto& f : rows) {
+      data.study_at.push_back({ToI64(f[0]), ToI64(f[1]), ToI64(f[2])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "work_at.csv", 3));
+    for (auto& f : rows) {
+      data.work_at.push_back({ToI64(f[0]), ToI64(f[1]), ToI64(f[2])});
+    }
+  }
+  {
+    GB_ASSIGN_OR_RETURN(auto rows, ReadRows(dir, "update_stream.csv", 2));
+    for (auto& f : rows) {
+      GB_ASSIGN_OR_RETURN(std::string payload, FromHex(f[1]));
+      GB_ASSIGN_OR_RETURN(UpdateOp op, DecodeUpdate(payload));
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  return data;
+}
+
+}  // namespace snb
+}  // namespace graphbench

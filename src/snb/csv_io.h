@@ -1,0 +1,25 @@
+#ifndef GRAPHBENCH_SNB_CSV_IO_H_
+#define GRAPHBENCH_SNB_CSV_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "snb/schema.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace snb {
+
+/// CSV serialization of a generated dataset — the analog of the LDBC data
+/// generator's raw output files (Table 1's "raw" column is the size of
+/// these). One pipe-separated file per entity type plus
+/// update_stream.csv, written under `dir`.
+Status WriteCsv(const Dataset& data, std::string_view dir);
+
+/// Reads a dataset previously written by WriteCsv.
+Result<Dataset> ReadCsv(std::string_view dir);
+
+}  // namespace snb
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SNB_CSV_IO_H_

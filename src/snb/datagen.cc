@@ -1,0 +1,422 @@
+#include "snb/datagen.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace graphbench {
+namespace snb {
+
+namespace {
+
+constexpr int64_t kTimelineEnd = 100'000'000;  // simulated ms
+
+const char* const kFirstNames[] = {
+    "Ada",  "Bob",   "Carlos", "Dana",  "Emil",  "Fatima", "Grace", "Hiro",
+    "Ines", "Jan",   "Karim",  "Lena",  "Mei",   "Nadia",  "Otto",  "Priya",
+    "Quin", "Rosa",  "Sven",   "Tara",  "Umar",  "Vera",   "Wei",   "Xena",
+    "Yuri", "Zara",  "Anders", "Bianca", "Chen", "Dmitri", "Elena", "Farid"};
+const char* const kLastNames[] = {
+    "Smith",  "Garcia", "Mueller", "Tanaka", "Kumar",   "Ivanov", "Chen",
+    "Silva",  "Okafor", "Larsson", "Novak",  "Haddad",  "Kim",    "Rossi",
+    "Dubois", "Nagy",   "Petrov",  "Sato",   "Andersen", "Moreau", "Walsh",
+    "Costa",  "Popov",  "Yamada",  "Khan",   "Berg",    "Vargas", "Ali"};
+const char* const kCityNames[] = {
+    "Arbor",   "Brookfield", "Carden",  "Dunmore", "Eastvale", "Fernley",
+    "Grafton", "Halstead",   "Ironton", "Juniper", "Kenwood",  "Linden",
+    "Marlow",  "Norwood",    "Oakhill", "Preston", "Quarry",   "Redwood",
+    "Selwyn",  "Thornton"};
+const char* const kBrowsers[] = {"Firefox", "Chrome", "Safari", "Opera",
+                                 "InternetExplorer"};
+const char* const kWords[] = {
+    "about",  "graph",  "photo", "music",  "travel", "friend", "today",
+    "world",  "great",  "happy", "coffee", "winter", "summer", "movie",
+    "sports", "recipe", "study", "party",  "update", "question"};
+
+std::string MakeContent(Rng* rng, size_t min_words, size_t max_words) {
+  size_t n = min_words + rng->Uniform(max_words - min_words + 1);
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i) out += ' ';
+    out += kWords[rng->Uniform(std::size(kWords))];
+  }
+  return out;
+}
+
+std::string MakeIp(Rng* rng) {
+  return std::to_string(rng->Uniform(224)) + "." +
+         std::to_string(rng->Uniform(256)) + "." +
+         std::to_string(rng->Uniform(256)) + "." +
+         std::to_string(rng->Uniform(256));
+}
+
+}  // namespace
+
+DatagenOptions ScaleA() {
+  DatagenOptions o;
+  o.num_persons = 2500;
+  o.seed = 3;
+  return o;
+}
+
+DatagenOptions ScaleB() {
+  DatagenOptions o;
+  o.num_persons = 8000;  // ~3.2x scale-A persons, mirroring SF3 -> SF10
+  o.seed = 10;
+  return o;
+}
+
+Dataset Generate(const DatagenOptions& options) {
+  Dataset data;
+  Rng rng(options.seed);
+  const int64_t cutoff =
+      int64_t(double(kTimelineEnd) * (1.0 - options.update_window));
+
+  // ---- Static world: places, tags, organisations -----------------------
+  for (uint32_t c = 0; c < options.num_cities; ++c) {
+    std::string name = kCityNames[c % std::size(kCityNames)];
+    if (c >= std::size(kCityNames)) {
+      name += "-" + std::to_string(c / std::size(kCityNames));
+    }
+    data.places.push_back(Place{int64_t(c + 1), name});
+  }
+  for (uint32_t t = 0; t < options.num_tags; ++t) {
+    data.tags.push_back(
+        Tag{int64_t(t + 1),
+            std::string(kWords[t % std::size(kWords)]) + "_" +
+                std::to_string(t)});
+  }
+  for (uint32_t o = 0; o < options.num_organisations; ++o) {
+    data.organisations.push_back(Organisation{
+        int64_t(o + 1), "Org_" + std::to_string(o),
+        o % 2 == 0 ? "university" : "company"});
+  }
+
+  // ---- Persons ----------------------------------------------------------
+  // Creation dates uniform over the whole timeline; the late tail lands in
+  // the update stream as U1 AddPerson operations.
+  std::vector<Person> all_persons;
+  std::unordered_map<int64_t, int64_t> person_date;
+  std::vector<std::vector<int64_t>> city_members(options.num_cities);
+  for (uint32_t i = 0; i < options.num_persons; ++i) {
+    Person p;
+    p.id = int64_t(i + 1);
+    p.city_id = int64_t(rng.Uniform(options.num_cities)) + 1;
+    // Names correlate with location (the generator's attribute
+    // correlation, §2.2): the city biases the first-name pool.
+    size_t name_base = size_t(p.city_id) * 7;
+    p.first_name =
+        kFirstNames[(name_base + rng.Uniform(8)) % std::size(kFirstNames)];
+    p.last_name =
+        kLastNames[(name_base + rng.Uniform(12)) % std::size(kLastNames)];
+    p.gender = rng.Bernoulli(0.5) ? "male" : "female";
+    p.birthday = -int64_t(rng.Uniform(2'000'000'000));
+    p.creation_date = int64_t(rng.Uniform(kTimelineEnd));
+    p.browser = kBrowsers[rng.Uniform(std::size(kBrowsers))];
+    p.location_ip = MakeIp(&rng);
+    person_date[p.id] = p.creation_date;
+    city_members[size_t(p.city_id - 1)].push_back(p.id);
+    all_persons.push_back(std::move(p));
+  }
+
+  // ---- Friendships (power-law degrees, city-correlated) -----------------
+  PowerLawDegree degree_gen(options.min_degree,
+                            std::min(options.max_degree,
+                                     options.num_persons / 2),
+                            options.degree_gamma, options.seed + 1);
+  std::vector<Knows> all_knows;
+  std::unordered_set<uint64_t> knows_seen;
+  for (const Person& p : all_persons) {
+    uint32_t target = degree_gen.Next();
+    for (uint32_t attempt = 0, made = 0;
+         made < target && attempt < target * 4; ++attempt) {
+      int64_t other;
+      if (rng.Bernoulli(options.same_city_affinity)) {
+        const auto& pool = city_members[size_t(p.city_id - 1)];
+        other = pool[rng.Uniform(pool.size())];
+      } else {
+        other = int64_t(rng.Uniform(options.num_persons)) + 1;
+      }
+      if (other == p.id) continue;
+      int64_t a = std::min(p.id, other), b = std::max(p.id, other);
+      uint64_t pair_key = uint64_t(a) << 32 | uint64_t(b);
+      if (!knows_seen.insert(pair_key).second) continue;
+      Knows k;
+      k.person1 = a;
+      k.person2 = b;
+      int64_t base = std::max(person_date[a], person_date[b]);
+      k.creation_date =
+          base + 1 + int64_t(rng.Uniform(uint64_t(
+                         std::max<int64_t>(kTimelineEnd - base, 1))));
+      all_knows.push_back(k);
+      ++made;
+    }
+  }
+
+  // ---- Forums, membership -----------------------------------------------
+  std::vector<Forum> all_forums;
+  std::vector<ForumMember> all_members;
+  std::unordered_map<int64_t, int64_t> forum_date;
+  // member join dates per forum, used to anchor posts.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>>
+      forum_members;  // forum -> (person, join_date)
+  uint32_t num_forums =
+      uint32_t(double(options.num_persons) * options.forums_per_person);
+  PowerLawDegree member_gen(2, std::max(options.max_forum_members, 3u), 2.0,
+                            options.seed + 2);
+  for (uint32_t f = 0; f < num_forums; ++f) {
+    Forum forum;
+    forum.id = int64_t(f + 1);
+    forum.title = "Forum " + MakeContent(&rng, 2, 4);
+    forum.moderator = int64_t(rng.Uniform(options.num_persons)) + 1;
+    int64_t base = person_date[forum.moderator];
+    forum.creation_date =
+        base + 1 + int64_t(rng.Uniform(uint64_t(std::max<int64_t>(
+                        (kTimelineEnd - base) / 2, 1))));
+    forum_date[forum.id] = forum.creation_date;
+
+    uint32_t member_count = member_gen.Next();
+    std::unordered_set<int64_t> joined;
+    for (uint32_t m = 0, attempts = 0;
+         m < member_count && attempts < member_count * 3; ++attempts) {
+      int64_t person = int64_t(rng.Uniform(options.num_persons)) + 1;
+      if (!joined.insert(person).second) continue;
+      ForumMember member;
+      member.forum = forum.id;
+      member.person = person;
+      int64_t jbase = std::max(forum.creation_date, person_date[person]);
+      member.join_date =
+          jbase + 1 + int64_t(rng.Uniform(uint64_t(std::max<int64_t>(
+                          (kTimelineEnd - jbase) / 2, 1))));
+      forum_members[forum.id].emplace_back(person, member.join_date);
+      all_members.push_back(member);
+      ++m;
+    }
+    all_forums.push_back(std::move(forum));
+  }
+
+  // ---- Posts, comments, likes, tags --------------------------------------
+  std::vector<Post> all_posts;
+  std::vector<Comment> all_comments;
+  std::vector<Like> all_likes;
+  int64_t next_post_id = 1, next_comment_id = 1;
+  std::unordered_map<int64_t, int64_t> post_date, comment_date;
+  for (const Forum& forum : all_forums) {
+    const auto& members = forum_members[forum.id];
+    if (members.empty()) continue;
+    // Popular (well-membered) forums carry proportionally more content.
+    uint32_t post_count = uint32_t(
+        rng.Uniform(std::min<uint64_t>(members.size() * 2,
+                                       options.max_posts_per_forum) +
+                    1));
+    for (uint32_t pi = 0; pi < post_count; ++pi) {
+      const auto& [creator, join_date] =
+          members[rng.Uniform(members.size())];
+      Post post;
+      post.id = next_post_id++;
+      post.content = MakeContent(&rng, 5, 30);
+      post.creator = creator;
+      post.forum = forum.id;
+      post.browser = kBrowsers[rng.Uniform(std::size(kBrowsers))];
+      int64_t base = join_date;
+      post.creation_date =
+          base + 1 + int64_t(rng.Uniform(uint64_t(std::max<int64_t>(
+                          (kTimelineEnd - base) / 2, 1))));
+      post_date[post.id] = post.creation_date;
+
+      // Tags: static metadata, attached only to snapshot posts (update
+      // operations carry the post itself, not its tag edges).
+      if (post.creation_date <= cutoff) {
+        uint32_t tag_count = uint32_t(rng.Uniform(4));
+        std::unordered_set<int64_t> tagged;
+        for (uint32_t t = 0; t < tag_count; ++t) {
+          int64_t tag = int64_t(rng.Uniform(options.num_tags)) + 1;
+          if (tagged.insert(tag).second) {
+            data.post_tags.push_back(PostTag{post.id, tag});
+          }
+        }
+      }
+
+      // Comments: a short reply cascade under the post.
+      uint32_t comment_count = 0;
+      while (rng.NextDouble() <
+                 options.avg_comments_per_post /
+                     (1.0 + options.avg_comments_per_post) &&
+             comment_count < 12) {
+        ++comment_count;
+      }
+      std::vector<int64_t> thread;  // comment ids under this post
+      for (uint32_t ci = 0; ci < comment_count; ++ci) {
+        const auto& [commenter, cjoin] =
+            members[rng.Uniform(members.size())];
+        Comment comment;
+        comment.id = next_comment_id++;
+        comment.content = MakeContent(&rng, 2, 12);
+        comment.creator = commenter;
+        int64_t parent_date;
+        if (!thread.empty() && rng.Bernoulli(0.4)) {
+          comment.reply_of_comment = thread[rng.Uniform(thread.size())];
+          parent_date = comment_date[comment.reply_of_comment];
+        } else {
+          comment.reply_of_post = post.id;
+          parent_date = post.creation_date;
+        }
+        int64_t cbase = std::max({parent_date, person_date[commenter],
+                                  cjoin});
+        comment.creation_date =
+            cbase + 1 + int64_t(rng.Uniform(uint64_t(std::max<int64_t>(
+                            (kTimelineEnd - cbase) / 3, 1))));
+        comment_date[comment.id] = comment.creation_date;
+        thread.push_back(comment.id);
+        all_comments.push_back(std::move(comment));
+      }
+
+      // Likes, Zipf-ish: early posts in popular forums attract more.
+      uint32_t like_count = uint32_t(rng.Uniform(
+          uint64_t(options.avg_likes_per_post * 2.0 *
+                   double(members.size()) / 8.0) +
+          1));
+      std::unordered_set<int64_t> likers;
+      for (uint32_t li = 0; li < like_count; ++li) {
+        int64_t liker = rng.Bernoulli(0.7)
+                            ? members[rng.Uniform(members.size())].first
+                            : int64_t(rng.Uniform(options.num_persons)) + 1;
+        if (!likers.insert(liker).second) continue;
+        Like like;
+        like.person = liker;
+        like.post = post.id;
+        int64_t lbase = std::max(post.creation_date, person_date[liker]);
+        like.creation_date =
+            lbase + 1 + int64_t(rng.Uniform(uint64_t(std::max<int64_t>(
+                            (kTimelineEnd - lbase) / 3, 1))));
+        all_likes.push_back(like);
+      }
+      all_posts.push_back(std::move(post));
+    }
+  }
+
+  // ---- studyAt / workAt (static metadata; snapshot persons only — these
+  // edges are not part of the SNB update stream) ---------------------------
+  for (const Person& p : all_persons) {
+    if (p.creation_date > cutoff) continue;
+    if (rng.Bernoulli(0.6)) {
+      data.study_at.push_back(StudyAt{
+          p.id, int64_t(rng.Uniform(options.num_organisations)) + 1,
+          1990 + int64_t(rng.Uniform(30))});
+    }
+    uint32_t jobs = uint32_t(rng.Uniform(3));
+    for (uint32_t j = 0; j < jobs; ++j) {
+      data.work_at.push_back(WorkAt{
+          p.id, int64_t(rng.Uniform(options.num_organisations)) + 1,
+          2000 + int64_t(rng.Uniform(20))});
+    }
+  }
+
+  // ---- Split static snapshot vs update stream ---------------------------
+  auto clamp_dep = [&](int64_t date) { return date; };
+  for (Person& p : all_persons) {
+    if (p.creation_date <= cutoff) {
+      data.persons.push_back(std::move(p));
+    } else {
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kAddPerson;
+      op.scheduled_date = p.creation_date;
+      op.dependency_date = 0;
+      op.person = std::move(p);
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  for (Knows& k : all_knows) {
+    if (k.creation_date <= cutoff) {
+      data.knows.push_back(k);
+    } else {
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kAddFriendship;
+      op.scheduled_date = k.creation_date;
+      op.dependency_date =
+          clamp_dep(std::max(person_date[k.person1],
+                             person_date[k.person2]));
+      op.knows = k;
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  for (Forum& f : all_forums) {
+    if (f.creation_date <= cutoff) {
+      data.forums.push_back(std::move(f));
+    } else {
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kAddForum;
+      op.scheduled_date = f.creation_date;
+      op.dependency_date = person_date[f.moderator];
+      op.forum = std::move(f);
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  for (ForumMember& m : all_members) {
+    if (m.join_date <= cutoff) {
+      data.members.push_back(m);
+    } else {
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kAddForumMember;
+      op.scheduled_date = m.join_date;
+      op.dependency_date =
+          std::max(forum_date[m.forum], person_date[m.person]);
+      op.member = m;
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  for (Post& p : all_posts) {
+    if (p.creation_date <= cutoff) {
+      data.posts.push_back(std::move(p));
+    } else {
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kAddPost;
+      op.scheduled_date = p.creation_date;
+      op.dependency_date =
+          std::max(person_date[p.creator], forum_date[p.forum]);
+      op.post = std::move(p);
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  for (Comment& c : all_comments) {
+    if (c.creation_date <= cutoff) {
+      data.comments.push_back(std::move(c));
+    } else {
+      UpdateOp op;
+      op.kind = UpdateOp::Kind::kAddComment;
+      op.scheduled_date = c.creation_date;
+      int64_t parent = c.reply_of_post >= 0 ? post_date[c.reply_of_post]
+                                            : comment_date[c.reply_of_comment];
+      op.dependency_date = std::max(person_date[c.creator], parent);
+      op.comment = std::move(c);
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+  for (Like& l : all_likes) {
+    if (l.creation_date <= cutoff) {
+      data.likes.push_back(l);
+    } else {
+      UpdateOp op;
+      op.kind = l.post >= 0 ? UpdateOp::Kind::kAddLikePost
+                            : UpdateOp::Kind::kAddLikeComment;
+      op.scheduled_date = l.creation_date;
+      op.dependency_date =
+          std::max(person_date[l.person],
+                   l.post >= 0 ? post_date[l.post]
+                               : comment_date[l.comment]);
+      op.like = l;
+      data.update_stream.push_back(std::move(op));
+    }
+  }
+
+  std::stable_sort(data.update_stream.begin(), data.update_stream.end(),
+                   [](const UpdateOp& a, const UpdateOp& b) {
+                     return a.scheduled_date < b.scheduled_date;
+                   });
+  return data;
+}
+
+}  // namespace snb
+}  // namespace graphbench

@@ -1,0 +1,56 @@
+#ifndef GRAPHBENCH_SNB_DATAGEN_H_
+#define GRAPHBENCH_SNB_DATAGEN_H_
+
+#include "snb/schema.h"
+
+namespace graphbench {
+namespace snb {
+
+/// Generator knobs. The defaults produce SNB-shaped data: power-law
+/// friendship degrees, location-correlated friendships and names, Zipfian
+/// forum popularity, and activity (posts/comments/likes) concentrated on
+/// popular content.
+struct DatagenOptions {
+  uint32_t num_persons = 1000;
+  uint64_t seed = 42;
+
+  /// Events after this fraction of the simulated timeline become the
+  /// update stream; earlier ones form the static snapshot (§2.2's two-part
+  /// dataset).
+  double update_window = 0.1;
+
+  // Friendship degree distribution (power law).
+  uint32_t min_degree = 3;
+  uint32_t max_degree = 200;
+  double degree_gamma = 2.4;
+  /// Probability a friend is chosen from the same city.
+  double same_city_affinity = 0.7;
+
+  // Activity volume.
+  double forums_per_person = 0.3;
+  uint32_t max_forum_members = 80;
+  uint32_t max_posts_per_forum = 30;
+  double avg_comments_per_post = 1.5;
+  double avg_likes_per_post = 2.0;
+
+  // World size.
+  uint32_t num_cities = 40;
+  uint32_t num_tags = 120;
+  uint32_t num_organisations = 60;
+};
+
+/// Deterministically generates a social network for the given options.
+/// Every event's date is >= the dates of everything it references, so the
+/// static/update split at the cutoff is dependency-consistent and the
+/// update stream is replayable in timestamp order.
+Dataset Generate(const DatagenOptions& options);
+
+/// The two benchmark scales standing in for the paper's SF3 and SF10 (the
+/// ~3x vertex-count ratio of Table 1 is preserved).
+DatagenOptions ScaleA();  // "SF3 analog"
+DatagenOptions ScaleB();  // "SF10 analog"
+
+}  // namespace snb
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SNB_DATAGEN_H_

@@ -1,0 +1,41 @@
+#include "snb/params.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace graphbench {
+namespace snb {
+
+ParamPools::ParamPools(const Dataset& dataset, uint64_t seed) : rng_(seed) {
+  person_ids_.reserve(dataset.persons.size());
+  for (const Person& p : dataset.persons) person_ids_.push_back(p.id);
+  std::unordered_set<int64_t> connected;
+  for (const Knows& k : dataset.knows) {
+    connected.insert(k.person1);
+    connected.insert(k.person2);
+  }
+  // Keep snapshot persons only (knows edges referencing update-stream
+  // persons are themselves in the update stream, but be defensive).
+  std::unordered_set<int64_t> snapshot(person_ids_.begin(),
+                                       person_ids_.end());
+  for (int64_t id : connected) {
+    if (snapshot.count(id)) connected_ids_.push_back(id);
+  }
+  std::sort(connected_ids_.begin(), connected_ids_.end());
+}
+
+int64_t ParamPools::NextPersonId() {
+  return person_ids_[rng_.Uniform(person_ids_.size())];
+}
+
+std::pair<int64_t, int64_t> ParamPools::NextPersonPair() {
+  int64_t a = connected_ids_[rng_.Uniform(connected_ids_.size())];
+  int64_t b = a;
+  for (int attempt = 0; attempt < 8 && b == a; ++attempt) {
+    b = connected_ids_[rng_.Uniform(connected_ids_.size())];
+  }
+  return {a, b};
+}
+
+}  // namespace snb
+}  // namespace graphbench

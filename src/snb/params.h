@@ -1,0 +1,40 @@
+#ifndef GRAPHBENCH_SNB_PARAMS_H_
+#define GRAPHBENCH_SNB_PARAMS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "snb/schema.h"
+#include "util/random.h"
+
+namespace graphbench {
+namespace snb {
+
+/// Query-parameter pools curated from the static snapshot, mirroring the
+/// LDBC driver's parameter generation: person ids for lookups/traversals
+/// and person pairs for shortest paths. Sampling is deterministic per
+/// seed so every SUT sees the same parameter sequence.
+class ParamPools {
+ public:
+  ParamPools(const Dataset& dataset, uint64_t seed);
+
+  /// A person id from the static snapshot (uniform).
+  int64_t NextPersonId();
+
+  /// A person pair for shortest-path queries; both endpoints are snapshot
+  /// persons with at least one friendship, biased toward distinct pairs.
+  std::pair<int64_t, int64_t> NextPersonPair();
+
+  const std::vector<int64_t>& person_ids() const { return person_ids_; }
+
+ private:
+  std::vector<int64_t> person_ids_;
+  std::vector<int64_t> connected_ids_;  // persons with >= 1 knows edge
+  Rng rng_;
+};
+
+}  // namespace snb
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SNB_PARAMS_H_

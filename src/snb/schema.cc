@@ -1,0 +1,38 @@
+#include "snb/schema.h"
+
+namespace graphbench {
+namespace snb {
+
+namespace {
+
+// Rough CSV rendering widths: numeric fields ~12 chars + separator.
+constexpr uint64_t kNum = 13;
+
+}  // namespace
+
+uint64_t Dataset::RawBytes() const {
+  uint64_t bytes = 0;
+  for (const Person& p : persons) {
+    bytes += 3 * kNum + p.first_name.size() + p.last_name.size() +
+             p.gender.size() + p.browser.size() + p.location_ip.size() + 8;
+  }
+  bytes += knows.size() * 3 * kNum;
+  for (const Forum& f : forums) bytes += 3 * kNum + f.title.size();
+  bytes += members.size() * 3 * kNum;
+  for (const Post& p : posts) {
+    bytes += 4 * kNum + p.content.size() + p.browser.size();
+  }
+  for (const Comment& c : comments) bytes += 5 * kNum + c.content.size();
+  bytes += likes.size() * 4 * kNum;
+  for (const Tag& t : tags) bytes += kNum + t.name.size();
+  bytes += post_tags.size() * 2 * kNum;
+  for (const Place& p : places) bytes += kNum + p.name.size();
+  for (const Organisation& o : organisations) {
+    bytes += kNum + o.name.size() + o.type.size();
+  }
+  bytes += (study_at.size() + work_at.size()) * 3 * kNum;
+  return bytes;
+}
+
+}  // namespace snb
+}  // namespace graphbench

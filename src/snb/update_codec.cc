@@ -1,0 +1,167 @@
+#include "snb/update_codec.h"
+
+#include "graph/value_codec.h"
+
+namespace graphbench {
+namespace snb {
+
+namespace {
+
+void PutI64(std::string* dst, int64_t v) {
+  valuecodec::EncodeValue(dst, Value(v));
+}
+void PutStr(std::string* dst, const std::string& s) {
+  valuecodec::EncodeValue(dst, Value(s));
+}
+
+bool TakeI64(std::string_view* src, int64_t* v) {
+  Value val;
+  if (!valuecodec::DecodeValue(src, &val) || !val.is_int()) return false;
+  *v = val.as_int();
+  return true;
+}
+bool TakeStr(std::string_view* src, std::string* s) {
+  Value val;
+  if (!valuecodec::DecodeValue(src, &val) || !val.is_string()) return false;
+  *s = val.as_string();
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeUpdate(const UpdateOp& op) {
+  std::string out;
+  out.push_back(char(uint8_t(op.kind)));
+  PutI64(&out, op.scheduled_date);
+  PutI64(&out, op.dependency_date);
+  switch (op.kind) {
+    case UpdateOp::Kind::kAddPerson: {
+      const Person& p = op.person;
+      PutI64(&out, p.id);
+      PutStr(&out, p.first_name);
+      PutStr(&out, p.last_name);
+      PutStr(&out, p.gender);
+      PutI64(&out, p.birthday);
+      PutI64(&out, p.creation_date);
+      PutStr(&out, p.browser);
+      PutStr(&out, p.location_ip);
+      PutI64(&out, p.city_id);
+      break;
+    }
+    case UpdateOp::Kind::kAddLikePost:
+    case UpdateOp::Kind::kAddLikeComment:
+      PutI64(&out, op.like.person);
+      PutI64(&out, op.like.post);
+      PutI64(&out, op.like.comment);
+      PutI64(&out, op.like.creation_date);
+      break;
+    case UpdateOp::Kind::kAddForum:
+      PutI64(&out, op.forum.id);
+      PutStr(&out, op.forum.title);
+      PutI64(&out, op.forum.creation_date);
+      PutI64(&out, op.forum.moderator);
+      break;
+    case UpdateOp::Kind::kAddForumMember:
+      PutI64(&out, op.member.forum);
+      PutI64(&out, op.member.person);
+      PutI64(&out, op.member.join_date);
+      break;
+    case UpdateOp::Kind::kAddPost: {
+      const Post& p = op.post;
+      PutI64(&out, p.id);
+      PutStr(&out, p.content);
+      PutI64(&out, p.creation_date);
+      PutI64(&out, p.creator);
+      PutI64(&out, p.forum);
+      PutStr(&out, p.browser);
+      break;
+    }
+    case UpdateOp::Kind::kAddComment: {
+      const Comment& c = op.comment;
+      PutI64(&out, c.id);
+      PutStr(&out, c.content);
+      PutI64(&out, c.creation_date);
+      PutI64(&out, c.creator);
+      PutI64(&out, c.reply_of_post);
+      PutI64(&out, c.reply_of_comment);
+      break;
+    }
+    case UpdateOp::Kind::kAddFriendship:
+      PutI64(&out, op.knows.person1);
+      PutI64(&out, op.knows.person2);
+      PutI64(&out, op.knows.creation_date);
+      break;
+  }
+  return out;
+}
+
+Result<UpdateOp> DecodeUpdate(std::string_view bytes) {
+  if (bytes.empty()) return Status::Corruption("empty update");
+  UpdateOp op;
+  op.kind = UpdateOp::Kind(uint8_t(bytes[0]));
+  bytes.remove_prefix(1);
+  if (!TakeI64(&bytes, &op.scheduled_date) ||
+      !TakeI64(&bytes, &op.dependency_date)) {
+    return Status::Corruption("bad update header");
+  }
+  bool ok = true;
+  switch (op.kind) {
+    case UpdateOp::Kind::kAddPerson: {
+      Person& p = op.person;
+      ok = TakeI64(&bytes, &p.id) && TakeStr(&bytes, &p.first_name) &&
+           TakeStr(&bytes, &p.last_name) && TakeStr(&bytes, &p.gender) &&
+           TakeI64(&bytes, &p.birthday) &&
+           TakeI64(&bytes, &p.creation_date) &&
+           TakeStr(&bytes, &p.browser) &&
+           TakeStr(&bytes, &p.location_ip) && TakeI64(&bytes, &p.city_id);
+      break;
+    }
+    case UpdateOp::Kind::kAddLikePost:
+    case UpdateOp::Kind::kAddLikeComment:
+      ok = TakeI64(&bytes, &op.like.person) &&
+           TakeI64(&bytes, &op.like.post) &&
+           TakeI64(&bytes, &op.like.comment) &&
+           TakeI64(&bytes, &op.like.creation_date);
+      break;
+    case UpdateOp::Kind::kAddForum:
+      ok = TakeI64(&bytes, &op.forum.id) &&
+           TakeStr(&bytes, &op.forum.title) &&
+           TakeI64(&bytes, &op.forum.creation_date) &&
+           TakeI64(&bytes, &op.forum.moderator);
+      break;
+    case UpdateOp::Kind::kAddForumMember:
+      ok = TakeI64(&bytes, &op.member.forum) &&
+           TakeI64(&bytes, &op.member.person) &&
+           TakeI64(&bytes, &op.member.join_date);
+      break;
+    case UpdateOp::Kind::kAddPost: {
+      Post& p = op.post;
+      ok = TakeI64(&bytes, &p.id) && TakeStr(&bytes, &p.content) &&
+           TakeI64(&bytes, &p.creation_date) &&
+           TakeI64(&bytes, &p.creator) && TakeI64(&bytes, &p.forum) &&
+           TakeStr(&bytes, &p.browser);
+      break;
+    }
+    case UpdateOp::Kind::kAddComment: {
+      Comment& c = op.comment;
+      ok = TakeI64(&bytes, &c.id) && TakeStr(&bytes, &c.content) &&
+           TakeI64(&bytes, &c.creation_date) &&
+           TakeI64(&bytes, &c.creator) &&
+           TakeI64(&bytes, &c.reply_of_post) &&
+           TakeI64(&bytes, &c.reply_of_comment);
+      break;
+    }
+    case UpdateOp::Kind::kAddFriendship:
+      ok = TakeI64(&bytes, &op.knows.person1) &&
+           TakeI64(&bytes, &op.knows.person2) &&
+           TakeI64(&bytes, &op.knows.creation_date);
+      break;
+    default:
+      return Status::Corruption("unknown update kind");
+  }
+  if (!ok) return Status::Corruption("truncated update payload");
+  return op;
+}
+
+}  // namespace snb
+}  // namespace graphbench

@@ -1,0 +1,21 @@
+#ifndef GRAPHBENCH_SNB_UPDATE_CODEC_H_
+#define GRAPHBENCH_SNB_UPDATE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "snb/schema.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace snb {
+
+/// Wire codec for update operations flowing through the Kafka-analog
+/// queue (Figure 1: driver -> topic -> single writer -> SUT).
+std::string EncodeUpdate(const UpdateOp& op);
+Result<UpdateOp> DecodeUpdate(std::string_view bytes);
+
+}  // namespace snb
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SNB_UPDATE_CODEC_H_

@@ -1,0 +1,64 @@
+#include "storage/hash_index.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace graphbench {
+
+Status HashIndex::Insert(const Value& key, RowId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& ids = map_[key];
+  if (unique_ && !ids.empty()) {
+    return Status::AlreadyExists("duplicate key in unique index " + name_);
+  }
+  ids.push_back(id);
+  ++entries_;
+  return Status::OK();
+}
+
+Status HashIndex::Remove(const Value& key, RowId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("index key");
+  auto& ids = it->second;
+  auto pos = std::find(ids.begin(), ids.end(), id);
+  if (pos == ids.end()) return Status::NotFound("row id under key");
+  ids.erase(pos);
+  --entries_;
+  if (ids.empty()) map_.erase(it);
+  return Status::OK();
+}
+
+std::vector<RowId> HashIndex::Lookup(const Value& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return {};
+  return it->second;
+}
+
+Result<RowId> HashIndex::LookupUnique(const Value& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.empty()) {
+    return Status::NotFound("key not in index " + name_);
+  }
+  return it->second.front();
+}
+
+bool HashIndex::Contains(const Value& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
+uint64_t HashIndex::entry_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_;
+}
+
+uint64_t HashIndex::ApproximateSizeBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Bucket + key + id-vector overhead estimate per entry.
+  return entries_ * 56 + map_.bucket_count() * 8;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,46 @@
+#ifndef GRAPHBENCH_STORAGE_TABLE_SCHEMA_H_
+#define GRAPHBENCH_STORAGE_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "util/value.h"
+
+namespace graphbench {
+
+/// A column definition: name plus declared type. Types are advisory (the
+/// Value system is dynamically typed); they document intent and drive
+/// column-store layout decisions.
+struct ColumnDef {
+  std::string name;
+  Value::Type type = Value::Type::kString;
+};
+
+/// Relational table schema. Vertex/edge types of the SNB graph each map to
+/// one table (the paper's relational schema, §3.2).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column` or -1 when absent.
+  int ColumnIndex(std::string_view column) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == column) return int(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_STORAGE_TABLE_SCHEMA_H_

@@ -1,0 +1,53 @@
+#ifndef GRAPHBENCH_SUT_CYPHER_SUT_H_
+#define GRAPHBENCH_SUT_CYPHER_SUT_H_
+
+#include <string>
+
+#include "engines/native/cypher_engine.h"
+#include "engines/native/native_graph.h"
+#include "snb/schema.h"
+#include "sut/sut.h"
+
+namespace graphbench {
+
+/// Neo4j (Cypher): the native graph store behind its declarative query
+/// language. Reads and updates go through the Cypher parser/executor;
+/// bulk loading uses the store's import API (neo4j-import analog), which
+/// is why it posts the best single-loader ingest rates (Appendix A).
+class CypherSut : public Sut {
+ public:
+  explicit CypherSut(NativeGraphOptions options = {});
+
+  std::string name() const override { return "Neo4j (Cypher)"; }
+  Status Load(const snb::Dataset& data) override;
+  Result<QueryResult> PointLookup(int64_t person_id) override;
+  Result<QueryResult> OneHop(int64_t person_id) override;
+  Result<QueryResult> TwoHop(int64_t person_id) override;
+  Result<int> ShortestPathLen(int64_t from_person,
+                              int64_t to_person) override;
+  Result<QueryResult> RecentPosts(int64_t person_id,
+                                  int64_t limit) override;
+  Result<QueryResult> FriendsWithName(int64_t person_id,
+                                      const std::string& first_name) override;
+  Result<QueryResult> RepliesOfPost(int64_t post_id) override;
+  Result<QueryResult> TopPosters(int64_t limit) override;
+  Status Apply(const snb::UpdateOp& op) override;
+  uint64_t SizeBytes() const override {
+    return graph_.ApproximateSizeBytes();
+  }
+
+  NativeGraph* graph() { return &graph_; }
+
+ private:
+  NativeGraph graph_;
+  CypherEngine engine_;
+};
+
+/// Loads the SNB snapshot into any PropertyGraph-shaped store via a bulk
+/// import (used by CypherSut; the Gremlin SUTs load through the structure
+/// API instead). Creates the per-label unique id indexes first.
+Status LoadSnbIntoNativeGraph(const snb::Dataset& data, NativeGraph* graph);
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SUT_CYPHER_SUT_H_

@@ -1,0 +1,87 @@
+#ifndef GRAPHBENCH_SUT_GREMLIN_SUT_H_
+#define GRAPHBENCH_SUT_GREMLIN_SUT_H_
+
+#include <memory>
+#include <string>
+
+#include "engines/relational/database.h"
+#include "snb/schema.h"
+#include "sut/sut.h"
+#include "tinkerpop/gremlin_server.h"
+#include "tinkerpop/structure.h"
+
+namespace graphbench {
+
+/// Shared SUT for every TinkerPop3-compliant configuration
+/// (Neo4j-Gremlin, Titan-C, Titan-B, Sqlg). Queries and updates are
+/// traversals submitted through the Gremlin Server analog; bulk loading
+/// goes through the structure API in embedded mode (the LDBC Gremlin
+/// loading utilities of Appendix A).
+class GremlinSut : public Sut {
+ public:
+  /// `graph` is the provider; `extra` optionally owns provider
+  /// dependencies (e.g. the Database under a SqlgProvider).
+  GremlinSut(std::string name, std::unique_ptr<GremlinGraph> graph,
+             GremlinServerOptions server_options = {},
+             std::shared_ptr<void> extra = nullptr);
+
+  std::string name() const override { return name_; }
+  Status Load(const snb::Dataset& data) override;
+
+  /// Appendix A: load with `loaders` concurrent threads (vertices first,
+  /// then edges, each phase split across threads).
+  Status LoadConcurrent(const snb::Dataset& data, size_t loaders);
+
+  Result<QueryResult> PointLookup(int64_t person_id) override;
+  Result<QueryResult> OneHop(int64_t person_id) override;
+  Result<QueryResult> TwoHop(int64_t person_id) override;
+  Result<int> ShortestPathLen(int64_t from_person,
+                              int64_t to_person) override;
+  Result<QueryResult> RecentPosts(int64_t person_id,
+                                  int64_t limit) override;
+  Result<QueryResult> FriendsWithName(int64_t person_id,
+                                      const std::string& first_name) override;
+  Result<QueryResult> RepliesOfPost(int64_t post_id) override;
+  Result<QueryResult> TopPosters(int64_t limit) override;
+  Status Apply(const snb::UpdateOp& op) override;
+  uint64_t SizeBytes() const override {
+    return graph_->ApproximateSizeBytes();
+  }
+
+  GremlinGraph* graph() { return graph_.get(); }
+  GremlinServer* server() { return &server_; }
+
+  /// Loads vertices/edges via the structure API. `shard`/`num_shards`
+  /// partition the work for concurrent loading.
+  Status LoadVertices(const snb::Dataset& data, size_t shard,
+                      size_t num_shards);
+  Status LoadEdges(const snb::Dataset& data, size_t shard,
+                   size_t num_shards);
+
+ private:
+  // Reshapes a flat valueMap stream into rows of `width` columns.
+  static QueryResult Reshape(std::vector<Value> flat, size_t width,
+                             std::vector<std::string> columns);
+  Result<GVertex> FindOne(std::string_view label, int64_t id);
+
+  std::string name_;
+  std::shared_ptr<void> extra_;
+  std::unique_ptr<GremlinGraph> graph_;
+  GremlinServer server_;
+};
+
+/// Factory helpers for the four TinkerPop configurations. The server
+/// options expose the Gremlin Server's worker/queue sizing for the §4.4
+/// overload experiment.
+std::unique_ptr<GremlinSut> MakeNeo4jGremlinSut(
+    GremlinServerOptions server_options = {});
+std::unique_ptr<GremlinSut> MakeTitanCSut(
+    GremlinServerOptions server_options = {});
+std::unique_ptr<GremlinSut> MakeTitanBSut(
+    GremlinServerOptions server_options = {});
+std::unique_ptr<GremlinSut> MakeSqlgSut(
+    GremlinServerOptions server_options = {});
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SUT_GREMLIN_SUT_H_

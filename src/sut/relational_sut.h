@@ -1,0 +1,52 @@
+#ifndef GRAPHBENCH_SUT_RELATIONAL_SUT_H_
+#define GRAPHBENCH_SUT_RELATIONAL_SUT_H_
+
+#include <memory>
+#include <string>
+
+#include "engines/relational/database.h"
+#include "snb/schema.h"
+#include "sut/sut.h"
+
+namespace graphbench {
+
+/// SQL-over-RDBMS SUT: Postgres (row storage) or Virtuoso (columnar).
+/// Queries are SQL strings parsed and planned per execution; the knows
+/// relation is stored in both directions, the fix the paper contributed to
+/// the LDBC SQL reference implementation (§4.4).
+class RelationalSut : public Sut {
+ public:
+  explicit RelationalSut(StorageMode mode);
+
+  std::string name() const override {
+    return mode_ == StorageMode::kRow ? "Postgres (SQL)" : "Virtuoso (SQL)";
+  }
+  Status Load(const snb::Dataset& data) override;
+  Result<QueryResult> PointLookup(int64_t person_id) override;
+  Result<QueryResult> OneHop(int64_t person_id) override;
+  Result<QueryResult> TwoHop(int64_t person_id) override;
+  Result<int> ShortestPathLen(int64_t from_person,
+                              int64_t to_person) override;
+  Result<QueryResult> RecentPosts(int64_t person_id,
+                                  int64_t limit) override;
+  Result<QueryResult> FriendsWithName(int64_t person_id,
+                                      const std::string& first_name) override;
+  Result<QueryResult> RepliesOfPost(int64_t post_id) override;
+  Result<QueryResult> TopPosters(int64_t limit) override;
+  Status Apply(const snb::UpdateOp& op) override;
+  uint64_t SizeBytes() const override { return db_.TotalSizeBytes(); }
+
+  Database* database() { return &db_; }
+
+  /// Creates the SNB relational schema (tables + vertex-id indexes) on a
+  /// database; shared with the Sqlg SUT, which runs on the same schema.
+  static Status CreateSnbSchema(Database* db);
+
+ private:
+  StorageMode mode_;
+  Database db_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SUT_RELATIONAL_SUT_H_

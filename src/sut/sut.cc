@@ -1,0 +1,52 @@
+#include "sut/sut.h"
+
+#include "sut/cypher_sut.h"
+#include "sut/gremlin_sut.h"
+#include "sut/relational_sut.h"
+#include "sut/sparql_sut.h"
+
+namespace graphbench {
+
+std::unique_ptr<Sut> MakeSut(SutKind kind) {
+  switch (kind) {
+    case SutKind::kNeo4jCypher:
+      return std::make_unique<CypherSut>();
+    case SutKind::kNeo4jGremlin:
+      return MakeNeo4jGremlinSut();
+    case SutKind::kTitanC:
+      return MakeTitanCSut();
+    case SutKind::kTitanB:
+      return MakeTitanBSut();
+    case SutKind::kSqlg:
+      return MakeSqlgSut();
+    case SutKind::kPostgresSql:
+      return std::make_unique<RelationalSut>(StorageMode::kRow);
+    case SutKind::kVirtuosoSql:
+      return std::make_unique<RelationalSut>(StorageMode::kColumnar);
+    case SutKind::kVirtuosoSparql:
+      return std::make_unique<SparqlSut>();
+  }
+  return nullptr;
+}
+
+std::vector<SutKind> AllSutKinds() {
+  return {SutKind::kNeo4jCypher, SutKind::kNeo4jGremlin, SutKind::kTitanC,
+          SutKind::kTitanB,      SutKind::kSqlg,         SutKind::kPostgresSql,
+          SutKind::kVirtuosoSql, SutKind::kVirtuosoSparql};
+}
+
+const char* SutKindName(SutKind kind) {
+  switch (kind) {
+    case SutKind::kNeo4jCypher: return "Neo4j (Cypher)";
+    case SutKind::kNeo4jGremlin: return "Neo4j (Gremlin)";
+    case SutKind::kTitanC: return "Titan-C (Gremlin)";
+    case SutKind::kTitanB: return "Titan-B (Gremlin)";
+    case SutKind::kSqlg: return "Sqlg (Gremlin)";
+    case SutKind::kPostgresSql: return "Postgres (SQL)";
+    case SutKind::kVirtuosoSql: return "Virtuoso (SQL)";
+    case SutKind::kVirtuosoSparql: return "Virtuoso (SPARQL)";
+  }
+  return "unknown";
+}
+
+}  // namespace graphbench

@@ -1,0 +1,85 @@
+#ifndef GRAPHBENCH_SUT_SUT_H_
+#define GRAPHBENCH_SUT_SUT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/relational/query_result.h"
+#include "snb/schema.h"
+#include "util/result.h"
+
+namespace graphbench {
+
+/// A system under test: one column of the paper's result tables. Every
+/// SUT loads the same SNB snapshot, answers the four §4.2 read queries and
+/// the §4.3 short reads, and applies the eight SNB update types — each
+/// through its own query language and engine stack.
+class Sut {
+ public:
+  virtual ~Sut() = default;
+
+  /// Column label, e.g. "Postgres (SQL)" or "Titan-C (Gremlin)".
+  virtual std::string name() const = 0;
+
+  /// Bulk-loads the static snapshot (vendor-specific loading mechanism).
+  virtual Status Load(const snb::Dataset& data) = 0;
+
+  // --- §4.2 read-only queries -----------------------------------------
+  /// Person profile by id (point lookup).
+  virtual Result<QueryResult> PointLookup(int64_t person_id) = 0;
+  /// Friends with names (1-hop).
+  virtual Result<QueryResult> OneHop(int64_t person_id) = 0;
+  /// Distinct friends-of-friends excluding self (2-hop).
+  virtual Result<QueryResult> TwoHop(int64_t person_id) = 0;
+  /// Unweighted shortest-path length over knows; -1 if unreachable.
+  virtual Result<int> ShortestPathLen(int64_t from_person,
+                                      int64_t to_person) = 0;
+
+  // --- §4.3 short reads -------------------------------------------------
+  /// Most recent posts of a person (id, content, creationDate).
+  virtual Result<QueryResult> RecentPosts(int64_t person_id,
+                                          int64_t limit) = 0;
+
+  // --- Additional LDBC-style interactive reads ---------------------------
+  /// IC1-lite: friends of a person with the given first name
+  /// (id, lastName).
+  virtual Result<QueryResult> FriendsWithName(
+      int64_t person_id, const std::string& first_name) = 0;
+  /// IS7-lite: direct comment replies to a post
+  /// (comment id, content, creator person id).
+  virtual Result<QueryResult> RepliesOfPost(int64_t post_id) = 0;
+  /// Aggregation read: the `limit` most prolific post creators
+  /// (person id, post count), count descending then id ascending.
+  virtual Result<QueryResult> TopPosters(int64_t limit) = 0;
+
+  // --- Updates (U1-U8), applied by the single writer --------------------
+  virtual Status Apply(const snb::UpdateOp& op) = 0;
+
+  /// Resident database size (Table 1's per-system column).
+  virtual uint64_t SizeBytes() const = 0;
+};
+
+/// Factory identifiers matching the paper's eight configurations.
+enum class SutKind {
+  kNeo4jCypher,
+  kNeo4jGremlin,
+  kTitanC,
+  kTitanB,
+  kSqlg,
+  kPostgresSql,
+  kVirtuosoSql,
+  kVirtuosoSparql,
+};
+
+/// Creates a fresh, empty SUT of the given kind.
+std::unique_ptr<Sut> MakeSut(SutKind kind);
+
+/// All eight configurations in the paper's column order.
+std::vector<SutKind> AllSutKinds();
+
+const char* SutKindName(SutKind kind);
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SUT_SUT_H_

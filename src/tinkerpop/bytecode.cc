@@ -1,0 +1,213 @@
+#include "tinkerpop/bytecode.h"
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace graphbench {
+namespace gremlinio {
+
+// GraphSON 3.0 analog: traversals and results travel as typed JSON, the
+// format the real Gremlin Server speaks. The encode/parse cost on every
+// request is a genuine component of the TinkerPop overhead (§4.2, §4.4).
+
+namespace {
+
+const char* OpName(GremlinStep::Kind kind) {
+  switch (kind) {
+    case GremlinStep::Kind::kV: return "V";
+    case GremlinStep::Kind::kHasIndexed: return "hasIndexed";
+    case GremlinStep::Kind::kHas: return "has";
+    case GremlinStep::Kind::kOut: return "out";
+    case GremlinStep::Kind::kIn: return "in";
+    case GremlinStep::Kind::kBoth: return "both";
+    case GremlinStep::Kind::kValues: return "values";
+    case GremlinStep::Kind::kDedup: return "dedup";
+    case GremlinStep::Kind::kLimit: return "limit";
+    case GremlinStep::Kind::kCount: return "count";
+    case GremlinStep::Kind::kAs: return "as";
+    case GremlinStep::Kind::kWhereNeq: return "whereNeq";
+    case GremlinStep::Kind::kShortestPath: return "shortestPath";
+    case GremlinStep::Kind::kAddV: return "addV";
+    case GremlinStep::Kind::kAddE: return "addE";
+    case GremlinStep::Kind::kOrderBy: return "orderBy";
+    case GremlinStep::Kind::kValueMap: return "valueMap";
+    case GremlinStep::Kind::kAddEdgeTo: return "addEdgeTo";
+    case GremlinStep::Kind::kGroupCount: return "groupCount";
+  }
+  return "unknown";
+}
+
+Result<GremlinStep::Kind> OpKind(const std::string& name) {
+  using K = GremlinStep::Kind;
+  static constexpr std::pair<const char*, K> kOps[] = {
+      {"V", K::kV},
+      {"hasIndexed", K::kHasIndexed},
+      {"has", K::kHas},
+      {"out", K::kOut},
+      {"in", K::kIn},
+      {"both", K::kBoth},
+      {"values", K::kValues},
+      {"dedup", K::kDedup},
+      {"limit", K::kLimit},
+      {"count", K::kCount},
+      {"as", K::kAs},
+      {"whereNeq", K::kWhereNeq},
+      {"shortestPath", K::kShortestPath},
+      {"addV", K::kAddV},
+      {"addE", K::kAddE},
+      {"orderBy", K::kOrderBy},
+      {"valueMap", K::kValueMap},
+      {"addEdgeTo", K::kAddEdgeTo},
+      {"groupCount", K::kGroupCount},
+  };
+  for (const auto& [op, kind] : kOps) {
+    if (name == op) return kind;
+  }
+  return Status::Corruption("unknown gremlin op " + name);
+}
+
+Json ValueToJson(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return Json::Null();
+    case Value::Type::kBool:
+      return Json::Bool(v.as_bool());
+    case Value::Type::kInt: {
+      Json typed = Json::Object();
+      typed.Set("@type", Json::Str("g:Int64"));
+      typed.Set("@value", Json::Int(v.as_int()));
+      return typed;
+    }
+    case Value::Type::kDouble: {
+      Json typed = Json::Object();
+      typed.Set("@type", Json::Str("g:Double"));
+      typed.Set("@value", Json::Number(v.as_double()));
+      return typed;
+    }
+    case Value::Type::kString:
+      return Json::Str(v.as_string());
+  }
+  return Json::Null();
+}
+
+Result<Value> JsonToValue(const Json& j) {
+  switch (j.type()) {
+    case Json::Type::kNull:
+      return Value();
+    case Json::Type::kBool:
+      return Value(j.as_bool());
+    case Json::Type::kString:
+      return Value(j.as_string());
+    case Json::Type::kNumber:
+      // Bare numbers only appear in step metadata (n); typed values carry
+      // the GraphSON wrapper.
+      return Value(j.as_int());
+    case Json::Type::kObject: {
+      const std::string& type = j.Get("@type").as_string();
+      if (type == "g:Int64") return Value(j.Get("@value").as_int());
+      if (type == "g:Double") return Value(j.Get("@value").as_number());
+      return Status::Corruption("unknown GraphSON type " + type);
+    }
+    default:
+      return Status::Corruption("unexpected GraphSON value");
+  }
+}
+
+Json PropsToJson(const PropertyMap& props) {
+  Json obj = Json::Object();
+  for (const auto& [key, value] : props.entries()) {
+    obj.Set(key, ValueToJson(value));
+  }
+  return obj;
+}
+
+Result<PropertyMap> JsonToProps(const Json& j) {
+  PropertyMap out;
+  for (const auto& [key, value] : j.object_pairs()) {
+    GB_ASSIGN_OR_RETURN(Value v, JsonToValue(value));
+    out.Set(key, std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeTraversal(const Traversal& traversal) {
+  Json bytecode = Json::Object();
+  bytecode.Set("@type", Json::Str("g:Bytecode"));
+  Json steps = Json::Array();
+  for (const GremlinStep& step : traversal.steps()) {
+    Json s = Json::Object();
+    s.Set("op", Json::Str(OpName(step.kind)));
+    if (!step.label.empty()) s.Set("label", Json::Str(step.label));
+    if (!step.key.empty()) s.Set("key", Json::Str(step.key));
+    if (!step.value.is_null()) s.Set("value", ValueToJson(step.value));
+    if (step.n != 0) s.Set("n", Json::Int(step.n));
+    if (!step.name.empty()) s.Set("name", Json::Str(step.name));
+    if (!step.name2.empty()) s.Set("name2", Json::Str(step.name2));
+    if (!step.props.empty()) s.Set("props", PropsToJson(step.props));
+    steps.Append(std::move(s));
+  }
+  bytecode.Set("step", std::move(steps));
+  return bytecode.Serialize();
+}
+
+Result<Traversal> DecodeTraversal(std::string_view bytes) {
+  GB_ASSIGN_OR_RETURN(Json bytecode, Json::Parse(bytes));
+  if (bytecode.Get("@type").as_string() != "g:Bytecode") {
+    return Status::Corruption("not gremlin bytecode");
+  }
+  Traversal t;
+  const Json& steps = bytecode.Get("step");
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Json& s = steps.at(i);
+    GB_ASSIGN_OR_RETURN(GremlinStep::Kind kind,
+                        OpKind(s.Get("op").as_string()));
+    GremlinStep step{kind};
+    step.label = s.Get("label").as_string();
+    step.key = s.Get("key").as_string();
+    if (s.Has("value")) {
+      GB_ASSIGN_OR_RETURN(step.value, JsonToValue(s.Get("value")));
+    }
+    if (s.Has("n")) step.n = s.Get("n").as_int();
+    step.name = s.Get("name").as_string();
+    step.name2 = s.Get("name2").as_string();
+    if (s.Has("props")) {
+      GB_ASSIGN_OR_RETURN(step.props, JsonToProps(s.Get("props")));
+    }
+    t.mutable_steps()->push_back(std::move(step));
+  }
+  return t;
+}
+
+std::string EncodeResults(const std::vector<Value>& results) {
+  // Response envelope mirroring the Gremlin Server protocol.
+  Json response = Json::Object();
+  Json status = Json::Object();
+  status.Set("code", Json::Int(200));
+  response.Set("status", std::move(status));
+  Json data = Json::Array();
+  for (const Value& v : results) data.Append(ValueToJson(v));
+  Json result = Json::Object();
+  result.Set("data", std::move(data));
+  response.Set("result", std::move(result));
+  return response.Serialize();
+}
+
+Result<std::vector<Value>> DecodeResults(std::string_view bytes) {
+  GB_ASSIGN_OR_RETURN(Json response, Json::Parse(bytes));
+  if (response.Get("status").Get("code").as_int() != 200) {
+    return Status::Corruption("gremlin error response");
+  }
+  const Json& data = response.Get("result").Get("data");
+  std::vector<Value> out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    GB_ASSIGN_OR_RETURN(Value v, JsonToValue(data.at(i)));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace gremlinio
+}  // namespace graphbench

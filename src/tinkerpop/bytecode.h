@@ -1,0 +1,29 @@
+#ifndef GRAPHBENCH_TINKERPOP_BYTECODE_H_
+#define GRAPHBENCH_TINKERPOP_BYTECODE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tinkerpop/traversal.h"
+#include "util/result.h"
+
+namespace graphbench {
+
+/// Gremlin bytecode analog: the wire form a Gremlin client sends to the
+/// Gremlin Server. Every Submit() serializes the traversal and every
+/// response serializes the results — real per-request codec work, part of
+/// the server overhead the paper quantifies (§4.2, §4.4).
+namespace gremlinio {
+
+std::string EncodeTraversal(const Traversal& traversal);
+Result<Traversal> DecodeTraversal(std::string_view bytes);
+
+std::string EncodeResults(const std::vector<Value>& results);
+Result<std::vector<Value>> DecodeResults(std::string_view bytes);
+
+}  // namespace gremlinio
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_TINKERPOP_BYTECODE_H_

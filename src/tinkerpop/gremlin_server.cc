@@ -1,0 +1,55 @@
+#include "tinkerpop/gremlin_server.h"
+
+#include <future>
+
+#include "tinkerpop/bytecode.h"
+
+namespace graphbench {
+
+GremlinServer::GremlinServer(GremlinGraph* graph,
+                             GremlinServerOptions options)
+    : graph_(graph), pool_(options.workers, options.max_queue) {}
+
+GremlinServer::~GremlinServer() { pool_.Shutdown(); }
+
+Result<std::vector<Value>> GremlinServer::Submit(const Traversal& traversal) {
+  // Client side: encode the traversal to bytecode.
+  std::string request = gremlinio::EncodeTraversal(traversal);
+
+  auto response = std::make_shared<std::promise<Result<std::string>>>();
+  std::future<Result<std::string>> reply = response->get_future();
+
+  GremlinGraph* graph = graph_;
+  bool accepted = pool_.Submit([graph, request = std::move(request),
+                                response]() mutable {
+    // Server side: decode, execute, encode the response frame.
+    auto decoded = gremlinio::DecodeTraversal(request);
+    if (!decoded.ok()) {
+      response->set_value(decoded.status());
+      return;
+    }
+    auto results = ExecuteTraversal(graph, *decoded);
+    if (!results.ok()) {
+      response->set_value(results.status());
+      return;
+    }
+    response->set_value(gremlinio::EncodeResults(*results));
+  });
+  if (!accepted) {
+    ++rejected_;
+    return Status::Busy("gremlin server request queue full");
+  }
+
+  Result<std::string> frame = reply.get();
+  if (!frame.ok()) return frame.status();
+  ++served_;
+  // Client side: decode the response frame.
+  return gremlinio::DecodeResults(*frame);
+}
+
+Result<std::vector<Value>> GremlinServer::SubmitEmbedded(
+    const Traversal& traversal) {
+  return ExecuteTraversal(graph_, traversal);
+}
+
+}  // namespace graphbench

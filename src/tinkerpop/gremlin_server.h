@@ -1,0 +1,57 @@
+#ifndef GRAPHBENCH_TINKERPOP_GREMLIN_SERVER_H_
+#define GRAPHBENCH_TINKERPOP_GREMLIN_SERVER_H_
+
+#include <atomic>
+#include <memory>
+
+#include "tinkerpop/structure.h"
+#include "tinkerpop/traversal.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace graphbench {
+
+struct GremlinServerOptions {
+  /// Worker threads executing traversals (gremlinPool in the real server).
+  size_t workers = 4;
+  /// Bounded request queue; submissions beyond it are rejected. The real
+  /// Gremlin Server hangs and eventually crashes under floods of complex
+  /// queries (§4.4) — we degrade to Busy errors, which the driver counts.
+  size_t max_queue = 256;
+};
+
+/// In-process Gremlin Server analog. Clients submit traversals which are
+/// (1) serialized to bytecode, (2) queued to a worker pool, (3) decoded
+/// and executed against the provider graph, (4) results serialized back
+/// and decoded client-side. Steps 1-4 are real work on every request —
+/// the platform-agnostic-access tax of Figure 2.
+class GremlinServer {
+ public:
+  GremlinServer(GremlinGraph* graph, GremlinServerOptions options = {});
+  ~GremlinServer();
+
+  GremlinServer(const GremlinServer&) = delete;
+  GremlinServer& operator=(const GremlinServer&) = delete;
+
+  /// Synchronous round trip. Busy when the request queue is full.
+  Result<std::vector<Value>> Submit(const Traversal& traversal);
+
+  /// Bypass the server layer: execute directly against the provider
+  /// (TinkerPop "embedded" mode). Used by the ablation benchmark.
+  Result<std::vector<Value>> SubmitEmbedded(const Traversal& traversal);
+
+  uint64_t requests_served() const { return served_; }
+  uint64_t requests_rejected() const { return rejected_; }
+
+  GremlinGraph* graph() { return graph_; }
+
+ private:
+  GremlinGraph* graph_;
+  ThreadPool pool_;
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_TINKERPOP_GREMLIN_SERVER_H_

@@ -1,0 +1,59 @@
+#ifndef GRAPHBENCH_TINKERPOP_STRUCTURE_H_
+#define GRAPHBENCH_TINKERPOP_STRUCTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "util/result.h"
+
+namespace graphbench {
+
+/// A provider-scoped vertex handle flowing through Gremlin traversals.
+struct GVertex {
+  uint64_t id = ~uint64_t{0};
+  friend bool operator==(const GVertex&, const GVertex&) = default;
+};
+
+/// The Gremlin Structure API analog: the narrow, imperative surface every
+/// TinkerPop provider exposes. Each method is one "small request" to the
+/// underlying store — traversals compose many of these calls, which is the
+/// overhead the paper measures against native query interfaces (§4.2).
+class GremlinGraph {
+ public:
+  virtual ~GremlinGraph() = default;
+
+  virtual Result<GVertex> AddVertex(std::string_view label,
+                                    const PropertyMap& props) = 0;
+  virtual Status AddEdge(std::string_view label, GVertex from, GVertex to,
+                         const PropertyMap& props) = 0;
+
+  /// g.V().has(label, key, value): index-backed vertex lookup.
+  virtual Result<std::vector<GVertex>> VerticesByProperty(
+      std::string_view label, std::string_view key, const Value& value) = 0;
+
+  /// g.V() / g.V().hasLabel(label).
+  virtual Result<std::vector<GVertex>> AllVertices(
+      std::string_view label) = 0;
+
+  /// One adjacency expansion.
+  virtual Result<std::vector<GVertex>> Adjacent(GVertex v,
+                                                std::string_view edge_label,
+                                                Direction dir) = 0;
+
+  /// One property read.
+  virtual Result<Value> Property(GVertex v, std::string_view key) = 0;
+
+  virtual Result<std::string> Label(GVertex v) = 0;
+
+  virtual uint64_t VertexCount() const = 0;
+  virtual uint64_t EdgeCount() const = 0;
+  virtual uint64_t ApproximateSizeBytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_TINKERPOP_STRUCTURE_H_

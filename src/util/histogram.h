@@ -1,0 +1,53 @@
+#ifndef GRAPHBENCH_UTIL_HISTOGRAM_H_
+#define GRAPHBENCH_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphbench {
+
+/// Log-bucketed latency histogram (RocksDB-style). Records values in
+/// microseconds; reports count/mean/percentiles. Add() is thread-safe.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Movable so result structs carrying histograms can be returned by
+  /// value. Not thread-safe with respect to concurrent Add() on `other`.
+  Histogram(Histogram&& other) noexcept;
+  Histogram& operator=(Histogram&& other) noexcept;
+
+  void Add(uint64_t micros);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  /// p in (0, 100]; interpolates within the containing bucket.
+  double Percentile(double p) const;
+
+  /// One-line summary: "cnt=... mean=...us p50=... p95=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 256;
+  // Bucket upper bounds grow ~exponentially; index via BucketFor().
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketUpper(size_t b);
+
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_UTIL_HISTOGRAM_H_

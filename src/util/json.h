@@ -1,0 +1,71 @@
+#ifndef GRAPHBENCH_UTIL_JSON_H_
+#define GRAPHBENCH_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace graphbench {
+
+/// Minimal JSON document model + parser/serializer. Used by the GraphSON
+/// analog wire format of the Gremlin Server (typed JSON is what the real
+/// server speaks, and its cost is part of the TinkerPop overhead the paper
+/// measures).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double d);
+  static Json Int(int64_t i);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  int64_t as_int() const { return int64_t(number_); }
+  const std::string& as_string() const { return string_; }
+
+  /// Array access.
+  void Append(Json value);
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+
+  /// Object access. Get returns null Json when absent.
+  void Set(std::string key, Json value);
+  const Json& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  /// Object entries in insertion order.
+  const std::vector<std::pair<std::string, Json>>& object_pairs() const {
+    return object_;
+  }
+
+  /// Compact serialization (no whitespace).
+  std::string Serialize() const;
+
+  /// Parses a complete JSON document.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_UTIL_JSON_H_

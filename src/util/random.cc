@@ -1,0 +1,89 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace graphbench {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 to expand the seed into two non-zero state words.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s0_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return Next() % n; }
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + int64_t(Uniform(uint64_t(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return double(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t rank =
+      uint64_t(double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+PowerLawDegree::PowerLawDegree(uint32_t k_min, uint32_t k_max, double gamma,
+                               uint64_t seed)
+    : k_min_(k_min), k_max_(k_max), gamma_(gamma), rng_(seed) {}
+
+uint32_t PowerLawDegree::Next() {
+  // Inverse-CDF sampling of the continuous power law, rounded down.
+  double u = rng_.NextDouble();
+  double a = std::pow(double(k_min_), 1.0 - gamma_);
+  double b = std::pow(double(k_max_) + 1.0, 1.0 - gamma_);
+  double k = std::pow(a + u * (b - a), 1.0 / (1.0 - gamma_));
+  uint32_t out = uint32_t(k);
+  if (out < k_min_) out = k_min_;
+  if (out > k_max_) out = k_max_;
+  return out;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,69 @@
+#ifndef GRAPHBENCH_UTIL_RESULT_H_
+#define GRAPHBENCH_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace graphbench {
+
+/// A Status plus a value of type T on success. The value may only be
+/// accessed when ok(); accessing the value of a failed Result aborts in
+/// debug builds and is undefined in release builds (same contract as
+/// arrow::Result).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return Status::NotFound();` both work
+  /// in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a failed Status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when the Result failed.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace graphbench
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, otherwise propagates the Status out of the enclosing function.
+#define GB_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto GB_CONCAT_(_gb_result_, __LINE__) = (expr);  \
+  if (!GB_CONCAT_(_gb_result_, __LINE__).ok())      \
+    return GB_CONCAT_(_gb_result_, __LINE__).status(); \
+  lhs = std::move(GB_CONCAT_(_gb_result_, __LINE__)).value()
+
+#define GB_CONCAT_(a, b) GB_CONCAT_IMPL_(a, b)
+#define GB_CONCAT_IMPL_(a, b) a##b
+
+#endif  // GRAPHBENCH_UTIL_RESULT_H_

@@ -1,0 +1,104 @@
+#ifndef GRAPHBENCH_UTIL_STATUS_H_
+#define GRAPHBENCH_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace graphbench {
+
+/// Outcome of an operation that can fail. Library code reports errors by
+/// returning Status (or Result<T>) rather than throwing; this mirrors the
+/// RocksDB/Arrow convention and keeps engine hot paths exception-free.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kCorruption,
+    kNotSupported,
+    kBusy,
+    kAborted,
+    kTimedOut,
+    kResourceExhausted,
+    kInternal,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg = "") {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg = "") {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace graphbench
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define GB_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::graphbench::Status _gb_status = (expr);       \
+    if (!_gb_status.ok()) return _gb_status;        \
+  } while (0)
+
+#endif  // GRAPHBENCH_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef GRAPHBENCH_UTIL_STOPWATCH_H_
+#define GRAPHBENCH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace graphbench {
+
+/// Monotonic wall-clock timer for latency measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  uint64_t ElapsedMicros() const {
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - start_)
+                        .count());
+  }
+
+  double ElapsedMillis() const { return double(ElapsedMicros()) / 1000.0; }
+  double ElapsedSeconds() const { return double(ElapsedMicros()) / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Monotonic microsecond timestamp (process-relative).
+inline uint64_t NowMicros() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_UTIL_STOPWATCH_H_

@@ -1,0 +1,35 @@
+#ifndef GRAPHBENCH_UTIL_TABLE_PRINTER_H_
+#define GRAPHBENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace graphbench {
+
+/// Renders benchmark results as an aligned ASCII table (the layout the
+/// paper's Tables 1-4 use) and optionally as CSV for post-processing.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Aligned ASCII rendering, including the title.
+  std::string ToString() const;
+
+  /// RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Convenience: prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_UTIL_TABLE_PRINTER_H_

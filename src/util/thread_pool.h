@@ -1,0 +1,53 @@
+#ifndef GRAPHBENCH_UTIL_THREAD_POOL_H_
+#define GRAPHBENCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphbench {
+
+/// Fixed-size worker pool with an optionally bounded FIFO queue. Used by the
+/// Gremlin Server analog (bounded queue, so floods of complex requests make
+/// submissions fail like the real server, §4.4) and by benchmark drivers.
+class ThreadPool {
+ public:
+  /// `max_queue` of 0 means unbounded.
+  explicit ThreadPool(size_t num_threads, size_t max_queue = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; returns false if the queue is full or the pool is
+  /// shutting down (the task is dropped).
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Drain();
+
+  /// Stops accepting work, drains the queue, joins workers.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t max_queue_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_UTIL_THREAD_POOL_H_

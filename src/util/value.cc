@@ -1,0 +1,75 @@
+#include "util/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace graphbench {
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return as_bool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(as_int());
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case Type::kString:
+      return as_string();
+  }
+  return "";
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric types compare by value so that Int(2) == Double(2.0).
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = as_int(), b = other.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = numeric(), b = other.numeric();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type() != other.type()) {
+    return type() < other.type() ? -1 : 1;
+  }
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kBool:
+      return int(as_bool()) - int(other.as_bool());
+    case Type::kString:
+      return as_string().compare(other.as_string());
+    default:
+      return 0;  // Numeric cases handled above.
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case Type::kBool:
+      return as_bool() ? 0x12345 : 0x54321;
+    case Type::kInt:
+      return std::hash<int64_t>()(as_int());
+    case Type::kDouble: {
+      double d = as_double();
+      // Integral doubles hash like the equivalent Int (Compare-consistent).
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case Type::kString:
+      return std::hash<std::string>()(as_string());
+  }
+  return 0;
+}
+
+}  // namespace graphbench

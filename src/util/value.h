@@ -1,0 +1,88 @@
+#ifndef GRAPHBENCH_UTIL_VALUE_H_
+#define GRAPHBENCH_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace graphbench {
+
+/// Dynamically-typed scalar used for vertex/edge properties, relational
+/// tuples, RDF literals, and query results. Ordering is defined within a
+/// type; across types, values order by type tag (Null < Bool < Int < Double
+/// < String) except Int/Double which compare numerically.
+class Value {
+ public:
+  enum class Type : uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kString = 4,
+  };
+
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                  // NOLINT(runtime/explicit)
+  Value(int64_t i) : rep_(i) {}               // NOLINT(runtime/explicit)
+  Value(int i) : rep_(int64_t{i}) {}          // NOLINT(runtime/explicit)
+  Value(double d) : rep_(d) {}                // NOLINT(runtime/explicit)
+  Value(std::string s) : rep_(std::move(s)) {}  // NOLINT(runtime/explicit)
+  Value(std::string_view s)                   // NOLINT(runtime/explicit)
+      : rep_(std::string(s)) {}
+  Value(const char* s) : rep_(std::string(s)) {}  // NOLINT(runtime/explicit)
+
+  Type type() const { return static_cast<Type>(rep_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Accessors require the matching type; checked by std::get.
+  bool as_bool() const { return std::get<bool>(rep_); }
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value as double regardless of Int/Double representation.
+  /// Requires is_numeric().
+  double numeric() const { return is_int() ? double(as_int()) : as_double(); }
+
+  /// Human-readable rendering ("null", "true", "42", "3.5", raw string).
+  std::string ToString() const;
+
+  /// Total ordering used by ORDER BY and index keys.
+  int Compare(const Value& other) const;
+
+  /// Stable hash for hash joins and hash indexes. Int and Double holding
+  /// the same integral value hash identically (consistent with Compare).
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+/// Hasher for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A result row: a vector of named columns is carried separately.
+using Row = std::vector<Value>;
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_UTIL_VALUE_H_

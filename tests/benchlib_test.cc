@@ -1,0 +1,34 @@
+#include "benchlib/read_latency.h"
+
+#include <gtest/gtest.h>
+
+namespace graphbench {
+namespace {
+
+TEST(BenchlibTest, ReadLatencyTableCoversAllSystemsAndQueries) {
+  snb::DatagenOptions tiny;
+  tiny.num_persons = 50;
+  tiny.seed = 12;
+  benchlib::ReadLatencyOptions options;
+  options.repetitions = 3;
+  std::string table = benchlib::RunReadLatencyTable(
+      tiny, options, "smoke test table");
+
+  for (const char* system :
+       {"Neo4j (Cypher)", "Neo4j (Gremlin)", "Titan-C (Gremlin)",
+        "Titan-B (Gremlin)", "Sqlg (Gremlin)", "Postgres (SQL)",
+        "Virtuoso (SQL)", "Virtuoso (SPARQL)"}) {
+    EXPECT_NE(table.find(system), std::string::npos) << system;
+  }
+  for (const char* query :
+       {"Point lookup", "1-hop", "2-hop", "Shortest path"}) {
+    EXPECT_NE(table.find(query), std::string::npos) << query;
+  }
+  EXPECT_NE(table.find("vs best"), std::string::npos);
+  // No load/run failures leaked into the table.
+  EXPECT_EQ(table.find("error"), std::string::npos);
+  EXPECT_EQ(table.find("-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphbench

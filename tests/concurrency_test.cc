@@ -1,0 +1,137 @@
+// Concurrency stress tests for the pieces the interactive workload (§4.3)
+// and the concurrent-loading experiment (Appendix A) rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engines/relational/database.h"
+#include "engines/titan/titan_graph.h"
+#include "kv/btree_kv.h"
+#include "kv/lsm_kv.h"
+#include "mq/broker.h"
+
+namespace graphbench {
+namespace {
+
+TEST(ConcurrencyTest, LsmConcurrentWritersLoseNothing) {
+  LsmOptions options;
+  options.memtable_bytes = 4096;  // force flush/compaction under load
+  options.max_runs = 3;
+  LsmKv kv(options);
+  constexpr int kThreads = 4, kPerThread = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&kv, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(kv.Put(key, "v").ok());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(kv.Count(), uint64_t(kThreads * kPerThread));
+  std::string v;
+  EXPECT_TRUE(kv.Get("t2-1999", &v).ok());
+}
+
+TEST(ConcurrencyTest, BTreeReadersDuringSplits) {
+  BTreeKv kv(/*fanout=*/8);
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_failures{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(kv.Put("base" + std::to_string(i), "v").ok());
+  }
+  std::thread reader([&] {
+    std::string v;
+    while (!stop) {
+      if (!kv.Get("base50", &v).ok() || v != "v") ++read_failures;
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(kv.Put("grow" + std::to_string(i), "w").ok());
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(read_failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, TitanUniquenessUnderRacingInserts) {
+  // Two threads race to create the same person id over the isolation-free
+  // LSM backend; the lock manager must let exactly one win (the Titan
+  // behaviour §4.3 discusses).
+  for (int round = 0; round < 20; ++round) {
+    TitanGraph titan(std::make_unique<LsmKv>());
+    ASSERT_TRUE(titan.RegisterUniqueIndex("Person", "id").ok());
+    std::atomic<int> created{0}, rejected{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {
+        auto r = titan.AddVertex("Person", {{"id", Value(7)}});
+        if (r.ok()) ++created;
+        else if (r.status().IsAlreadyExists()) ++rejected;
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(created.load(), 1) << "round " << round;
+    EXPECT_EQ(rejected.load(), 1) << "round " << round;
+  }
+}
+
+TEST(ConcurrencyTest, DatabaseReadersWithConcurrentInserts) {
+  Database db(StorageMode::kRow);
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"id", Value::Type::kInt},
+                                               {"v", Value::Type::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateIndex("t", "id", true).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db.InsertRow("t", {Value(i), Value(i * 2)}).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread reader([&] {
+    while (!stop) {
+      auto r = db.Execute("SELECT v FROM t WHERE id = 250");
+      if (!r.ok() || r->rows.size() != 1 || r->rows[0][0].as_int() != 500) {
+        ++bad;
+      }
+    }
+  });
+  for (int i = 500; i < 4000; ++i) {
+    ASSERT_TRUE(db.InsertRow("t", {Value(i), Value(i * 2)}).ok());
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ConcurrencyTest, MqManyProducersOneConsumer) {
+  mq::Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("t", 4).ok());
+  constexpr int kProducers = 4, kEach = 1000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&broker, p] {
+      mq::Producer producer(&broker, "t");
+      for (int i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(producer.Send("k" + std::to_string(p), "m").ok());
+      }
+    });
+  }
+  mq::Consumer consumer(&broker, "t");
+  size_t got = 0;
+  // Consume concurrently with production until all arrive.
+  while (got < size_t(kProducers * kEach)) {
+    auto batch = consumer.Poll(64);
+    ASSERT_TRUE(batch.ok());
+    got += batch->size();
+    if (batch->empty()) std::this_thread::yield();
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(got, size_t(kProducers * kEach));
+  EXPECT_TRUE(consumer.CaughtUp());
+}
+
+}  // namespace
+}  // namespace graphbench

@@ -1,0 +1,110 @@
+#include "snb/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "snb/datagen.h"
+
+namespace graphbench {
+namespace snb {
+namespace {
+
+std::string TempDir() {
+  std::string dir =
+      std::filesystem::temp_directory_path() / "graphbench_csv_test";
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CsvIoTest, RoundTripsWholeDataset) {
+  DatagenOptions options;
+  options.num_persons = 60;
+  options.seed = 13;
+  Dataset original = Generate(options);
+  std::string dir = TempDir();
+  ASSERT_TRUE(WriteCsv(original, dir).ok());
+
+  auto loaded = ReadCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->persons.size(), original.persons.size());
+  EXPECT_EQ(loaded->knows.size(), original.knows.size());
+  EXPECT_EQ(loaded->forums.size(), original.forums.size());
+  EXPECT_EQ(loaded->members.size(), original.members.size());
+  EXPECT_EQ(loaded->posts.size(), original.posts.size());
+  EXPECT_EQ(loaded->comments.size(), original.comments.size());
+  EXPECT_EQ(loaded->likes.size(), original.likes.size());
+  EXPECT_EQ(loaded->tags.size(), original.tags.size());
+  EXPECT_EQ(loaded->post_tags.size(), original.post_tags.size());
+  EXPECT_EQ(loaded->places.size(), original.places.size());
+  EXPECT_EQ(loaded->organisations.size(), original.organisations.size());
+  EXPECT_EQ(loaded->study_at.size(), original.study_at.size());
+  EXPECT_EQ(loaded->work_at.size(), original.work_at.size());
+  EXPECT_EQ(loaded->update_stream.size(), original.update_stream.size());
+
+  // Spot-check field fidelity.
+  for (size_t i = 0; i < original.persons.size(); i += 7) {
+    EXPECT_EQ(loaded->persons[i].first_name, original.persons[i].first_name);
+    EXPECT_EQ(loaded->persons[i].creation_date,
+              original.persons[i].creation_date);
+    EXPECT_EQ(loaded->persons[i].location_ip,
+              original.persons[i].location_ip);
+  }
+  for (size_t i = 0; i < original.update_stream.size(); i += 13) {
+    EXPECT_EQ(loaded->update_stream[i].kind, original.update_stream[i].kind);
+    EXPECT_EQ(loaded->update_stream[i].scheduled_date,
+              original.update_stream[i].scheduled_date);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvIoTest, EscapesDelimitersInContent) {
+  Dataset data;
+  Person p;
+  p.id = 1;
+  p.first_name = "pipe|in|name";
+  p.last_name = "back\\slash";
+  p.gender = "x";
+  p.browser = "multi\nline";
+  p.location_ip = "1.2.3.4";
+  p.city_id = 1;
+  data.persons.push_back(p);
+  std::string dir = TempDir();
+  ASSERT_TRUE(WriteCsv(data, dir).ok());
+  auto loaded = ReadCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->persons.size(), 1u);
+  EXPECT_EQ(loaded->persons[0].first_name, "pipe|in|name");
+  EXPECT_EQ(loaded->persons[0].last_name, "back\\slash");
+  EXPECT_EQ(loaded->persons[0].browser, "multi\nline");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvIoTest, ReadMissingDirectoryFails) {
+  auto r = ReadCsv("/nonexistent/graphbench/dir");
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(CsvIoTest, CsvBytesApproximateRawBytesEstimate) {
+  DatagenOptions options;
+  options.num_persons = 120;
+  options.seed = 4;
+  Dataset data = Generate(options);
+  std::string dir = TempDir();
+  ASSERT_TRUE(WriteCsv(data, dir).ok());
+  uint64_t on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename() == "update_stream.csv") continue;
+    on_disk += entry.file_size();
+  }
+  uint64_t estimate = data.RawBytes();
+  // Table 1's raw-size estimate should be the right order of magnitude.
+  EXPECT_GT(on_disk, estimate / 4);
+  EXPECT_LT(on_disk, estimate * 4);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace snb
+}  // namespace graphbench

@@ -1,0 +1,116 @@
+// GremlinSut-specific behaviour: ordered short reads, concurrent loading
+// equivalence, and server sizing effects.
+
+#include "sut/gremlin_sut.h"
+
+#include <gtest/gtest.h>
+
+#include "snb/datagen.h"
+
+namespace graphbench {
+namespace {
+
+snb::DatagenOptions TinyOptions() {
+  snb::DatagenOptions o;
+  o.num_persons = 70;
+  o.seed = 31;
+  return o;
+}
+
+TEST(GremlinSutTest, RecentPostsOrderedDescAndLimited) {
+  snb::Dataset data = snb::Generate(TinyOptions());
+  auto sut = MakeNeo4jGremlinSut();
+  ASSERT_TRUE(sut->Load(data).ok());
+
+  // Find a creator with >= 3 posts.
+  std::map<int64_t, int> posts_by;
+  for (const auto& p : data.posts) ++posts_by[p.creator];
+  int64_t creator = -1;
+  for (const auto& [id, n] : posts_by) {
+    if (n >= 3) {
+      creator = id;
+      break;
+    }
+  }
+  ASSERT_NE(creator, -1) << "dataset should contain an active poster";
+
+  auto r = sut->RecentPosts(creator, 2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_GE(r->rows[0][2].as_int(), r->rows[1][2].as_int());
+}
+
+TEST(GremlinSutTest, ConcurrentLoadMatchesSingleLoad) {
+  snb::Dataset data = snb::Generate(TinyOptions());
+  auto single = MakeTitanCSut();
+  ASSERT_TRUE(single->Load(data).ok());
+  auto concurrent = MakeTitanCSut();
+  ASSERT_TRUE(concurrent->LoadConcurrent(data, 4).ok());
+
+  EXPECT_EQ(single->graph()->VertexCount(),
+            concurrent->graph()->VertexCount());
+  EXPECT_EQ(single->graph()->EdgeCount(),
+            concurrent->graph()->EdgeCount());
+
+  // Same query answers.
+  for (size_t i = 0; i < data.persons.size(); i += 19) {
+    int64_t id = data.persons[i].id;
+    auto a = single->TwoHop(id);
+    auto b = concurrent->TwoHop(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::set<int64_t> sa, sb;
+    for (const Row& row : a->rows) sa.insert(row[0].as_int());
+    for (const Row& row : b->rows) sb.insert(row[0].as_int());
+    EXPECT_EQ(sa, sb) << "person " << id;
+  }
+}
+
+TEST(GremlinSutTest, SqlgConcurrentLoadMatchesSingleLoad) {
+  snb::Dataset data = snb::Generate(TinyOptions());
+  auto single = MakeSqlgSut();
+  ASSERT_TRUE(single->Load(data).ok());
+  auto concurrent = MakeSqlgSut();
+  ASSERT_TRUE(concurrent->LoadConcurrent(data, 4).ok());
+  EXPECT_EQ(single->graph()->VertexCount(),
+            concurrent->graph()->VertexCount());
+  EXPECT_EQ(single->graph()->EdgeCount(),
+            concurrent->graph()->EdgeCount());
+}
+
+TEST(GremlinSutTest, TinyServerQueueRejectsUnderBurst) {
+  snb::Dataset data = snb::Generate(TinyOptions());
+  GremlinServerOptions server;
+  server.workers = 1;
+  server.max_queue = 1;
+  auto sut = MakeNeo4jGremlinSut(server);
+  ASSERT_TRUE(sut->Load(data).ok());
+
+  std::atomic<int> busy{0}, ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto r = sut->TwoHop(int64_t(i % 50 + 1));
+        if (r.ok()) ++ok;
+        else if (r.status().IsBusy()) ++busy;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(busy.load(), 0);  // §4.4: the server saturates under bursts
+}
+
+TEST(GremlinSutTest, ApplyRejectsDanglingEdgeUpdates) {
+  snb::Dataset data = snb::Generate(TinyOptions());
+  auto sut = MakeTitanBSut();
+  ASSERT_TRUE(sut->Load(data).ok());
+  snb::UpdateOp op;
+  op.kind = snb::UpdateOp::Kind::kAddFriendship;
+  op.knows = {999999, 999998, 1};
+  EXPECT_FALSE(sut->Apply(op).ok());
+}
+
+}  // namespace
+}  // namespace graphbench

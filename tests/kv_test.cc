@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "kv/btree_kv.h"
+#include "kv/key_codec.h"
+#include "kv/lsm_kv.h"
+#include "util/random.h"
+
+namespace graphbench {
+namespace {
+
+// Both KV backends must satisfy the same ordered-store contract.
+class KvStoreContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<KvStore> Make() const {
+    if (std::string(GetParam()) == "btree") {
+      return std::make_unique<BTreeKv>(/*fanout=*/8);  // small: force splits
+    }
+    LsmOptions opts;
+    opts.memtable_bytes = 1024;  // small: force flushes/compactions
+    opts.max_runs = 3;
+    return std::make_unique<LsmKv>(opts);
+  }
+};
+
+TEST_P(KvStoreContractTest, PutGetDelete) {
+  auto kv = Make();
+  EXPECT_TRUE(kv->Put("k1", "v1").ok());
+  EXPECT_TRUE(kv->Put("k2", "v2").ok());
+  std::string v;
+  ASSERT_TRUE(kv->Get("k1", &v).ok());
+  EXPECT_EQ(v, "v1");
+  EXPECT_TRUE(kv->Get("missing", &v).IsNotFound());
+  EXPECT_TRUE(kv->Delete("k1").ok());
+  EXPECT_TRUE(kv->Get("k1", &v).IsNotFound());
+  ASSERT_TRUE(kv->Get("k2", &v).ok());
+  EXPECT_EQ(v, "v2");
+}
+
+TEST_P(KvStoreContractTest, OverwriteKeepsSingleVersion) {
+  auto kv = Make();
+  EXPECT_TRUE(kv->Put("k", "a").ok());
+  EXPECT_TRUE(kv->Put("k", "bb").ok());
+  std::string v;
+  ASSERT_TRUE(kv->Get("k", &v).ok());
+  EXPECT_EQ(v, "bb");
+  EXPECT_EQ(kv->Count(), 1u);
+}
+
+TEST_P(KvStoreContractTest, MatchesReferenceMapUnderRandomOps) {
+  auto kv = Make();
+  std::map<std::string, std::string> ref;
+  Rng rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "key" + std::to_string(rng.Uniform(400));
+    int op = int(rng.Uniform(3));
+    if (op == 0 || op == 1) {
+      std::string value = "v" + std::to_string(rng.Next() % 100000);
+      ASSERT_TRUE(kv->Put(key, value).ok());
+      ref[key] = value;
+    } else {
+      Status s = kv->Delete(key);
+      if (ref.count(key)) {
+        // LSM deletes are blind (tombstones), btree reports NotFound.
+        ref.erase(key);
+      }
+      (void)s;
+    }
+  }
+  for (const auto& [k, v] : ref) {
+    std::string got;
+    ASSERT_TRUE(kv->Get(k, &got).ok()) << k;
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(kv->Count(), ref.size());
+}
+
+TEST_P(KvStoreContractTest, IteratorIsOrderedAndComplete) {
+  auto kv = Make();
+  Rng rng(5);
+  std::map<std::string, std::string> ref;
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(1000));
+    ref[key] = "v";
+    ASSERT_TRUE(kv->Put(key, "v").ok());
+  }
+  auto it = kv->NewIterator();
+  it->SeekToFirst();
+  auto expect = ref.begin();
+  while (it->Valid()) {
+    ASSERT_NE(expect, ref.end());
+    EXPECT_EQ(it->key(), expect->first);
+    it->Next();
+    ++expect;
+  }
+  EXPECT_EQ(expect, ref.end());
+}
+
+TEST_P(KvStoreContractTest, IteratorSeek) {
+  auto kv = Make();
+  for (char c = 'b'; c <= 'f'; ++c) {
+    ASSERT_TRUE(kv->Put(std::string(1, c), "x").ok());
+  }
+  auto it = kv->NewIterator();
+  it->Seek("c");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "c");
+  it->Seek("cc");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "d");
+  it->Seek("z");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_P(KvStoreContractTest, SizeAccountingMovesWithData) {
+  auto kv = Make();
+  uint64_t empty = kv->ApproximateSizeBytes();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        kv->Put("key" + std::to_string(i), std::string(100, 'x')).ok());
+  }
+  EXPECT_GT(kv->ApproximateSizeBytes(), empty + 100 * 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, KvStoreContractTest,
+                         ::testing::Values("btree", "lsm"));
+
+TEST(BTreeKvTest, ReportsTransactionalIsolation) {
+  BTreeKv kv;
+  EXPECT_TRUE(kv.SupportsTransactionalIsolation());
+  EXPECT_EQ(kv.name(), "btree");
+}
+
+TEST(BTreeKvTest, ManySequentialInsertsSurviveSplitChains) {
+  BTreeKv kv(/*fanout=*/4);
+  for (int i = 0; i < 2000; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%06d", i);
+    ASSERT_TRUE(kv.Put(buf, std::to_string(i)).ok());
+  }
+  EXPECT_EQ(kv.Count(), 2000u);
+  std::string v;
+  ASSERT_TRUE(kv.Get("001234", &v).ok());
+  EXPECT_EQ(v, "1234");
+}
+
+TEST(BTreeKvTest, ConcurrentReadersWithWriterStayConsistent) {
+  BTreeKv kv;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(kv.Put("stable" + std::to_string(i), "v").ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 1000;
+    while (!stop) kv.Put("new" + std::to_string(i++), "w");
+  });
+  for (int r = 0; r < 2000; ++r) {
+    std::string v;
+    ASSERT_TRUE(kv.Get("stable" + std::to_string(r % 1000), &v).ok());
+    EXPECT_EQ(v, "v");
+  }
+  stop = true;
+  writer.join();
+}
+
+TEST(LsmKvTest, NoTransactionalIsolationAdvertised) {
+  LsmKv kv;
+  EXPECT_FALSE(kv.SupportsTransactionalIsolation());
+  EXPECT_EQ(kv.name(), "lsm");
+}
+
+TEST(LsmKvTest, FlushAndCompactionPreserveData) {
+  LsmOptions opts;
+  opts.memtable_bytes = 512;
+  opts.max_runs = 2;
+  LsmKv kv(opts);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(kv.Put("k" + std::to_string(i), std::string(30, 'a')).ok());
+  }
+  EXPECT_GT(kv.compactions_run(), 0u);
+  std::string v;
+  ASSERT_TRUE(kv.Get("k250", &v).ok());
+  EXPECT_EQ(kv.Count(), 500u);
+}
+
+TEST(LsmKvTest, TombstonesSurviveFlushAndDropOnCompaction) {
+  LsmOptions opts;
+  opts.memtable_bytes = 1 << 20;
+  opts.max_runs = 2;
+  LsmKv kv(opts);
+  ASSERT_TRUE(kv.Put("gone", "x").ok());
+  kv.Flush();
+  ASSERT_TRUE(kv.Delete("gone").ok());
+  kv.Flush();
+  std::string v;
+  EXPECT_TRUE(kv.Get("gone", &v).IsNotFound());
+  EXPECT_EQ(kv.Count(), 0u);
+}
+
+TEST(KeyCodecTest, U64OrderPreserving) {
+  std::string a, b;
+  keycodec::AppendU64(&a, 5);
+  keycodec::AppendU64(&b, 300);
+  EXPECT_LT(a, b);
+  std::string_view view(a);
+  uint64_t v;
+  ASSERT_TRUE(keycodec::DecodeU64(&view, &v));
+  EXPECT_EQ(v, 5u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(KeyCodecTest, StringEscapingRoundTripsAndOrders) {
+  std::string a, b, c;
+  keycodec::AppendString(&a, "a");
+  keycodec::AppendString(&b, "aa");
+  keycodec::AppendString(&c, "b");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+
+  std::string with_nul;
+  keycodec::AppendString(&with_nul, std::string("x\0y", 3));
+  std::string_view view(with_nul);
+  std::string decoded;
+  ASSERT_TRUE(keycodec::DecodeString(&view, &decoded));
+  EXPECT_EQ(decoded, std::string("x\0y", 3));
+}
+
+TEST(KeyCodecTest, CompositeKeysDecodeInOrder) {
+  std::string key;
+  keycodec::AppendByte(&key, 'E');
+  keycodec::AppendU64(&key, 42);
+  keycodec::AppendString(&key, "knows");
+  std::string_view view(key);
+  uint8_t tag;
+  uint64_t vid;
+  std::string label;
+  ASSERT_TRUE(keycodec::DecodeByte(&view, &tag));
+  ASSERT_TRUE(keycodec::DecodeU64(&view, &vid));
+  ASSERT_TRUE(keycodec::DecodeString(&view, &label));
+  EXPECT_EQ(tag, 'E');
+  EXPECT_EQ(vid, 42u);
+  EXPECT_EQ(label, "knows");
+}
+
+TEST(KeyCodecTest, DecodersRejectTruncation) {
+  std::string_view empty;
+  uint64_t v;
+  uint8_t b;
+  std::string s;
+  EXPECT_FALSE(keycodec::DecodeU64(&empty, &v));
+  EXPECT_FALSE(keycodec::DecodeByte(&empty, &b));
+  std::string_view unterminated("abc");
+  EXPECT_FALSE(keycodec::DecodeString(&unterminated, &s));
+}
+
+}  // namespace
+}  // namespace graphbench

@@ -1,0 +1,102 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace graphbench {
+namespace {
+
+std::vector<Token> Lex(std::string_view text, LexerOptions options = {}) {
+  std::vector<Token> tokens;
+  Status s = Tokenize(text, options, &tokens);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return tokens;
+}
+
+TEST(LexerTest, IdentifiersNumbersStrings) {
+  auto tokens = Lex("SELECT name, 42, -3, 2.5, 'it''s' FROM t");
+  // 'it''s' lexes as two adjacent strings; just verify core kinds.
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kIdentifier);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "name");
+  EXPECT_TRUE(tokens[2].IsPunct(","));
+  EXPECT_EQ(tokens[3].kind, Token::Kind::kInteger);
+  EXPECT_EQ(tokens[3].literal.as_int(), 42);
+}
+
+TEST(LexerTest, NegativeNumbersAfterPunct) {
+  auto tokens = Lex("= -5");
+  EXPECT_TRUE(tokens[0].IsPunct("="));
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kInteger);
+  EXPECT_EQ(tokens[1].literal.as_int(), -5);
+}
+
+TEST(LexerTest, FloatVsMemberAccess) {
+  auto tokens = Lex("a.b 2.5");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_TRUE(tokens[1].IsPunct("."));
+  EXPECT_EQ(tokens[2].text, "b");
+  EXPECT_EQ(tokens[3].kind, Token::Kind::kFloat);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Lex("<> <= >= != -> <-");
+  EXPECT_TRUE(tokens[0].IsPunct("<>"));
+  EXPECT_TRUE(tokens[1].IsPunct("<="));
+  EXPECT_TRUE(tokens[2].IsPunct(">="));
+  EXPECT_TRUE(tokens[3].IsPunct("!="));
+  EXPECT_TRUE(tokens[4].IsPunct("->"));
+  EXPECT_TRUE(tokens[5].IsPunct("<-"));
+}
+
+TEST(LexerTest, ParamsAndVariables) {
+  auto sql = Lex("? $name");
+  EXPECT_EQ(sql[0].kind, Token::Kind::kParam);
+  EXPECT_TRUE(sql[0].text.empty());
+  EXPECT_EQ(sql[1].kind, Token::Kind::kParam);
+  EXPECT_EQ(sql[1].text, "name");
+
+  LexerOptions sparql;
+  sparql.question_mark_is_variable = true;
+  auto tokens = Lex("?x ?", sparql);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kVariable);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kParam);  // bare ? stays a param
+}
+
+TEST(LexerTest, PrefixedNamesWithColonOption) {
+  LexerOptions sparql;
+  sparql.colon_in_identifiers = true;
+  auto tokens = Lex("snb:knows", sparql);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "snb:knows");
+
+  auto sql = Lex("snb:knows");
+  EXPECT_EQ(sql[0].text, "snb");
+  EXPECT_TRUE(sql[1].IsPunct(":"));
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex("'a\\'b' \"c\\\"d\"");
+  EXPECT_EQ(tokens[0].literal.as_string(), "a'b");
+  EXPECT_EQ(tokens[1].literal.as_string(), "c\"d");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  std::vector<Token> tokens;
+  EXPECT_TRUE(Tokenize("'oops", {}, &tokens).IsInvalidArgument());
+}
+
+TEST(LexerTest, CursorHelpers) {
+  auto tokens = Lex("MATCH ( x )");
+  TokenCursor cur(&tokens);
+  EXPECT_TRUE(cur.TryKeyword("match"));
+  EXPECT_FALSE(cur.TryKeyword("RETURN"));
+  EXPECT_TRUE(cur.ExpectPunct("(").ok());
+  EXPECT_EQ(cur.Advance().text, "x");
+  EXPECT_TRUE(cur.ExpectPunct(")").ok());
+  EXPECT_TRUE(cur.AtEnd());
+  EXPECT_TRUE(cur.ExpectPunct("(").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace graphbench

@@ -1,0 +1,253 @@
+#include "engines/rdf/rdf_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/sparql/parser.h"
+
+namespace graphbench {
+namespace {
+
+class RdfEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Tiny SNB-ish graph: persons 1..5, knows chain 1-2-3-4-5 plus 1-3.
+    const char* names[] = {"Ada", "Bob", "Cy", "Dee", "Eve"};
+    for (int i = 1; i <= 5; ++i) {
+      std::string iri = "person:" + std::to_string(i);
+      ASSERT_TRUE(engine_
+                      .AddTriple(Term::Iri(iri), "rdf:type",
+                                 Term::Iri("snb:Person"))
+                      .ok());
+      ASSERT_TRUE(engine_
+                      .AddTriple(Term::Iri(iri), "snb:id",
+                                 Term::Literal(Value(i)))
+                      .ok());
+      ASSERT_TRUE(engine_
+                      .AddTriple(Term::Iri(iri), "snb:firstName",
+                                 Term::Literal(Value(names[i - 1])))
+                      .ok());
+    }
+    for (auto [a, b] : std::vector<std::pair<int, int>>{
+             {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 3}}) {
+      ASSERT_TRUE(engine_
+                      .AddTriple(Term::Iri("person:" + std::to_string(a)),
+                                 "snb:knows",
+                                 Term::Iri("person:" + std::to_string(b)))
+                      .ok());
+    }
+  }
+
+  RdfEngine engine_;
+};
+
+TEST_F(RdfEngineTest, PointLookup) {
+  auto r = engine_.Execute(
+      "SELECT ?fn WHERE { ?p snb:id 3 . ?p snb:firstName ?fn }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "Cy");
+}
+
+TEST_F(RdfEngineTest, PredicateObjectListSyntax) {
+  auto r = engine_.Execute(
+      "SELECT ?fn WHERE { ?p snb:id 2 ; snb:firstName ?fn . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_string(), "Bob");
+}
+
+TEST_F(RdfEngineTest, OneHopOutgoing) {
+  auto r = engine_.Execute(
+      "SELECT ?fid WHERE { ?p snb:id 1 . ?p snb:knows ?f . ?f snb:id ?fid } "
+      "ORDER BY ?fid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 2);
+  EXPECT_EQ(r->rows[1][0].as_int(), 3);
+}
+
+TEST_F(RdfEngineTest, TwoHopDistinctWithFilter) {
+  auto r = engine_.Execute(
+      "SELECT DISTINCT ?ffid WHERE { ?p snb:id 1 . ?p snb:knows ?f . "
+      "?f snb:knows ?ff . FILTER(?ff != ?p) . ?ff snb:id ?ffid } "
+      "ORDER BY ?ffid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);  // 3 (via 2), 4 (via 3)
+  EXPECT_EQ(r->rows[0][0].as_int(), 3);
+  EXPECT_EQ(r->rows[1][0].as_int(), 4);
+}
+
+TEST_F(RdfEngineTest, ShortestPathExtension) {
+  auto r = engine_.Execute(
+      "SELECT (shortestPath(?a, ?b, snb:knows) AS ?d) "
+      "WHERE { ?a snb:id 1 . ?b snb:id 5 }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 3);  // 1-3-4-5
+  EXPECT_EQ(r->columns[0], "d");
+}
+
+TEST_F(RdfEngineTest, ShortestPathUnreachableAndSelf) {
+  ASSERT_TRUE(engine_
+                  .AddTriple(Term::Iri("person:9"), "snb:id",
+                             Term::Literal(Value(9)))
+                  .ok());
+  auto r = engine_.Execute(
+      "SELECT (shortestPath(?a, ?b, snb:knows) AS ?d) "
+      "WHERE { ?a snb:id 1 . ?b snb:id 9 }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), -1);
+
+  auto self = engine_.Execute(
+      "SELECT (shortestPath(?a, ?b, snb:knows) AS ?d) "
+      "WHERE { ?a snb:id 2 . ?b snb:id 2 }");
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self->rows[0][0].as_int(), 0);
+}
+
+TEST_F(RdfEngineTest, UnknownConstantGivesEmptyResult) {
+  auto r = engine_.Execute("SELECT ?x WHERE { ?x snb:id 999 }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+  auto r2 = engine_.Execute("SELECT ?x WHERE { ?x snb:nonexistent ?y }");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->rows.empty());
+}
+
+TEST_F(RdfEngineTest, TypeScanReturnsAllPersons) {
+  auto r = engine_.Execute(
+      "SELECT ?id WHERE { ?p rdf:type snb:Person . ?p snb:id ?id } "
+      "ORDER BY DESC(?id) LIMIT 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 5);
+  EXPECT_EQ(r->rows[2][0].as_int(), 3);
+}
+
+TEST_F(RdfEngineTest, DuplicateTripleInsertIsIdempotent) {
+  uint64_t before = engine_.TripleCount();
+  ASSERT_TRUE(engine_
+                  .AddTriple(Term::Iri("person:1"), "snb:knows",
+                             Term::Iri("person:2"))
+                  .ok());
+  EXPECT_EQ(engine_.TripleCount(), before);
+}
+
+TEST_F(RdfEngineTest, CountWithGroupBy) {
+  // Friend count per person over the whole graph.
+  auto r = engine_.Execute(
+      "SELECT ?pid (COUNT(?f) AS ?n) WHERE { "
+      "?p snb:knows ?f . ?p snb:id ?pid } "
+      "GROUP BY ?pid ORDER BY DESC(?n) ?pid LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  // knows stored one direction here: out-degrees 1:{2,3}=2, 2:{3}=1,
+  // 3:{4}=1, 4:{5}=1.
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+  EXPECT_EQ(r->rows[0][1].as_int(), 2);
+  EXPECT_EQ(r->rows[1][1].as_int(), 1);
+}
+
+TEST_F(RdfEngineTest, GlobalCount) {
+  auto r = engine_.Execute(
+      "SELECT (COUNT(?p) AS ?n) WHERE { ?p rdf:type snb:Person }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 5);
+
+  auto empty = engine_.Execute(
+      "SELECT (COUNT(?p) AS ?n) WHERE { ?p rdf:type snb:Spaceship }");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->rows[0][0].as_int(), 0);
+}
+
+TEST_F(RdfEngineTest, ProjectionOutsideGroupByRejected) {
+  auto r = engine_.Execute(
+      "SELECT ?pid (COUNT(?f) AS ?n) WHERE { "
+      "?p snb:knows ?f . ?p snb:id ?pid } GROUP BY ?other");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RdfEngineTest, ParserRejectsMalformedQueries) {
+  EXPECT_FALSE(engine_.Execute("SELECT WHERE { ?a ?b ?c }").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT ?x { ?x snb:id 1 }").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT ?x WHERE { ?x snb:id }").ok());
+  EXPECT_FALSE(
+      engine_.Execute("SELECT ?x WHERE { ?x snb:id 1 } LIMIT ?x").ok());
+  EXPECT_FALSE(engine_.Execute(
+                       "SELECT ?y WHERE { ?x snb:id 1 }")
+                   .ok());  // unknown projection var
+}
+
+TEST(TripleStoreTest, MatchUsesAllBoundCombinations) {
+  TripleStore store(4);
+  ASSERT_TRUE(store.Insert(1, 10, 100).ok());
+  ASSERT_TRUE(store.Insert(1, 10, 101).ok());
+  ASSERT_TRUE(store.Insert(2, 10, 100).ok());
+  ASSERT_TRUE(store.Insert(1, 11, 100).ok());
+
+  std::vector<Triple> out;
+  store.Match(1, kWildcard, kWildcard, &out);
+  EXPECT_EQ(out.size(), 3u);
+  store.Match(kWildcard, 10, kWildcard, &out);
+  EXPECT_EQ(out.size(), 3u);
+  store.Match(kWildcard, kWildcard, 100, &out);
+  EXPECT_EQ(out.size(), 3u);
+  store.Match(kWildcard, 10, 100, &out);
+  EXPECT_EQ(out.size(), 2u);
+  store.Match(1, 10, 100, &out);
+  EXPECT_EQ(out.size(), 1u);
+  store.Match(kWildcard, kWildcard, kWildcard, &out);
+  EXPECT_EQ(out.size(), 4u);
+  store.Match(5, kWildcard, kWildcard, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TripleStoreTest, ReducedIndexConfigurationsStayCorrect) {
+  for (int n = 1; n <= 4; ++n) {
+    TripleStore store(n);
+    ASSERT_TRUE(store.Insert(1, 10, 100).ok());
+    ASSERT_TRUE(store.Insert(2, 10, 101).ok());
+    ASSERT_TRUE(store.Insert(2, 11, 100).ok());
+    std::vector<Triple> out;
+    store.Match(kWildcard, 10, kWildcard, &out);
+    EXPECT_EQ(out.size(), 2u) << "indexes=" << n;
+    store.Match(kWildcard, kWildcard, 100, &out);
+    EXPECT_EQ(out.size(), 2u) << "indexes=" << n;
+  }
+}
+
+TEST(TripleStoreTest, SizeScalesWithIndexCount) {
+  TripleStore one(1), four(4);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(one.Insert(i, 1, i + 1).ok());
+    ASSERT_TRUE(four.Insert(i, 1, i + 1).ok());
+  }
+  EXPECT_GT(four.ApproximateSizeBytes(), 3 * one.ApproximateSizeBytes());
+}
+
+TEST(TermDictionaryTest, InternAndDecode) {
+  TermDictionary dict;
+  uint64_t a = dict.InternIri("person:1");
+  uint64_t b = dict.InternLiteral(Value(42));
+  EXPECT_EQ(dict.InternIri("person:1"), a);  // stable
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Decode(a).iri, "person:1");
+  EXPECT_EQ(dict.Decode(b).literal.as_int(), 42);
+  ASSERT_TRUE(dict.LookupIri("person:1").has_value());
+  EXPECT_FALSE(dict.LookupIri("person:2").has_value());
+  EXPECT_FALSE(dict.LookupLiteral(Value(43)).has_value());
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TermDictionaryTest, LiteralTypesDoNotCollideWithIris) {
+  TermDictionary dict;
+  uint64_t iri = dict.InternIri("42");
+  uint64_t lit = dict.InternLiteral(Value("42"));
+  uint64_t num = dict.InternLiteral(Value(42));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, num);
+}
+
+}  // namespace
+}  // namespace graphbench

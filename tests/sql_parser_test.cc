@@ -1,0 +1,108 @@
+#include "lang/sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace graphbench {
+namespace sql {
+namespace {
+
+TEST(SqlParserTest, SimpleSelect) {
+  auto r = Parse("SELECT firstName, lastName FROM person WHERE id = 42");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r->select;
+  EXPECT_FALSE(s.distinct);
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].name, "firstName");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "person");
+  EXPECT_EQ(s.from[0].alias, "person");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.where->op, BinOp::kEq);
+}
+
+TEST(SqlParserTest, JoinWithAliasesAndParams) {
+  auto r = Parse(
+      "SELECT p.id AS pid FROM knows k JOIN person p ON k.person2Id = p.id "
+      "WHERE k.person1Id = ? ORDER BY p.id DESC LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r->select;
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[1].alias, "p");
+  ASSERT_NE(s.from[1].on, nullptr);
+  EXPECT_EQ(s.items[0].name, "pid");
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_EQ(s.limit, 10);
+  EXPECT_EQ(s.where->rhs->kind, Expr::Kind::kParam);
+  EXPECT_EQ(s.where->rhs->param_index, 0);
+}
+
+TEST(SqlParserTest, DistinctAndCompoundWhere) {
+  auto r = Parse(
+      "SELECT DISTINCT p3.id FROM knows k1 "
+      "JOIN knows k2 ON k1.person2Id = k2.person1Id "
+      "JOIN person p3 ON k2.person2Id = p3.id "
+      "WHERE k1.person1Id = ? AND p3.id <> ?");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r->select;
+  EXPECT_TRUE(s.distinct);
+  ASSERT_EQ(s.from.size(), 3u);
+  EXPECT_EQ(s.where->op, BinOp::kAnd);
+  EXPECT_EQ(s.where->rhs->op, BinOp::kNe);
+  EXPECT_EQ(s.where->rhs->rhs->param_index, 1);
+}
+
+TEST(SqlParserTest, CountStar) {
+  auto r = Parse("SELECT COUNT(*) FROM person");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->select->items[0].expr->kind, Expr::Kind::kCountStar);
+  EXPECT_EQ(r->select->items[0].name, "count");
+}
+
+TEST(SqlParserTest, ShortestPathExtension) {
+  auto r = Parse(
+      "SELECT SHORTEST_PATH(?, ?) USING knows(person1Id, person2Id)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Expr& e = *r->select->items[0].expr;
+  EXPECT_EQ(e.kind, Expr::Kind::kShortestPath);
+  EXPECT_EQ(e.sp_table, "knows");
+  EXPECT_EQ(e.sp_src_col, "person1Id");
+  EXPECT_EQ(e.sp_dst_col, "person2Id");
+  EXPECT_TRUE(r->select->from.empty());
+}
+
+TEST(SqlParserTest, Insert) {
+  auto r = Parse("INSERT INTO person (id, firstName) VALUES (?, 'Ada')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->kind, Statement::Kind::kInsert);
+  const InsertStmt& ins = *r->insert;
+  EXPECT_EQ(ins.table, "person");
+  ASSERT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.values[0]->kind, Expr::Kind::kParam);
+  EXPECT_EQ(ins.values[1]->literal.as_string(), "Ada");
+}
+
+TEST(SqlParserTest, LiteralTypes) {
+  auto r = Parse("SELECT id FROM t WHERE a = -5 AND b = 2.5 AND c = 'x'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(SqlParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("DROP TABLE person").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra garbage here +").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t (a VALUES (1)").ok());
+  EXPECT_FALSE(Parse("SELECT 'unterminated FROM t").ok());
+}
+
+TEST(SqlParserTest, KeywordsAreCaseInsensitive) {
+  auto r = Parse("select id from person where id = 1 order by id limit 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->select->limit, 1);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace graphbench

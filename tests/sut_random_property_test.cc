@@ -1,0 +1,165 @@
+// Randomized property test: on independently generated random social
+// networks (several seeds and shapes), a representative SUT from each
+// data-modelling family must agree with a reference implementation on
+// every benchmark query, including mid-stream (after applying a random
+// prefix of the update stream). This catches distribution-dependent bugs
+// the fixed-dataset equivalence suite cannot.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "snb/datagen.h"
+#include "sut/sut.h"
+#include "util/random.h"
+
+namespace graphbench {
+namespace {
+
+struct Shape {
+  uint64_t seed;
+  uint32_t persons;
+  uint32_t max_degree;
+  double update_window;
+};
+
+class SutRandomPropertyTest : public ::testing::TestWithParam<Shape> {};
+
+// Reference knows-adjacency built from snapshot + an applied prefix.
+class ReferenceGraph {
+ public:
+  ReferenceGraph(const snb::Dataset& data, size_t applied_prefix) {
+    for (const auto& k : data.knows) Link(k.person1, k.person2);
+    for (const auto& p : data.persons) persons_.insert(p.id);
+    for (size_t i = 0; i < applied_prefix; ++i) {
+      const auto& op = data.update_stream[i];
+      if (op.kind == snb::UpdateOp::Kind::kAddFriendship) {
+        Link(op.knows.person1, op.knows.person2);
+      } else if (op.kind == snb::UpdateOp::Kind::kAddPerson) {
+        persons_.insert(op.person.id);
+      }
+    }
+  }
+
+  std::set<int64_t> Neighbors(int64_t p) const {
+    auto it = adj_.find(p);
+    return it == adj_.end() ? std::set<int64_t>{} : it->second;
+  }
+
+  std::set<int64_t> TwoHop(int64_t p) const {
+    std::set<int64_t> out;
+    for (int64_t f : Neighbors(p)) {
+      for (int64_t ff : Neighbors(f)) {
+        if (ff != p) out.insert(ff);
+      }
+    }
+    return out;
+  }
+
+  int ShortestPath(int64_t a, int64_t b) const {
+    if (a == b) return 0;
+    std::set<int64_t> visited{a};
+    std::vector<int64_t> frontier{a};
+    for (int depth = 1; !frontier.empty(); ++depth) {
+      std::vector<int64_t> next;
+      for (int64_t v : frontier) {
+        for (int64_t n : Neighbors(v)) {
+          if (visited.count(n)) continue;
+          if (n == b) return depth;
+          visited.insert(n);
+          next.push_back(n);
+        }
+      }
+      frontier = std::move(next);
+    }
+    return -1;
+  }
+
+  const std::set<int64_t>& persons() const { return persons_; }
+
+ private:
+  void Link(int64_t a, int64_t b) {
+    adj_[a].insert(b);
+    adj_[b].insert(a);
+  }
+  std::map<int64_t, std::set<int64_t>> adj_;
+  std::set<int64_t> persons_;
+};
+
+std::set<int64_t> IdColumn(const QueryResult& r) {
+  std::set<int64_t> out;
+  for (const Row& row : r.rows) out.insert(row[0].as_int());
+  return out;
+}
+
+TEST_P(SutRandomPropertyTest, FamiliesAgreeWithReferenceMidStream) {
+  const Shape& shape = GetParam();
+  snb::DatagenOptions options;
+  options.num_persons = shape.persons;
+  options.seed = shape.seed;
+  options.max_degree = shape.max_degree;
+  options.update_window = shape.update_window;
+  snb::Dataset data = snb::Generate(options);
+
+  // One SUT per data-modelling family (§1's four approaches).
+  const SutKind kinds[] = {SutKind::kPostgresSql, SutKind::kNeo4jCypher,
+                           SutKind::kVirtuosoSparql, SutKind::kTitanC};
+  std::vector<std::unique_ptr<Sut>> suts;
+  for (SutKind kind : kinds) {
+    auto sut = MakeSut(kind);
+    ASSERT_TRUE(sut->Load(data).ok()) << sut->name();
+    suts.push_back(std::move(sut));
+  }
+
+  // Apply a random prefix of the update stream everywhere.
+  Rng rng(shape.seed * 31 + 7);
+  size_t prefix = data.update_stream.empty()
+                      ? 0
+                      : rng.Uniform(data.update_stream.size());
+  for (size_t i = 0; i < prefix; ++i) {
+    for (auto& sut : suts) {
+      ASSERT_TRUE(sut->Apply(data.update_stream[i]).ok())
+          << sut->name() << " op " << i;
+    }
+  }
+  ReferenceGraph ref(data, prefix);
+
+  // Random probes.
+  std::vector<int64_t> ids(ref.persons().begin(), ref.persons().end());
+  ASSERT_FALSE(ids.empty());
+  for (int probe = 0; probe < 12; ++probe) {
+    int64_t a = ids[rng.Uniform(ids.size())];
+    int64_t b = ids[rng.Uniform(ids.size())];
+    std::set<int64_t> expect_one = ref.Neighbors(a);
+    std::set<int64_t> expect_two = ref.TwoHop(a);
+    int expect_sp = ref.ShortestPath(a, b);
+    for (auto& sut : suts) {
+      auto one = sut->OneHop(a);
+      ASSERT_TRUE(one.ok()) << sut->name();
+      EXPECT_EQ(IdColumn(*one), expect_one)
+          << sut->name() << " 1-hop of " << a << " (prefix " << prefix
+          << ")";
+      auto two = sut->TwoHop(a);
+      ASSERT_TRUE(two.ok()) << sut->name();
+      EXPECT_EQ(IdColumn(*two), expect_two)
+          << sut->name() << " 2-hop of " << a;
+      auto sp = sut->ShortestPathLen(a, b);
+      ASSERT_TRUE(sp.ok()) << sut->name();
+      EXPECT_EQ(*sp, expect_sp)
+          << sut->name() << " path " << a << "->" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SutRandomPropertyTest,
+    ::testing::Values(Shape{101, 40, 10, 0.1}, Shape{202, 80, 25, 0.2},
+                      Shape{303, 60, 8, 0.4}, Shape{404, 120, 40, 0.15}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "Seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace graphbench

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "engines/native/native_graph.h"
+#include "engines/relational/database.h"
+#include "engines/titan/titan_graph.h"
+#include "kv/btree_kv.h"
+#include "kv/lsm_kv.h"
+#include "providers/native_provider.h"
+#include "providers/sqlg_provider.h"
+#include "tinkerpop/bytecode.h"
+#include "tinkerpop/gremlin_server.h"
+#include "tinkerpop/traversal.h"
+
+namespace graphbench {
+namespace {
+
+// Every TinkerPop provider must produce identical traversal results on the
+// same logical graph — the property that lets the paper run one Gremlin
+// implementation against all compliant systems.
+class ProviderContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    std::string which = GetParam();
+    if (which == "native") {
+      NativeGraphOptions opts;
+      opts.checkpoint_interval_writes = 0;
+      native_ = std::make_unique<NativeGraph>(opts);
+      ASSERT_TRUE(native_->CreateUniqueIndex("Person", "id").ok());
+      graph_ = std::make_unique<NativeProvider>(native_.get());
+    } else if (which == "titan-b" || which == "titan-c") {
+      std::unique_ptr<KvStore> kv;
+      if (which == "titan-b") {
+        kv = std::make_unique<BTreeKv>();
+      } else {
+        kv = std::make_unique<LsmKv>();
+      }
+      auto titan = std::make_unique<TitanGraph>(std::move(kv));
+      ASSERT_TRUE(titan->RegisterUniqueIndex("Person", "id").ok());
+      graph_ = std::move(titan);
+    } else {  // sqlg
+      db_ = std::make_unique<Database>(StorageMode::kRow);
+      ASSERT_TRUE(db_->CreateTable(TableSchema(
+                         "person", {{"id", Value::Type::kInt},
+                                    {"firstName", Value::Type::kString}}))
+                      .ok());
+      ASSERT_TRUE(db_->CreateTable(TableSchema(
+                         "knows", {{"person1Id", Value::Type::kInt},
+                                   {"person2Id", Value::Type::kInt}}))
+                      .ok());
+      ASSERT_TRUE(db_->CreateIndex("person", "id", true).ok());
+      ASSERT_TRUE(db_->CreateIndex("knows", "person1Id", false).ok());
+      ASSERT_TRUE(db_->CreateIndex("knows", "person2Id", false).ok());
+      auto sqlg = std::make_unique<SqlgProvider>(db_.get());
+      ASSERT_TRUE(sqlg->RegisterVertexLabel("Person", "person").ok());
+      ASSERT_TRUE(sqlg->RegisterEdgeLabel("knows", "knows", "person1Id",
+                                          "person2Id", "Person", "Person")
+                      .ok());
+      graph_ = std::move(sqlg);
+    }
+
+    // Persons 1..5, knows chain 1-2-3-4-5 plus shortcut 1-3.
+    const char* names[] = {"Ada", "Bob", "Cy", "Dee", "Eve"};
+    std::vector<GVertex> v;
+    for (int i = 1; i <= 5; ++i) {
+      auto added = graph_->AddVertex(
+          "Person",
+          {{"id", Value(i)}, {"firstName", Value(names[i - 1])}});
+      ASSERT_TRUE(added.ok()) << added.status().ToString();
+      v.push_back(*added);
+    }
+    for (auto [a, b] : std::vector<std::pair<int, int>>{
+             {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 3}}) {
+      ASSERT_TRUE(graph_
+                      ->AddEdge("knows", v[size_t(a - 1)], v[size_t(b - 1)],
+                                {{"creationDate", Value(20170707)}})
+                      .ok());
+    }
+  }
+
+  Result<std::vector<Value>> Run(const Traversal& t) {
+    return ExecuteTraversal(graph_.get(), t);
+  }
+
+  std::unique_ptr<NativeGraph> native_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<GremlinGraph> graph_;
+};
+
+TEST_P(ProviderContractTest, CountsMatch) {
+  EXPECT_EQ(graph_->VertexCount(), 5u);
+  EXPECT_EQ(graph_->EdgeCount(), 5u);
+  EXPECT_GT(graph_->ApproximateSizeBytes(), 0u);
+}
+
+TEST_P(ProviderContractTest, PointLookupTraversal) {
+  Traversal t;
+  t.V().HasIndexed("Person", "id", Value(3)).Values("firstName");
+  auto r = Run(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].as_string(), "Cy");
+}
+
+TEST_P(ProviderContractTest, OneHopBoth) {
+  Traversal t;
+  t.V().HasIndexed("Person", "id", Value(3)).Both("knows").Values("id");
+  auto r = Run(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<int64_t> ids;
+  for (const Value& v : *r) ids.push_back(v.as_int());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 2, 4}));
+}
+
+TEST_P(ProviderContractTest, OutAndInRespectDirection) {
+  Traversal out;
+  out.V().HasIndexed("Person", "id", Value(1)).Out("knows").Count();
+  auto r_out = Run(out);
+  ASSERT_TRUE(r_out.ok());
+  EXPECT_EQ((*r_out)[0].as_int(), 2);
+
+  Traversal in;
+  in.V().HasIndexed("Person", "id", Value(1)).In("knows").Count();
+  auto r_in = Run(in);
+  ASSERT_TRUE(r_in.ok());
+  EXPECT_EQ((*r_in)[0].as_int(), 0);
+}
+
+TEST_P(ProviderContractTest, TwoHopWithDedupAndWhere) {
+  Traversal t;
+  t.V()
+      .HasIndexed("Person", "id", Value(1))
+      .As("p")
+      .Both("knows")
+      .Both("knows")
+      .WhereNeq("p")
+      .Dedup()
+      .Values("id");
+  auto r = Run(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<int64_t> ids;
+  for (const Value& v : *r) ids.push_back(v.as_int());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int64_t>{2, 3, 4}));
+}
+
+TEST_P(ProviderContractTest, ShortestPathStep) {
+  Traversal t;
+  t.V()
+      .HasIndexed("Person", "id", Value(1))
+      .ShortestPath("knows", "id", Value(5));
+  auto r = Run(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].as_int(), 3);
+
+  Traversal self;
+  self.V()
+      .HasIndexed("Person", "id", Value(2))
+      .ShortestPath("knows", "id", Value(2));
+  auto r_self = Run(self);
+  ASSERT_TRUE(r_self.ok());
+  EXPECT_EQ((*r_self)[0].as_int(), 0);
+}
+
+TEST_P(ProviderContractTest, VertexScanAndLimit) {
+  Traversal t;
+  t.V("Person").Values("id").Dedup().Limit(3);
+  auto r = Run(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST_P(ProviderContractTest, HasFilterMidTraversal) {
+  Traversal t;
+  t.V().HasIndexed("Person", "id", Value(1)).Both("knows")
+      .Has("firstName", Value("Cy")).Values("id");
+  auto r = Run(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].as_int(), 3);
+}
+
+TEST_P(ProviderContractTest, DuplicateIdRejected) {
+  auto dup = graph_->AddVertex("Person", {{"id", Value(1)}});
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+}
+
+TEST_P(ProviderContractTest, UpdateTraversalAddVAndAddE) {
+  Traversal addv;
+  addv.AddV("Person", {{"id", Value(6)}, {"firstName", Value("Fay")}});
+  auto r = Run(addv);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(graph_->VertexCount(), 6u);
+
+  // Binding two independent anchors in one traversal is unsupported
+  // (HasIndexed mid-traversal is a filter), so attach the edge through the
+  // structure API as the loaders do.
+  auto v5 = graph_->VerticesByProperty("Person", "id", Value(5));
+  auto v6 = graph_->VerticesByProperty("Person", "id", Value(6));
+  ASSERT_TRUE(v5.ok());
+  ASSERT_TRUE(v6.ok());
+  ASSERT_TRUE(graph_->AddEdge("knows", (*v5)[0], (*v6)[0], {}).ok());
+  EXPECT_EQ(graph_->EdgeCount(), 6u);
+
+  Traversal check;
+  check.V().HasIndexed("Person", "id", Value(6)).Both("knows").Values("id");
+  auto nb = Run(check);
+  ASSERT_TRUE(nb.ok());
+  ASSERT_EQ(nb->size(), 1u);
+  EXPECT_EQ((*nb)[0].as_int(), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Providers, ProviderContractTest,
+                         ::testing::Values("native", "titan-b", "titan-c",
+                                           "sqlg"));
+
+TEST(BytecodeTest, TraversalRoundTrip) {
+  Traversal t;
+  t.V()
+      .HasIndexed("Person", "id", Value(42))
+      .As("p")
+      .Both("knows")
+      .WhereNeq("p")
+      .Dedup()
+      .Values("firstName")
+      .Limit(10);
+  std::string bytes = gremlinio::EncodeTraversal(t);
+  auto decoded = gremlinio::DecodeTraversal(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->steps().size(), t.steps().size());
+  for (size_t i = 0; i < t.steps().size(); ++i) {
+    EXPECT_EQ(decoded->steps()[i].kind, t.steps()[i].kind);
+    EXPECT_EQ(decoded->steps()[i].label, t.steps()[i].label);
+    EXPECT_EQ(decoded->steps()[i].key, t.steps()[i].key);
+    EXPECT_EQ(decoded->steps()[i].value, t.steps()[i].value);
+    EXPECT_EQ(decoded->steps()[i].n, t.steps()[i].n);
+  }
+}
+
+TEST(BytecodeTest, ResultsRoundTripAndCorruption) {
+  std::vector<Value> results{Value(1), Value("x"), Value(2.5), Value()};
+  std::string bytes = gremlinio::EncodeResults(results);
+  auto decoded = gremlinio::DecodeResults(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, results);
+  EXPECT_FALSE(
+      gremlinio::DecodeResults(bytes.substr(0, bytes.size() - 2)).ok());
+  EXPECT_FALSE(gremlinio::DecodeTraversal("garbage!").ok());
+}
+
+TEST(GremlinServerTest, RoundTripThroughServer) {
+  NativeGraphOptions opts;
+  opts.checkpoint_interval_writes = 0;
+  NativeGraph native(opts);
+  ASSERT_TRUE(native.CreateUniqueIndex("Person", "id").ok());
+  NativeProvider provider(&native);
+  ASSERT_TRUE(provider.AddVertex("Person", {{"id", Value(1)},
+                                            {"firstName", Value("Ada")}})
+                  .ok());
+  GremlinServerOptions server_opts;
+  server_opts.workers = 2;
+  GremlinServer server(&provider, server_opts);
+
+  Traversal t;
+  t.V().HasIndexed("Person", "id", Value(1)).Values("firstName");
+  auto r = server.Submit(t);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].as_string(), "Ada");
+  EXPECT_EQ(server.requests_served(), 1u);
+
+  // Embedded mode bypasses the codec+queue.
+  auto embedded = server.SubmitEmbedded(t);
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_EQ((*embedded)[0].as_string(), "Ada");
+}
+
+TEST(GremlinServerTest, OverloadRejectsWithBusy) {
+  NativeGraphOptions opts;
+  opts.checkpoint_interval_writes = 0;
+  NativeGraph native(opts);
+  NativeProvider provider(&native);
+  // Build a long chain so traversals take a little while.
+  GVertex prev = *provider.AddVertex("Person", {{"id", Value(0)}});
+  for (int i = 1; i < 2000; ++i) {
+    GVertex v = *provider.AddVertex("Person", {{"id", Value(i)}});
+    ASSERT_TRUE(provider.AddEdge("knows", prev, v, {}).ok());
+    prev = v;
+  }
+  GremlinServerOptions server_opts;
+  server_opts.workers = 1;
+  server_opts.max_queue = 1;
+  GremlinServer server(&provider, server_opts);
+
+  // Flood from many client threads; with queue=1 some must be rejected.
+  std::atomic<int> busy{0}, ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      Traversal t;
+      t.V("Person").Both("knows").Dedup().Count();
+      auto r = server.Submit(t);
+      if (r.ok()) ++ok;
+      else if (r.status().IsBusy()) ++busy;
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_GT(busy.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(server.requests_rejected(), uint64_t(busy.load()));
+}
+
+}  // namespace
+}  // namespace graphbench

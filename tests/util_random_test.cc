@@ -1,0 +1,81 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace graphbench {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  ZipfGenerator zipf(1000, 0.9, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next()];
+  // Rank 0 should dominate rank 100 heavily under theta=0.9.
+  EXPECT_GT(counts[0], 20 * std::max(counts[100], 1));
+  for (auto& [rank, n] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfTest, CoversRange) {
+  ZipfGenerator zipf(10, 0.5, 11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[zipf.Next()];
+  EXPECT_GE(counts.size(), 8u);  // nearly all ranks observed
+}
+
+TEST(PowerLawTest, RespectsBoundsAndSkew) {
+  PowerLawDegree deg(5, 500, 2.5, 17);
+  uint64_t below_50 = 0, total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t k = deg.Next();
+    EXPECT_GE(k, 5u);
+    EXPECT_LE(k, 500u);
+    below_50 += (k < 50);
+    ++total;
+  }
+  // Heavy-tailed: most mass near the minimum.
+  EXPECT_GT(below_50, total * 8 / 10);
+}
+
+}  // namespace
+}  // namespace graphbench

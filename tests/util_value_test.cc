@@ -1,0 +1,55 @@
+#include "util/value.h"
+
+#include <gtest/gtest.h>
+
+namespace graphbench {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{7}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_EQ(Value(int64_t{7}).as_int(), 7);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_TRUE(Value(1).is_int());  // int promotes to int64
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, CompareWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_LT(Value(1.5), Value(2.5));
+}
+
+TEST(ValueTest, NumericCrossTypeCompare) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+}
+
+TEST(ValueTest, CrossTypeOrderingByTag) {
+  EXPECT_LT(Value(), Value(false));          // null < bool
+  EXPECT_LT(Value(true), Value(int64_t{0})); // bool < int
+  EXPECT_LT(Value(int64_t{5}), Value("a"));  // numeric < string
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{2}).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value(std::string("k")).Hash());
+  // Distinct values usually hash differently (not guaranteed; spot check).
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+}  // namespace
+}  // namespace graphbench
