@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gremlin_server.dir/bench_ablation_gremlin_server.cc.o"
+  "CMakeFiles/bench_ablation_gremlin_server.dir/bench_ablation_gremlin_server.cc.o.d"
+  "bench_ablation_gremlin_server"
+  "bench_ablation_gremlin_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gremlin_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

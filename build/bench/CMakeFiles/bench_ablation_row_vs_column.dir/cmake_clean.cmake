@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_row_vs_column.dir/bench_ablation_row_vs_column.cc.o"
+  "CMakeFiles/bench_ablation_row_vs_column.dir/bench_ablation_row_vs_column.cc.o.d"
+  "bench_ablation_row_vs_column"
+  "bench_ablation_row_vs_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_row_vs_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_row_vs_column.
+# This may be replaced when dependencies are built.

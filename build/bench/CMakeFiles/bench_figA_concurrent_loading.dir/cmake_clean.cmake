@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA_concurrent_loading.dir/bench_figA_concurrent_loading.cc.o"
+  "CMakeFiles/bench_figA_concurrent_loading.dir/bench_figA_concurrent_loading.cc.o.d"
+  "bench_figA_concurrent_loading"
+  "bench_figA_concurrent_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA_concurrent_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

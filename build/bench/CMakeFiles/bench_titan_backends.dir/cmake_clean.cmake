@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_titan_backends.dir/bench_titan_backends.cc.o"
+  "CMakeFiles/bench_titan_backends.dir/bench_titan_backends.cc.o.d"
+  "bench_titan_backends"
+  "bench_titan_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_titan_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

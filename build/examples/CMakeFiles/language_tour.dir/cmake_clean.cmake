@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_tour.dir/language_tour.cpp.o"
+  "CMakeFiles/language_tour.dir/language_tour.cpp.o.d"
+  "language_tour"
+  "language_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

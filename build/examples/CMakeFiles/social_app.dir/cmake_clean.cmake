@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_app.dir/social_app.cpp.o"
+  "CMakeFiles/social_app.dir/social_app.cpp.o.d"
+  "social_app"
+  "social_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/read_latency.cc" "src/CMakeFiles/graphbench.dir/benchlib/read_latency.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/benchlib/read_latency.cc.o.d"
+  "/root/repo/src/driver/driver.cc" "src/CMakeFiles/graphbench.dir/driver/driver.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/driver/driver.cc.o.d"
+  "/root/repo/src/engines/native/cypher_engine.cc" "src/CMakeFiles/graphbench.dir/engines/native/cypher_engine.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/native/cypher_engine.cc.o.d"
+  "/root/repo/src/engines/native/native_graph.cc" "src/CMakeFiles/graphbench.dir/engines/native/native_graph.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/native/native_graph.cc.o.d"
+  "/root/repo/src/engines/rdf/rdf_engine.cc" "src/CMakeFiles/graphbench.dir/engines/rdf/rdf_engine.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/rdf/rdf_engine.cc.o.d"
+  "/root/repo/src/engines/rdf/term_dictionary.cc" "src/CMakeFiles/graphbench.dir/engines/rdf/term_dictionary.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/rdf/term_dictionary.cc.o.d"
+  "/root/repo/src/engines/rdf/triple_store.cc" "src/CMakeFiles/graphbench.dir/engines/rdf/triple_store.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/rdf/triple_store.cc.o.d"
+  "/root/repo/src/engines/relational/database.cc" "src/CMakeFiles/graphbench.dir/engines/relational/database.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/relational/database.cc.o.d"
+  "/root/repo/src/engines/relational/sql_executor.cc" "src/CMakeFiles/graphbench.dir/engines/relational/sql_executor.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/relational/sql_executor.cc.o.d"
+  "/root/repo/src/engines/titan/titan_graph.cc" "src/CMakeFiles/graphbench.dir/engines/titan/titan_graph.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/engines/titan/titan_graph.cc.o.d"
+  "/root/repo/src/graph/value_codec.cc" "src/CMakeFiles/graphbench.dir/graph/value_codec.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/graph/value_codec.cc.o.d"
+  "/root/repo/src/kv/btree_kv.cc" "src/CMakeFiles/graphbench.dir/kv/btree_kv.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/kv/btree_kv.cc.o.d"
+  "/root/repo/src/kv/key_codec.cc" "src/CMakeFiles/graphbench.dir/kv/key_codec.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/kv/key_codec.cc.o.d"
+  "/root/repo/src/kv/lsm_kv.cc" "src/CMakeFiles/graphbench.dir/kv/lsm_kv.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/kv/lsm_kv.cc.o.d"
+  "/root/repo/src/lang/cypher/parser.cc" "src/CMakeFiles/graphbench.dir/lang/cypher/parser.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/lang/cypher/parser.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/graphbench.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/sparql/parser.cc" "src/CMakeFiles/graphbench.dir/lang/sparql/parser.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/lang/sparql/parser.cc.o.d"
+  "/root/repo/src/lang/sql/parser.cc" "src/CMakeFiles/graphbench.dir/lang/sql/parser.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/lang/sql/parser.cc.o.d"
+  "/root/repo/src/mq/broker.cc" "src/CMakeFiles/graphbench.dir/mq/broker.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/mq/broker.cc.o.d"
+  "/root/repo/src/providers/sqlg_provider.cc" "src/CMakeFiles/graphbench.dir/providers/sqlg_provider.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/providers/sqlg_provider.cc.o.d"
+  "/root/repo/src/snb/csv_io.cc" "src/CMakeFiles/graphbench.dir/snb/csv_io.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/snb/csv_io.cc.o.d"
+  "/root/repo/src/snb/datagen.cc" "src/CMakeFiles/graphbench.dir/snb/datagen.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/snb/datagen.cc.o.d"
+  "/root/repo/src/snb/params.cc" "src/CMakeFiles/graphbench.dir/snb/params.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/snb/params.cc.o.d"
+  "/root/repo/src/snb/schema.cc" "src/CMakeFiles/graphbench.dir/snb/schema.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/snb/schema.cc.o.d"
+  "/root/repo/src/snb/update_codec.cc" "src/CMakeFiles/graphbench.dir/snb/update_codec.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/snb/update_codec.cc.o.d"
+  "/root/repo/src/storage/column_table.cc" "src/CMakeFiles/graphbench.dir/storage/column_table.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/storage/column_table.cc.o.d"
+  "/root/repo/src/storage/hash_index.cc" "src/CMakeFiles/graphbench.dir/storage/hash_index.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/storage/hash_index.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/CMakeFiles/graphbench.dir/storage/heap_table.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/sut/cypher_sut.cc" "src/CMakeFiles/graphbench.dir/sut/cypher_sut.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/sut/cypher_sut.cc.o.d"
+  "/root/repo/src/sut/gremlin_sut.cc" "src/CMakeFiles/graphbench.dir/sut/gremlin_sut.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/sut/gremlin_sut.cc.o.d"
+  "/root/repo/src/sut/relational_sut.cc" "src/CMakeFiles/graphbench.dir/sut/relational_sut.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/sut/relational_sut.cc.o.d"
+  "/root/repo/src/sut/sparql_sut.cc" "src/CMakeFiles/graphbench.dir/sut/sparql_sut.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/sut/sparql_sut.cc.o.d"
+  "/root/repo/src/sut/sut.cc" "src/CMakeFiles/graphbench.dir/sut/sut.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/sut/sut.cc.o.d"
+  "/root/repo/src/tinkerpop/bytecode.cc" "src/CMakeFiles/graphbench.dir/tinkerpop/bytecode.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/tinkerpop/bytecode.cc.o.d"
+  "/root/repo/src/tinkerpop/gremlin_server.cc" "src/CMakeFiles/graphbench.dir/tinkerpop/gremlin_server.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/tinkerpop/gremlin_server.cc.o.d"
+  "/root/repo/src/tinkerpop/traversal.cc" "src/CMakeFiles/graphbench.dir/tinkerpop/traversal.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/tinkerpop/traversal.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/graphbench.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/graphbench.dir/util/json.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/json.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/graphbench.dir/util/random.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/graphbench.dir/util/status.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/graphbench.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/graphbench.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/graphbench.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/value.cc" "src/CMakeFiles/graphbench.dir/util/value.cc.o" "gcc" "src/CMakeFiles/graphbench.dir/util/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

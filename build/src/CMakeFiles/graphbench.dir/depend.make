@@ -1,0 +1,2 @@
+# Empty dependencies file for graphbench.
+# This may be replaced when dependencies are built.

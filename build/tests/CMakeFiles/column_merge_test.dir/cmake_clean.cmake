@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_merge_test.dir/column_merge_test.cc.o"
+  "CMakeFiles/column_merge_test.dir/column_merge_test.cc.o.d"
+  "column_merge_test"
+  "column_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypher_engine_test.dir/cypher_engine_test.cc.o"
+  "CMakeFiles/cypher_engine_test.dir/cypher_engine_test.cc.o.d"
+  "cypher_engine_test"
+  "cypher_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypher_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_sut_test.dir/gremlin_sut_test.cc.o"
+  "CMakeFiles/gremlin_sut_test.dir/gremlin_sut_test.cc.o.d"
+  "gremlin_sut_test"
+  "gremlin_sut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_sut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_graph_test.dir/native_graph_test.cc.o"
+  "CMakeFiles/native_graph_test.dir/native_graph_test.cc.o.d"
+  "native_graph_test"
+  "native_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

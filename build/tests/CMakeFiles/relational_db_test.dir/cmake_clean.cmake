@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_db_test.dir/relational_db_test.cc.o"
+  "CMakeFiles/relational_db_test.dir/relational_db_test.cc.o.d"
+  "relational_db_test"
+  "relational_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

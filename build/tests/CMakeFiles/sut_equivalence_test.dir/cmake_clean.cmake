@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sut_equivalence_test.dir/sut_equivalence_test.cc.o"
+  "CMakeFiles/sut_equivalence_test.dir/sut_equivalence_test.cc.o.d"
+  "sut_equivalence_test"
+  "sut_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sut_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

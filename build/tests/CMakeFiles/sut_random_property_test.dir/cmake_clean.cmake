@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sut_random_property_test.dir/sut_random_property_test.cc.o"
+  "CMakeFiles/sut_random_property_test.dir/sut_random_property_test.cc.o.d"
+  "sut_random_property_test"
+  "sut_random_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sut_random_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinkerpop_test.dir/tinkerpop_test.cc.o"
+  "CMakeFiles/tinkerpop_test.dir/tinkerpop_test.cc.o.d"
+  "tinkerpop_test"
+  "tinkerpop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinkerpop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

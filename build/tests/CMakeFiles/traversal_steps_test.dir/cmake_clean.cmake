@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traversal_steps_test.dir/traversal_steps_test.cc.o"
+  "CMakeFiles/traversal_steps_test.dir/traversal_steps_test.cc.o.d"
+  "traversal_steps_test"
+  "traversal_steps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traversal_steps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_value_test.dir/util_value_test.cc.o"
+  "CMakeFiles/util_value_test.dir/util_value_test.cc.o.d"
+  "util_value_test"
+  "util_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
