@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
   table.SetHeader({"Interval (writes)", "Mean writes/bucket",
                    "Min writes/bucket", "Dip ratio", "Checkpoints"});
 
+  obs::BenchReport report("ablation_checkpoint");
+  report.SetParam("writes", Json::Int(writes));
+  report.SetParam("bucket_ms", Json::Int(bucket_ms));
+
   for (uint64_t interval : {uint64_t{0}, uint64_t{20000}, uint64_t{5000},
                             uint64_t{1000}}) {
     NativeGraphOptions options;
@@ -51,9 +55,20 @@ int main(int argc, char** argv) {
                   StringPrintf("%.2f", mean > 0 ? double(min_bucket) / mean
                                                 : 0.0),
                   std::to_string(graph.checkpoints_taken())});
+    Json metrics = Json::Object();
+    metrics.Set("interval_writes", Json::Int(int64_t(interval)));
+    metrics.Set("mean_writes_per_bucket", Json::Number(mean));
+    metrics.Set("min_writes_per_bucket", Json::Int(int64_t(min_bucket)));
+    metrics.Set("dip_ratio",
+                Json::Number(mean > 0 ? double(min_bucket) / mean : 0.0));
+    metrics.Set("checkpoints", Json::Int(int64_t(graph.checkpoints_taken())));
+    report.AddSystem(interval == 0 ? "interval=off"
+                                   : "interval=" + std::to_string(interval),
+                     std::move(metrics));
   }
   table.Print();
   std::printf("\nExpected shape: shorter intervals produce more frequent, "
               "deeper dips (lower min/mean ratio).\n");
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

@@ -85,6 +85,9 @@ int main(int argc, char** argv) {
     cases.push_back(std::move(sp));
   }
 
+  obs::BenchReport report("ablation_gremlin_server", "SF-A (SF3 analog)");
+  report.SetParam("reps", Json::Int(reps));
+
   for (const QueryCase& c : cases) {
     double via_server = MeanMs(sut->server(), c.traversal, false, reps);
     double embedded = MeanMs(sut->server(), c.traversal, true, reps);
@@ -93,7 +96,40 @@ int main(int argc, char** argv) {
                   embedded > 0
                       ? StringPrintf("%.2fx", via_server / embedded)
                       : "-"});
+    Json metrics = Json::Object();
+    metrics.Set("via_server_ms", Json::Number(via_server));
+    metrics.Set("embedded_ms", Json::Number(embedded));
+    report.AddSystem(c.name, std::move(metrics));
   }
   table.Print();
+
+  // Per-stage attribution: the trace spans recorded inside Submit should
+  // account for (nearly) all of the measured Submit latency.
+  const obs::TraceRing& trace = sut->server()->trace();
+  TablePrinter stages("Submit cost by pipeline stage");
+  stages.SetHeader({"Stage", "Spans", "Total ms", "Mean us"});
+  uint64_t stage_micros = 0;
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    auto totals = trace.totals(obs::Stage(i));
+    if (totals.count == 0) continue;
+    stage_micros += totals.total_micros;
+    stages.AddRow({obs::StageName(obs::Stage(i)),
+                   std::to_string(totals.count),
+                   StringPrintf("%.2f", totals.total_micros / 1000.0),
+                   StringPrintf("%.1f", double(totals.total_micros) /
+                                            double(totals.count))});
+  }
+  stages.Print();
+  const Histogram& submit = sut->server()->submit_latency_micros();
+  double submit_micros = submit.mean() * double(submit.count());
+  if (submit_micros > 0) {
+    double coverage = double(stage_micros) / submit_micros;
+    std::printf("\ntrace coverage: stages sum to %.1f%% of total Submit "
+                "latency (%s)\n", 100.0 * coverage,
+                coverage > 0.9 && coverage < 1.1 ? "ok" : "OUT OF BOUNDS");
+  }
+  report.AttachTrace(trace);
+
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
   table.SetHeader({"Indexes", "Inserts/s", "?p?o match (us)",
                    "??o match (us)"});
 
+  obs::BenchReport report("ablation_rdf_indexes");
+  report.SetParam("triples", Json::Int(n));
+
   for (int indexes = 1; indexes <= 4; ++indexes) {
     TripleStore store(indexes);
     Rng rng(7);
@@ -49,9 +52,17 @@ int main(int argc, char** argv) {
                   StringPrintf("%.0f", inserts_per_s),
                   StringPrintf("%.1f", po_us),
                   StringPrintf("%.1f", o_us)});
+    Json metrics = Json::Object();
+    metrics.Set("indexes", Json::Int(indexes));
+    metrics.Set("inserts_per_second", Json::Number(inserts_per_s));
+    metrics.Set("po_match_us", Json::Number(po_us));
+    metrics.Set("o_match_us", Json::Number(o_us));
+    report.AddSystem("indexes=" + std::to_string(indexes),
+                     std::move(metrics));
   }
   table.Print();
   std::printf("\nExpected shape: insert throughput falls as indexes are "
               "added; unbound-subject reads collapse without POS/OSP.\n");
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
   table.SetHeader({"Store", "Inserts/s", "Full-row get (us)",
                    "1-col projection scan (ms)"});
 
+  obs::BenchReport report("ablation_row_vs_column");
+  report.SetParam("rows", Json::Int(n));
+
   for (const char* which : {"heap (row)", "columnar"}) {
     std::unique_ptr<Table> t;
     if (std::string(which) == "heap (row)") {
@@ -87,9 +90,15 @@ int main(int argc, char** argv) {
                   StringPrintf("%.2f", get_us),
                   StringPrintf("%.1f (checksum %llu)", scan_ms,
                                (unsigned long long)(sum & 0xffff))});
+    Json metrics = Json::Object();
+    metrics.Set("inserts_per_second", Json::Number(inserts_per_s));
+    metrics.Set("full_row_get_us", Json::Number(get_us));
+    metrics.Set("projection_scan_ms", Json::Number(scan_ms));
+    report.AddSystem(which, std::move(metrics));
   }
   table.Print();
   std::printf("\nExpected shape: the row store wins inserts and full-row "
               "gets; the column store wins narrow projections.\n");
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "snb/datagen.h"
 #include "sut/sut.h"
 #include "util/stopwatch.h"
@@ -65,6 +66,20 @@ inline std::string FormatMillis(double millis) {
 
 inline std::string FormatBytesMb(uint64_t bytes) {
   return StringPrintf("%.1f", double(bytes) / 1e6);
+}
+
+/// Attaches the default metrics registry, writes `BENCH_<name>.json` to the
+/// --report_dir directory (default "."), and prints the path. Every bench
+/// binary calls this last so runs are machine-diffable across commits.
+inline void WriteReport(obs::BenchReport& report, int argc, char** argv) {
+  report.AttachRegistry(obs::MetricsRegistry::Default());
+  std::string dir = FlagValue(argc, argv, "report_dir", ".");
+  Result<std::string> path = report.WriteFile(dir);
+  if (!path.ok()) {
+    std::fprintf(stderr, "report: %s\n", path.status().ToString().c_str());
+    return;
+  }
+  std::printf("\nreport written to %s\n", path->c_str());
 }
 
 }  // namespace bench

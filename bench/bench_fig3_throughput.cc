@@ -69,6 +69,11 @@ int main(int argc, char** argv) {
   table.SetHeader({"System", "Reads/s", "Writes/s", "Read p99 (ms)",
                    "Write p99 (ms)", "Read errors", "Write errors"});
 
+  obs::BenchReport report("fig3_throughput", bench::ScaleName(scale));
+  report.SetParam("readers", Json::Int(int64_t(options.num_readers)));
+  report.SetParam("run_millis", Json::Int(options.run_millis));
+  report.SetParam("update_ops", Json::Int(int64_t(data.update_stream.size())));
+
   struct Timeline {
     std::string name;
     std::vector<uint64_t> writes;
@@ -109,6 +114,7 @@ int main(int argc, char** argv) {
                       metrics->write_latency_micros.Percentile(99) / 1000.0),
          std::to_string(metrics->read_errors),
          std::to_string(metrics->write_errors)});
+    report.AddSystem(sut->name(), obs::DriverMetricsJson(*metrics));
 
     if (kind == SutKind::kNeo4jCypher || kind == SutKind::kTitanC) {
       timelines.push_back(Timeline{sut->name(), metrics->write_timeline});
@@ -123,5 +129,6 @@ int main(int argc, char** argv) {
     std::printf("%-20s |%s|\n", t.name.c_str(),
                 Sparkline(t.writes).c_str());
   }
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

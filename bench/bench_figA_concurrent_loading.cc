@@ -39,9 +39,14 @@ int main(int argc, char** argv) {
       {"Sqlg (Gremlin)", &MakeSqlgSut},
   };
 
+  obs::BenchReport report("figA_concurrent_loading",
+                          bench::ScaleName(scale));
+  report.SetParam("elements", Json::Int(int64_t(total)));
+
   const size_t loader_counts[] = {1, 2, 4, 8, 16};
   for (const Factory& f : factories) {
     std::vector<std::string> row{f.name};
+    Json metrics = Json::Object();
     for (size_t loaders : loader_counts) {
       std::unique_ptr<GremlinSut> sut = f.make({});
       Stopwatch clock;
@@ -53,11 +58,15 @@ int main(int argc, char** argv) {
       }
       uint64_t loaded =
           sut->graph()->VertexCount() + sut->graph()->EdgeCount();
-      row.push_back(
-          StringPrintf("%.0f", double(loaded) / std::max(seconds, 1e-9)));
+      double rate = double(loaded) / std::max(seconds, 1e-9);
+      row.push_back(StringPrintf("%.0f", rate));
+      metrics.Set("elements_per_second_" + std::to_string(loaders),
+                  Json::Number(rate));
     }
     table.AddRow(row);
+    report.AddSystem(f.name, std::move(metrics));
   }
   table.Print();
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

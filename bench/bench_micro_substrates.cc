@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "graph/value_codec.h"
 #include "kv/btree_kv.h"
 #include "kv/lsm_kv.h"
@@ -158,4 +159,18 @@ BENCHMARK(BM_PropertyMapCodecRoundTrip);
 }  // namespace
 }  // namespace graphbench
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run can also emit a machine-readable
+// report; the unrecognized-arguments check is skipped because this binary
+// additionally accepts the shared --report_dir flag.
+int main(int argc, char** argv) {
+  using namespace graphbench;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // The mq counters accumulated by BM_MqProduceConsume land in the
+  // registry snapshot attached by WriteReport.
+  obs::BenchReport report("micro_substrates");
+  bench::WriteReport(report, argc, argv);
+  return 0;
+}

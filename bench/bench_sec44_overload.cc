@@ -120,6 +120,11 @@ int main(int argc, char** argv) {
   TablePrinter table("Original-mix overload: completed vs rejected reads");
   table.SetHeader({"System", "Reads ok", "Reads rejected", "Rejection %"});
 
+  obs::BenchReport report("sec44_overload", "SF-A (SF3 analog)");
+  report.SetParam("readers", Json::Int(int64_t(options.num_readers)));
+  report.SetParam("run_millis", Json::Int(options.run_millis));
+  report.SetParam("two_hop_fraction", Json::Number(options.two_hop_fraction));
+
   mq::Broker broker;
   for (SutKind kind : AllSutKinds()) {
     std::unique_ptr<Sut> sut = MakeOverloadSut(kind);
@@ -146,9 +151,14 @@ int main(int argc, char** argv) {
                                            100.0 * metrics->read_errors /
                                                total)
                             : "-"});
+    Json system = obs::DriverMetricsJson(*metrics);
+    system.Set("rejection_rate",
+               Json::Number(total > 0 ? metrics->read_errors / total : 0));
+    report.AddSystem(sut->name(), std::move(system));
   }
   table.Print();
   std::printf("\nExpected shape: only the Gremlin Server systems reject "
               "requests; native interfaces complete the mix.\n");
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

@@ -10,7 +10,7 @@
 namespace graphbench {
 namespace {
 
-void RunScale(const snb::DatagenOptions& options) {
+void RunScale(const snb::DatagenOptions& options, obs::BenchReport* report) {
   snb::Dataset data = snb::Generate(options);
   std::printf("\nDataset %s: %llu vertices, %llu edges, raw %.1f MB, "
               "%zu update ops\n",
@@ -31,6 +31,11 @@ void RunScale(const snb::DatagenOptions& options) {
     }
     table.AddRow({sut->name(), bench::FormatBytesMb(sut->SizeBytes()),
                   StringPrintf("%.2f", *seconds)});
+    Json metrics = Json::Object();
+    metrics.Set("scale", Json::Str(bench::ScaleName(options)));
+    metrics.Set("size_bytes", Json::Int(int64_t(sut->SizeBytes())));
+    metrics.Set("load_seconds", Json::Number(*seconds));
+    report->AddSystem(sut->name(), std::move(metrics));
   }
   table.Print();
 }
@@ -42,7 +47,11 @@ int main(int argc, char** argv) {
   using namespace graphbench;
   std::printf("=== Table 1: dataset statistics and database sizes ===\n");
   bool quick = bench::FlagInt(argc, argv, "quick", 0) != 0;
-  RunScale(snb::ScaleA());
-  if (!quick) RunScale(snb::ScaleB());
+  obs::BenchReport report("table1_datasets",
+                          quick ? "SF-A" : "SF-A,SF-B");
+  report.SetParam("quick", Json::Int(quick ? 1 : 0));
+  RunScale(snb::ScaleA(), &report);
+  if (!quick) RunScale(snb::ScaleB(), &report);
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

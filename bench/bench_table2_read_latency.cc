@@ -9,8 +9,10 @@ int main(int argc, char** argv) {
   using namespace graphbench;
   benchlib::ReadLatencyOptions options;
   options.repetitions = int(bench::FlagInt(argc, argv, "reps", 100));
+  obs::BenchReport report("table2_read_latency", "SF-A (SF3 analog)");
   benchlib::RunReadLatencyTable(
       snb::ScaleA(), options,
-      "Table 2 analog — query latencies in ms, SF-A (SF3 analog)");
+      "Table 2 analog — query latencies in ms, SF-A (SF3 analog)", &report);
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

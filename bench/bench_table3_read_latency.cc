@@ -9,8 +9,10 @@ int main(int argc, char** argv) {
   using namespace graphbench;
   benchlib::ReadLatencyOptions options;
   options.repetitions = int(bench::FlagInt(argc, argv, "reps", 100));
+  obs::BenchReport report("table3_read_latency", "SF-B (SF10 analog)");
   benchlib::RunReadLatencyTable(
       snb::ScaleB(), options,
-      "Table 3 analog — query latencies in ms, SF-B (SF10 analog)");
+      "Table 3 analog — query latencies in ms, SF-B (SF10 analog)", &report);
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

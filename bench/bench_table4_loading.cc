@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   TablePrinter table("Table 4 analog — data loading, single loader");
   table.SetHeader({"System", "Total time (s)", "Vertex / second",
                    "Edge / second"});
+  obs::BenchReport report("table4_loading", bench::ScaleName(scale));
+  report.SetParam("vertices", Json::Int(int64_t(vertex_count)));
+  report.SetParam("edges", Json::Int(int64_t(data.EdgeCount())));
 
   struct Factory {
     const char* name;
@@ -56,7 +59,16 @@ int main(int argc, char** argv) {
                                   std::max(vertex_seconds, 1e-9)),
          StringPrintf("%.0f",
                       double(edges) / std::max(edge_seconds, 1e-9))});
+    Json metrics = Json::Object();
+    metrics.Set("load_seconds", Json::Number(vertex_seconds + edge_seconds));
+    metrics.Set("vertices_per_second",
+                Json::Number(double(vertex_count) /
+                             std::max(vertex_seconds, 1e-9)));
+    metrics.Set("edges_per_second",
+                Json::Number(double(edges) / std::max(edge_seconds, 1e-9)));
+    report.AddSystem(f.name, std::move(metrics));
   }
   table.Print();
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

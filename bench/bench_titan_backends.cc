@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
       {"Titan-B (Gremlin)", &MakeTitanBSut},
   };
 
+  obs::BenchReport report("titan_backends", bench::ScaleName(scale));
+  report.SetParam("run_millis", Json::Int(millis));
+
   mq::Broker broker;
   int topic_id = 0;
   for (const Backend& backend : backends) {
@@ -67,10 +70,16 @@ int main(int argc, char** argv) {
                         metrics->write_latency_micros.Percentile(99) /
                             1000.0),
            StringPrintf("%.0f", metrics->reads_per_second)});
+      Json system = obs::DriverMetricsJson(*metrics);
+      system.Set("readers", Json::Int(int64_t(readers)));
+      report.AddSystem(std::string(backend.name) + " x" +
+                           std::to_string(readers),
+                       std::move(system));
     }
   }
   table.Print();
   std::printf("\nExpected shape: Titan-B's write rate and tail latency "
               "degrade faster with readers than Titan-C's.\n");
+  bench::WriteReport(report, argc, argv);
   return 0;
 }

@@ -32,19 +32,12 @@ std::string Flag(int argc, char** argv, const char* name,
 
 int main(int argc, char** argv) {
   std::string engine = Flag(argc, argv, "engine", "postgres");
-  SutKind kind;
-  if (engine == "postgres") kind = SutKind::kPostgresSql;
-  else if (engine == "virtuoso") kind = SutKind::kVirtuosoSql;
-  else if (engine == "sparql") kind = SutKind::kVirtuosoSparql;
-  else if (engine == "neo4j") kind = SutKind::kNeo4jCypher;
-  else if (engine == "neo4j-gremlin") kind = SutKind::kNeo4jGremlin;
-  else if (engine == "titan-c") kind = SutKind::kTitanC;
-  else if (engine == "titan-b") kind = SutKind::kTitanB;
-  else if (engine == "sqlg") kind = SutKind::kSqlg;
-  else {
-    std::printf("unknown engine %s\n", engine.c_str());
+  Result<std::unique_ptr<Sut>> made = MakeSut(engine);
+  if (!made.ok()) {
+    std::printf("%s\n", made.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<Sut> sut = std::move(*made);
 
   snb::DatagenOptions scale;
   scale.num_persons = uint32_t(std::stoul(Flag(argc, argv, "persons",
@@ -52,8 +45,6 @@ int main(int argc, char** argv) {
   scale.seed = 11;
   scale.update_window = 0.25;
   snb::Dataset data = snb::Generate(scale);
-
-  std::unique_ptr<Sut> sut = MakeSut(kind);
   std::printf("engine=%s persons=%u\n", sut->name().c_str(),
               scale.num_persons);
   if (Status s = sut->Load(data); !s.ok()) {

@@ -22,16 +22,17 @@ using namespace graphbench;
 
 namespace {
 
-SutKind PickEngine(int argc, char** argv) {
+std::unique_ptr<Sut> PickEngine(int argc, char** argv) {
   std::string engine = "postgres";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--engine=", 9) == 0) engine = argv[i] + 9;
   }
-  if (engine == "virtuoso") return SutKind::kVirtuosoSql;
-  if (engine == "neo4j") return SutKind::kNeo4jCypher;
-  if (engine == "sparql") return SutKind::kVirtuosoSparql;
-  if (engine == "titan") return SutKind::kTitanC;
-  return SutKind::kPostgresSql;
+  Result<std::unique_ptr<Sut>> made = MakeSut(engine);
+  if (!made.ok()) {
+    std::printf("%s\n", made.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(*made);
 }
 
 }  // namespace
@@ -42,7 +43,8 @@ int main(int argc, char** argv) {
   options.seed = 2026;
   snb::Dataset data = snb::Generate(options);
 
-  std::unique_ptr<Sut> sut = MakeSut(PickEngine(argc, argv));
+  std::unique_ptr<Sut> sut = PickEngine(argc, argv);
+  if (sut == nullptr) return 1;
   std::printf("engine: %s\n", sut->name().c_str());
   Stopwatch load_clock;
   if (Status s = sut->Load(data); !s.ok()) {

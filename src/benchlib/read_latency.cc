@@ -25,7 +25,8 @@ std::string FormatMs(double ms) {
 
 std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
                                 const ReadLatencyOptions& options,
-                                const std::string& title) {
+                                const std::string& title,
+                                obs::BenchReport* report) {
   snb::Dataset data = snb::Generate(scale);
 
   struct Loaded {
@@ -51,6 +52,9 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
 
   enum QueryType { kPoint, kOneHop, kTwoHop, kShortestPath };
   const char* kNames[] = {"Point lookup", "1-hop", "2-hop", "Shortest path"};
+  const char* kKeys[] = {"point_lookup_ms", "one_hop_ms", "two_hop_ms",
+                         "shortest_path_ms"};
+  std::vector<Json> system_metrics(suts.size(), Json::Object());
 
   for (int qt = kPoint; qt <= kShortestPath; ++qt) {
     std::vector<std::string> row{kNames[qt]};
@@ -85,6 +89,7 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
                            : -1;
       means.push_back(mean_ms);
       row.push_back(FormatMs(mean_ms));
+      system_metrics[&l - suts.data()].Set(kKeys[qt], Json::Number(mean_ms));
     }
     table.AddRow(row);
 
@@ -100,6 +105,13 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
                           : StringPrintf("%.1fx", m / best));
     }
     table.AddRow(ratio);
+  }
+
+  if (report != nullptr) {
+    report->SetParam("repetitions", Json::Int(options.repetitions));
+    for (size_t i = 0; i < suts.size(); ++i) {
+      report->AddSystem(suts[i].sut->name(), std::move(system_metrics[i]));
+    }
   }
 
   std::string rendered = table.ToString();

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/report.h"
 #include "snb/datagen.h"
 
 namespace graphbench {
@@ -18,10 +19,12 @@ struct ReadLatencyOptions {
 /// single-pair shortest path, each `repetitions` times with no concurrent
 /// load — against all eight SUTs, and prints the Table 2/3-shaped result
 /// (mean latency in ms) plus a ratio row (each system vs the row's best).
-/// Returns the printed table as a string (for tests).
+/// Returns the printed table as a string (for tests). When `report` is
+/// non-null, adds one system entry per SUT with per-query mean latencies.
 std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
                                 const ReadLatencyOptions& options,
-                                const std::string& title);
+                                const std::string& title,
+                                obs::BenchReport* report = nullptr);
 
 }  // namespace benchlib
 }  // namespace graphbench

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "snb/update_codec.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -51,6 +52,16 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
     return std::min(b, buckets - 1);
   };
 
+  // Observability: mirror the run's counters into the default registry so
+  // bench reports can snapshot them alongside DriverMetrics.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter* obs_reads = registry.GetCounter("driver.reads");
+  obs::Counter* obs_read_errors = registry.GetCounter("driver.read_errors");
+  obs::Counter* obs_writes = registry.GetCounter("driver.writes");
+  obs::Counter* obs_write_errors =
+      registry.GetCounter("driver.write_errors");
+  obs::Gauge* obs_lag = registry.GetGauge("mq.consumer.lag");
+
   // --- The single writer: drain the Kafka queue into the SUT -----------
   std::atomic<uint64_t> write_micros_active{0};
   std::atomic<uint64_t> late{0};
@@ -69,8 +80,9 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
     for (;;) {
       auto batch = consumer.Poll(64);
       if (!batch.ok()) break;
+      obs_lag->Set(int64_t(consumer.Lag()));
       if (batch->empty()) {
-        if (stop.load() || consumer.CaughtUp()) break;
+        if (stop.load() || consumer.Lag() == 0) break;
         std::this_thread::yield();
         continue;
       }
@@ -109,11 +121,13 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
         metrics.write_latency_micros.Add(us);
         if (s.ok()) {
           ++writes;
+          obs_writes->Increment();
           watermark = std::max(watermark, op->scheduled_date);
           std::lock_guard<std::mutex> lock(timeline_mu);
           ++metrics.write_timeline[bucket_of(run_clock.ElapsedMicros())];
         } else {
           ++write_errors;
+          obs_write_errors->Increment();
         }
         if (stop.load()) break;
       }
@@ -151,10 +165,12 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
         metrics.read_latency_micros.Add(us);
         if (s.ok()) {
           ++reads;
+          obs_reads->Increment();
           std::lock_guard<std::mutex> lock(timeline_mu);
           ++metrics.read_timeline[bucket_of(run_clock.ElapsedMicros())];
         } else {
           ++read_errors;
+          obs_read_errors->Increment();
         }
       }
     });

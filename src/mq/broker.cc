@@ -3,8 +3,26 @@
 #include <atomic>
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace graphbench {
 namespace mq {
+
+namespace {
+
+obs::Counter* ProducedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("mq.produced");
+  return counter;
+}
+
+obs::Counter* FetchedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("mq.fetched_messages");
+  return counter;
+}
+
+}  // namespace
 
 uint64_t PartitionLog::Append(Message message) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -13,14 +31,14 @@ uint64_t PartitionLog::Append(Message message) {
   return log_.back().offset;
 }
 
-size_t PartitionLog::Read(uint64_t offset, size_t max,
-                          std::vector<Message>* out) const {
+Result<std::vector<Message>> PartitionLog::Read(uint64_t offset,
+                                                size_t max) const {
   std::lock_guard<std::mutex> lock(mu_);
-  size_t copied = 0;
-  for (uint64_t i = offset; i < log_.size() && copied < max; ++i, ++copied) {
-    out->push_back(log_[size_t(i)]);
+  std::vector<Message> out;
+  for (uint64_t i = offset; i < log_.size() && out.size() < max; ++i) {
+    out.push_back(log_[size_t(i)]);
   }
-  return copied;
+  return out;
 }
 
 uint64_t PartitionLog::end_offset() const {
@@ -61,18 +79,25 @@ Result<uint64_t> Broker::Produce(std::string_view topic, Message message) {
                  t->partitions.size());
   }
   message.partition = partition;
+  if constexpr (obs::kEnabled) ProducedCounter()->Increment();
   return t->partitions[partition]->Append(std::move(message));
 }
 
-Result<size_t> Broker::Fetch(std::string_view topic, uint32_t partition,
-                             uint64_t offset, size_t max,
-                             std::vector<Message>* out) const {
+Result<std::vector<Message>> Broker::Fetch(std::string_view topic,
+                                           uint32_t partition,
+                                           uint64_t offset,
+                                           size_t max) const {
   const Topic* t = FindTopic(topic);
   if (t == nullptr) return Status::NotFound("topic");
   if (partition >= t->partitions.size()) {
     return Status::InvalidArgument("partition out of range");
   }
-  return t->partitions[partition]->Read(offset, max, out);
+  Result<std::vector<Message>> batch =
+      t->partitions[partition]->Read(offset, max);
+  if constexpr (obs::kEnabled) {
+    if (batch.ok()) FetchedCounter()->Increment(batch->size());
+  }
+  return batch;
 }
 
 Result<uint32_t> Broker::PartitionCount(std::string_view topic) const {
@@ -115,21 +140,23 @@ Result<std::vector<Message>> Consumer::Poll(size_t max) {
        ++scanned) {
     uint32_t p = next_partition_;
     next_partition_ = uint32_t((next_partition_ + 1) % offsets_.size());
-    GB_ASSIGN_OR_RETURN(size_t n,
-                        broker_->Fetch(topic_, p, offsets_[p],
-                                       max - out.size(), &out));
-    offsets_[p] += n;
-    consumed_ += n;
+    GB_ASSIGN_OR_RETURN(
+        std::vector<Message> batch,
+        broker_->Fetch(topic_, p, offsets_[p], max - out.size()));
+    offsets_[p] += batch.size();
+    consumed_ += batch.size();
+    for (Message& m : batch) out.push_back(std::move(m));
   }
   return out;
 }
 
-bool Consumer::CaughtUp() const {
+uint64_t Consumer::Lag() const {
+  uint64_t lag = 0;
   for (uint32_t p = 0; p < offsets_.size(); ++p) {
     auto end = broker_->EndOffset(topic_, p);
-    if (!end.ok() || offsets_[p] < *end) return false;
+    if (end.ok() && *end > offsets_[p]) lag += *end - offsets_[p];
   }
-  return true;
+  return lag;
 }
 
 }  // namespace mq

@@ -32,9 +32,9 @@ class PartitionLog {
   /// Appends and returns the assigned offset.
   uint64_t Append(Message message);
 
-  /// Reads up to `max` messages starting at `offset`. Returns how many were
-  /// copied; zero when the log end is reached.
-  size_t Read(uint64_t offset, size_t max, std::vector<Message>* out) const;
+  /// Reads up to `max` messages starting at `offset`; empty when the log
+  /// end is reached.
+  Result<std::vector<Message>> Read(uint64_t offset, size_t max) const;
 
   uint64_t end_offset() const;
 
@@ -47,6 +47,9 @@ class PartitionLog {
 /// architecture (Figure 1). The LDBC driver produces update operations
 /// into a topic; the single writer consumes them and applies them to the
 /// SUT, decoupling update generation from execution.
+///
+/// Produce/Fetch volumes are counted in the default obs registry as
+/// "mq.produced" / "mq.fetched_messages".
 class Broker {
  public:
   Status CreateTopic(std::string_view name, uint32_t partitions);
@@ -55,9 +58,10 @@ class Broker {
   Result<uint64_t> Produce(std::string_view topic, Message message);
 
   /// Direct partition read (consumers use this via Consumer::Poll).
-  Result<size_t> Fetch(std::string_view topic, uint32_t partition,
-                       uint64_t offset, size_t max,
-                       std::vector<Message>* out) const;
+  /// Returns the messages copied; empty when the partition end is reached.
+  Result<std::vector<Message>> Fetch(std::string_view topic,
+                                     uint32_t partition, uint64_t offset,
+                                     size_t max) const;
 
   Result<uint32_t> PartitionCount(std::string_view topic) const;
   Result<uint64_t> EndOffset(std::string_view topic,
@@ -101,8 +105,12 @@ class Consumer {
   /// Total messages consumed so far.
   uint64_t consumed() const { return consumed_; }
 
-  /// True when every partition has been fully read.
-  bool CaughtUp() const;
+  /// Messages published but not yet consumed, summed across partitions
+  /// (end offset minus consumed offset — the Kafka consumer-group lag).
+  uint64_t Lag() const;
+
+  /// True when every partition has been fully read (Lag() == 0).
+  bool CaughtUp() const { return Lag() == 0; }
 
  private:
   Broker* broker_;

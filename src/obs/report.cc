@@ -1,0 +1,147 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace graphbench {
+namespace obs {
+
+BenchReport::BenchReport(std::string bench_name, std::string scale)
+    : bench_name_(std::move(bench_name)), scale_(std::move(scale)) {}
+
+void BenchReport::SetParam(std::string_view key, Json value) {
+  params_.Set(std::string(key), std::move(value));
+}
+
+void BenchReport::AddSystem(std::string_view system, Json metrics) {
+  if (!metrics.Has("system")) {
+    // Rebuild with "system" leading so reports read naturally.
+    Json entry = Json::Object();
+    entry.Set("system", Json::Str(std::string(system)));
+    for (const auto& [key, value] : metrics.object_pairs()) {
+      entry.Set(key, value);
+    }
+    metrics = std::move(entry);
+  }
+  systems_.Append(std::move(metrics));
+}
+
+void BenchReport::AttachRegistry(const MetricsRegistry& registry) {
+  MetricsSnapshot snap = registry.Snapshot();
+  Json counters = Json::Object();
+  for (const auto& [name, value] : snap.counters) {
+    counters.Set(name, Json::Int(int64_t(value)));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.Set(name, Json::Int(value));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, stats] : snap.histograms) {
+    histograms.Set(name, HistogramJson(stats));
+  }
+  metrics_ = Json::Object();
+  metrics_.Set("counters", std::move(counters));
+  metrics_.Set("gauges", std::move(gauges));
+  metrics_.Set("histograms", std::move(histograms));
+}
+
+void BenchReport::AttachTrace(const TraceRing& ring) {
+  Json stages = TraceStagesJson(ring);
+  if (systems_.size() == 0) {
+    metrics_.Set("trace_stages", std::move(stages));
+    return;
+  }
+  // Attach to the most recent system entry.
+  systems_.at(systems_.size() - 1).Set("trace_stages", std::move(stages));
+}
+
+Json BenchReport::ToJson() const {
+  Json root = Json::Object();
+  root.Set("schema_version", Json::Int(kSchemaVersion));
+  root.Set("bench", Json::Str(bench_name_));
+  root.Set("scale", Json::Str(scale_));
+  root.Set("params", params_);
+  root.Set("systems", systems_);
+  root.Set("metrics", metrics_);
+  return root;
+}
+
+Result<std::string> BenchReport::WriteFile(std::string_view dir) const {
+  std::string path = std::string(dir);
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "BENCH_" + bench_name_ + ".json";
+  std::string body = ToJson().Serialize();
+  body += '\n';
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_err = std::fclose(f);
+  if (written != body.size() || close_err != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return path;
+}
+
+Json HistogramJson(const Histogram& h) {
+  return HistogramJson(SummarizeHistogram(h));
+}
+
+Json HistogramJson(const MetricsSnapshot::HistogramStats& stats) {
+  Json out = Json::Object();
+  out.Set("count", Json::Int(int64_t(stats.count)));
+  out.Set("mean_us", Json::Number(stats.mean));
+  out.Set("min_us", Json::Int(int64_t(stats.min)));
+  out.Set("max_us", Json::Int(int64_t(stats.max)));
+  out.Set("p50_us", Json::Number(stats.p50));
+  out.Set("p95_us", Json::Number(stats.p95));
+  out.Set("p99_us", Json::Number(stats.p99));
+  return out;
+}
+
+Json DriverMetricsJson(const DriverMetrics& metrics) {
+  Json out = Json::Object();
+  out.Set("reads_completed", Json::Int(int64_t(metrics.reads_completed)));
+  out.Set("read_errors", Json::Int(int64_t(metrics.read_errors)));
+  out.Set("writes_completed",
+          Json::Int(int64_t(metrics.writes_completed)));
+  out.Set("write_errors", Json::Int(int64_t(metrics.write_errors)));
+  out.Set("dependency_violations",
+          Json::Int(int64_t(metrics.dependency_violations)));
+  out.Set("late_writes", Json::Int(int64_t(metrics.late_writes)));
+  out.Set("elapsed_seconds", Json::Number(metrics.elapsed_seconds));
+  out.Set("write_seconds", Json::Number(metrics.write_seconds));
+  out.Set("reads_per_second", Json::Number(metrics.reads_per_second));
+  out.Set("writes_per_second", Json::Number(metrics.writes_per_second));
+  out.Set("read_latency", HistogramJson(metrics.read_latency_micros));
+  out.Set("write_latency", HistogramJson(metrics.write_latency_micros));
+  Json reads = Json::Array();
+  for (uint64_t n : metrics.read_timeline) reads.Append(Json::Int(int64_t(n)));
+  Json writes = Json::Array();
+  for (uint64_t n : metrics.write_timeline) {
+    writes.Append(Json::Int(int64_t(n)));
+  }
+  out.Set("read_timeline", std::move(reads));
+  out.Set("write_timeline", std::move(writes));
+  return out;
+}
+
+Json TraceStagesJson(const TraceRing& ring) {
+  Json out = Json::Object();
+  for (size_t s = 0; s < kNumStages; ++s) {
+    TraceRing::StageTotals totals = ring.totals(Stage(s));
+    if (totals.count == 0) continue;
+    Json stage = Json::Object();
+    stage.Set("count", Json::Int(int64_t(totals.count)));
+    stage.Set("total_micros", Json::Int(int64_t(totals.total_micros)));
+    stage.Set("mean_us",
+              Json::Number(double(totals.total_micros) /
+                           double(totals.count)));
+    out.Set(StageName(Stage(s)), std::move(stage));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace graphbench

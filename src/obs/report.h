@@ -1,0 +1,87 @@
+#ifndef GRAPHBENCH_OBS_REPORT_H_
+#define GRAPHBENCH_OBS_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "driver/driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/histogram.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace obs {
+
+/// Machine-readable benchmark report, serialized as BENCH_<name>.json so
+/// runs can be diffed across commits (the per-operation latency reporting
+/// the LDBC SNB Interactive spec mandates). Schema (all keys always
+/// present, see DESIGN.md "Observability & bench reports"):
+///
+///   {
+///     "schema_version": 1,
+///     "bench":   "<name>",
+///     "scale":   "<dataset description>",
+///     "params":  { flag: value, ... },
+///     "systems": [ { "system": "...", <metric>: ... }, ... ],
+///     "metrics": { "counters": {...}, "gauges": {...},
+///                  "histograms": { name: {count,mean,min,max,
+///                                         p50,p95,p99}, ... } }
+///   }
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name, std::string scale = "");
+
+  const std::string& bench_name() const { return bench_name_; }
+  void set_scale(std::string scale) { scale_ = std::move(scale); }
+
+  /// Run parameter recorded under "params" (reader count, reps, ...).
+  void SetParam(std::string_view key, Json value);
+
+  /// Appends one measured configuration under "systems". The object
+  /// should carry a "system" key; AddSystem inserts it if missing.
+  void AddSystem(std::string_view system, Json metrics);
+
+  /// Snapshot of a registry, stored under "metrics".
+  void AttachRegistry(const MetricsRegistry& registry);
+
+  /// Per-stage totals of a trace ring, stored under
+  /// "systems[...].trace_stages" of the most recent AddSystem entry, or
+  /// under top-level "trace_stages" when no system was added yet.
+  void AttachTrace(const TraceRing& ring);
+
+  Json ToJson() const;
+
+  /// Serializes to `<dir>/BENCH_<bench_name>.json` ("." by default).
+  /// Returns the path written.
+  Result<std::string> WriteFile(std::string_view dir = ".") const;
+
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  std::string bench_name_;
+  std::string scale_;
+  Json params_ = Json::Object();
+  Json systems_ = Json::Array();
+  Json metrics_ = Json::Object();
+};
+
+/// Histogram -> {"count","mean_us","min_us","max_us","p50_us","p95_us",
+/// "p99_us"}.
+Json HistogramJson(const Histogram& h);
+Json HistogramJson(const MetricsSnapshot::HistogramStats& stats);
+
+/// DriverMetrics -> one "systems" entry body: op counts, rates, latency
+/// summaries, and the Figure 3 read/write timelines.
+Json DriverMetricsJson(const DriverMetrics& metrics);
+
+/// TraceRing per-stage breakdown ->
+/// {stage: {"count","total_micros","mean_us"}, ...} for every stage with
+/// at least one span.
+Json TraceStagesJson(const TraceRing& ring);
+
+}  // namespace obs
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_OBS_REPORT_H_

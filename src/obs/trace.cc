@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace graphbench {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kPlan: return "plan";
+    case Stage::kSerialize: return "serialize";
+    case Stage::kQueue: return "queue";
+    case Stage::kExecute: return "execute";
+    case Stage::kDeserialize: return "deserialize";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::Record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_slot_] = span;
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+  ++recorded_;
+  StageTotals& t = totals_[size_t(span.stage)];
+  ++t.count;
+  t.total_micros += span.duration_micros;
+}
+
+std::vector<Span> TraceRing::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Once wrapped, next_slot_ points at the oldest retained span.
+  size_t start = ring_.size() < capacity_ ? 0 : next_slot_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+TraceRing::StageTotals TraceRing::totals(Stage stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[size_t(stage)];
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  recorded_ = 0;
+  totals_.fill(StageTotals{});
+}
+
+}  // namespace obs
+}  // namespace graphbench

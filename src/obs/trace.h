@@ -1,0 +1,114 @@
+#ifndef GRAPHBENCH_OBS_TRACE_H_
+#define GRAPHBENCH_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace graphbench {
+namespace obs {
+
+/// Pipeline stages a query passes through. One request produces one span
+/// per stage it touches; spans sharing a trace id belong to one request.
+/// The Gremlin Server path is serialize -> queue -> execute -> deserialize
+/// (the Figure 2 platform-agnostic-access tax, now attributable per
+/// stage); language engines use parse -> plan -> execute -> serialize.
+enum class Stage : uint8_t {
+  kParse = 0,
+  kPlan,
+  kSerialize,
+  kQueue,
+  kExecute,
+  kDeserialize,
+};
+inline constexpr size_t kNumStages = 6;
+
+const char* StageName(Stage stage);
+
+/// One completed span.
+struct Span {
+  uint64_t trace_id = 0;
+  Stage stage = Stage::kExecute;
+  uint64_t start_micros = 0;     // NowMicros() at stage entry
+  uint64_t duration_micros = 0;
+};
+
+/// Fixed-capacity ring of the most recent completed spans plus running
+/// per-stage totals over everything ever recorded. Record() is two index
+/// updates under a mutex — cheap enough for per-request use — and never
+/// allocates after construction.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 4096);
+
+  /// Overwrites the oldest span once the ring is full.
+  void Record(Span span);
+
+  /// Fresh id for correlating one request's spans.
+  uint64_t NextTraceId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Retained spans, oldest first.
+  std::vector<Span> Spans() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded (>= Spans().size(); excess was overwritten).
+  uint64_t total_recorded() const;
+
+  struct StageTotals {
+    uint64_t count = 0;
+    uint64_t total_micros = 0;
+  };
+  /// Running totals since construction (not limited to retained spans).
+  StageTotals totals(Stage stage) const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  size_t next_slot_ = 0;
+  uint64_t recorded_ = 0;
+  std::array<StageTotals, kNumStages> totals_{};
+  std::atomic<uint64_t> next_id_{0};
+};
+
+/// RAII span: times its scope and records into the ring on destruction.
+/// Null ring (or the compile-time kill switch) makes it a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRing* ring, Stage stage, uint64_t trace_id = 0)
+      : ring_(ring), stage_(stage), trace_id_(trace_id) {
+    if constexpr (kEnabled) {
+      if (ring_ != nullptr) start_ = NowMicros();
+    }
+  }
+  ~ScopedSpan() {
+    if constexpr (kEnabled) {
+      if (ring_ == nullptr) return;
+      ring_->Record(
+          Span{trace_id_, stage_, start_, NowMicros() - start_});
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRing* ring_;
+  Stage stage_;
+  uint64_t trace_id_;
+  uint64_t start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_OBS_TRACE_H_

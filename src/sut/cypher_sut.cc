@@ -156,6 +156,7 @@ Status CypherSut::Load(const snb::Dataset& data) {
 }
 
 Result<QueryResult> CypherSut::PointLookup(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(
       "MATCH (p:Person {id: $id}) RETURN p.firstName, p.lastName, "
       "p.gender, p.birthday, p.browserUsed, p.locationIP",
@@ -163,6 +164,7 @@ Result<QueryResult> CypherSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> CypherSut::OneHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(
       "MATCH (p:Person {id: $id})-[:knows]-(f) "
       "RETURN f.id, f.firstName, f.lastName",
@@ -170,6 +172,7 @@ Result<QueryResult> CypherSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> CypherSut::TwoHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(
       "MATCH (p:Person {id: $id})-[:knows]-(f)-[:knows]-(ff) "
       "WHERE ff.id <> $id RETURN DISTINCT ff.id",
@@ -178,6 +181,7 @@ Result<QueryResult> CypherSut::TwoHop(int64_t person_id) {
 
 Result<int> CypherSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   GB_ASSIGN_OR_RETURN(
       QueryResult r,
       engine_.Execute(
@@ -190,6 +194,7 @@ Result<int> CypherSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> CypherSut::RecentPosts(int64_t person_id,
                                            int64_t limit) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(
       "MATCH (p:Person {id: $id})<-[:postHasCreator]-(post) "
       "RETURN post.id, post.content, post.creationDate "
@@ -223,6 +228,7 @@ Result<QueryResult> CypherSut::TopPosters(int64_t limit) {
 }
 
 Status CypherSut::Apply(const snb::UpdateOp& op) {
+  obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {
     case K::kAddPerson: {

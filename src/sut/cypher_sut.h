@@ -5,6 +5,7 @@
 
 #include "engines/native/cypher_engine.h"
 #include "engines/native/native_graph.h"
+#include "obs/metrics.h"
 #include "snb/schema.h"
 #include "sut/sut.h"
 
@@ -41,6 +42,7 @@ class CypherSut : public Sut {
  private:
   NativeGraph graph_;
   CypherEngine engine_;
+  obs::SutProbe probe_{"neo4j"};
 };
 
 /// Loads the SNB snapshot into any PropertyGraph-shaped store via a bulk

@@ -12,6 +12,17 @@
 
 namespace graphbench {
 
+namespace {
+
+// Maps a display name like "Titan-C (Gremlin)" to the short metric id
+// ("titan-c") so probe counters line up with SutKindId() everywhere else.
+std::string ProbeIdForName(const std::string& name) {
+  Result<SutKind> kind = ParseSutKind(name);
+  return kind.ok() ? SutKindId(*kind) : "gremlin";
+}
+
+}  // namespace
+
 GremlinSut::GremlinSut(std::string name,
                        std::unique_ptr<GremlinGraph> graph,
                        GremlinServerOptions server_options,
@@ -19,7 +30,8 @@ GremlinSut::GremlinSut(std::string name,
     : name_(std::move(name)),
       extra_(std::move(extra)),
       graph_(std::move(graph)),
-      server_(graph_.get(), server_options) {}
+      server_(graph_.get(), server_options),
+      probe_(ProbeIdForName(name_)) {}
 
 Status GremlinSut::LoadVertices(const snb::Dataset& data, size_t shard,
                                 size_t num_shards) {
@@ -263,6 +275,7 @@ QueryResult GremlinSut::Reshape(std::vector<Value> flat, size_t width,
 }
 
 Result<QueryResult> GremlinSut::PointLookup(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .ValueMap({"firstName", "lastName", "gender", "birthday",
@@ -274,6 +287,7 @@ Result<QueryResult> GremlinSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> GremlinSut::OneHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .Both("knows")
@@ -283,6 +297,7 @@ Result<QueryResult> GremlinSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .As("p")
@@ -297,6 +312,7 @@ Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
 
 Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
                                         int64_t to_person) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(from_person))
       .ShortestPath("knows", "id", Value(to_person));
@@ -307,6 +323,7 @@ Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> GremlinSut::RecentPosts(int64_t person_id,
                                             int64_t limit) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .In("postHasCreator")
@@ -347,6 +364,7 @@ Result<QueryResult> GremlinSut::TopPosters(int64_t limit) {
 }
 
 Status GremlinSut::Apply(const snb::UpdateOp& op) {
+  obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   auto submit = [this](const Traversal& t) {
     return server_.Submit(t).status();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engines/relational/database.h"
+#include "obs/metrics.h"
 #include "snb/schema.h"
 #include "sut/sut.h"
 #include "tinkerpop/gremlin_server.h"
@@ -68,6 +69,7 @@ class GremlinSut : public Sut {
   std::shared_ptr<void> extra_;
   std::unique_ptr<GremlinGraph> graph_;
   GremlinServer server_;
+  obs::SutProbe probe_;
 };
 
 /// Factory helpers for the four TinkerPop configurations. The server

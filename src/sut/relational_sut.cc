@@ -2,7 +2,10 @@
 
 namespace graphbench {
 
-RelationalSut::RelationalSut(StorageMode mode) : mode_(mode), db_(mode) {}
+RelationalSut::RelationalSut(StorageMode mode)
+    : mode_(mode),
+      db_(mode),
+      probe_(mode == StorageMode::kRow ? "postgres" : "virtuoso") {}
 
 Status RelationalSut::CreateSnbSchema(Database* db) {
   using T = Value::Type;
@@ -191,6 +194,7 @@ Status RelationalSut::Load(const snb::Dataset& data) {
 }
 
 Result<QueryResult> RelationalSut::PointLookup(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return db_.Execute(
       "SELECT firstName, lastName, gender, birthday, browserUsed, "
       "locationIP FROM person WHERE id = ?",
@@ -198,6 +202,7 @@ Result<QueryResult> RelationalSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> RelationalSut::OneHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return db_.Execute(
       "SELECT p.id, p.firstName, p.lastName FROM knows k "
       "JOIN person p ON k.person2Id = p.id WHERE k.person1Id = ?",
@@ -205,6 +210,7 @@ Result<QueryResult> RelationalSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> RelationalSut::TwoHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return db_.Execute(
       "SELECT DISTINCT p.id FROM knows k1 "
       "JOIN knows k2 ON k1.person2Id = k2.person1Id "
@@ -215,6 +221,7 @@ Result<QueryResult> RelationalSut::TwoHop(int64_t person_id) {
 
 Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
                                            int64_t to_person) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   GB_ASSIGN_OR_RETURN(
       QueryResult r,
       db_.Execute(
@@ -226,6 +233,7 @@ Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> RelationalSut::RecentPosts(int64_t person_id,
                                                int64_t limit) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return db_.Execute(
       "SELECT p.id, p.content, p.creationDate FROM post p "
       "WHERE p.creatorId = ? ORDER BY p.creationDate DESC LIMIT " +
@@ -257,6 +265,7 @@ Result<QueryResult> RelationalSut::TopPosters(int64_t limit) {
 }
 
 Status RelationalSut::Apply(const snb::UpdateOp& op) {
+  obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {
     case K::kAddPerson: {

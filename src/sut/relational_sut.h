@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engines/relational/database.h"
+#include "obs/metrics.h"
 #include "snb/schema.h"
 #include "sut/sut.h"
 
@@ -45,6 +46,7 @@ class RelationalSut : public Sut {
  private:
   StorageMode mode_;
   Database db_;
+  obs::SutProbe probe_;
 };
 
 }  // namespace graphbench

@@ -161,6 +161,7 @@ Status SparqlSut::Load(const snb::Dataset& data) {
 }
 
 Result<QueryResult> SparqlSut::PointLookup(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(StringPrintf(
       "SELECT ?fn ?ln ?g ?b ?br ?ip WHERE { "
       "?p snb:id %lld ; rdf:type snb:Person ; snb:firstName ?fn ; "
@@ -170,6 +171,7 @@ Result<QueryResult> SparqlSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> SparqlSut::OneHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(StringPrintf(
       "SELECT ?fid ?fn ?ln WHERE { "
       "?p snb:id %lld ; rdf:type snb:Person . ?p snb:knows ?f . "
@@ -178,6 +180,7 @@ Result<QueryResult> SparqlSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> SparqlSut::TwoHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(StringPrintf(
       "SELECT DISTINCT ?ffid WHERE { "
       "?p snb:id %lld ; rdf:type snb:Person . ?p snb:knows ?f . "
@@ -187,6 +190,7 @@ Result<QueryResult> SparqlSut::TwoHop(int64_t person_id) {
 
 Result<int> SparqlSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   GB_ASSIGN_OR_RETURN(
       QueryResult r,
       engine_.Execute(StringPrintf(
@@ -200,6 +204,7 @@ Result<int> SparqlSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> SparqlSut::RecentPosts(int64_t person_id,
                                            int64_t limit) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.Execute(StringPrintf(
       "SELECT ?pid ?content ?date WHERE { "
       "?p snb:id %lld ; rdf:type snb:Person . "
@@ -236,6 +241,7 @@ Result<QueryResult> SparqlSut::TopPosters(int64_t limit) {
 }
 
 Status SparqlSut::Apply(const snb::UpdateOp& op) {
+  obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {
     case K::kAddPerson:

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "engines/rdf/rdf_engine.h"
+#include "obs/metrics.h"
 #include "snb/schema.h"
 #include "sut/sut.h"
 
@@ -50,6 +51,7 @@ class SparqlSut : public Sut {
   Status AddLikeTriples(const snb::Like& l);
 
   RdfEngine engine_;
+  obs::SutProbe probe_{"sparql"};
 };
 
 }  // namespace graphbench

@@ -4,6 +4,7 @@
 #include "sut/gremlin_sut.h"
 #include "sut/relational_sut.h"
 #include "sut/sparql_sut.h"
+#include "util/string_util.h"
 
 namespace graphbench {
 
@@ -47,6 +48,48 @@ const char* SutKindName(SutKind kind) {
     case SutKind::kVirtuosoSparql: return "Virtuoso (SPARQL)";
   }
   return "unknown";
+}
+
+const char* SutKindId(SutKind kind) {
+  switch (kind) {
+    case SutKind::kNeo4jCypher: return "neo4j";
+    case SutKind::kNeo4jGremlin: return "neo4j-gremlin";
+    case SutKind::kTitanC: return "titan-c";
+    case SutKind::kTitanB: return "titan-b";
+    case SutKind::kSqlg: return "sqlg";
+    case SutKind::kPostgresSql: return "postgres";
+    case SutKind::kVirtuosoSql: return "virtuoso";
+    case SutKind::kVirtuosoSparql: return "sparql";
+  }
+  return "unknown";
+}
+
+Result<SutKind> ParseSutKind(std::string_view name) {
+  for (SutKind kind : AllSutKinds()) {
+    if (EqualsIgnoreCase(name, SutKindId(kind)) ||
+        EqualsIgnoreCase(name, SutKindName(kind))) {
+      return kind;
+    }
+  }
+  // Aliases kept for older command lines and docs.
+  if (EqualsIgnoreCase(name, "neo4j-cypher")) return SutKind::kNeo4jCypher;
+  if (EqualsIgnoreCase(name, "virtuoso-sql")) return SutKind::kVirtuosoSql;
+  if (EqualsIgnoreCase(name, "virtuoso-sparql")) {
+    return SutKind::kVirtuosoSparql;
+  }
+  if (EqualsIgnoreCase(name, "titan")) return SutKind::kTitanC;
+  std::string known;
+  for (SutKind kind : AllSutKinds()) {
+    if (!known.empty()) known += "|";
+    known += SutKindId(kind);
+  }
+  return Status::InvalidArgument("unknown SUT \"" + std::string(name) +
+                                 "\" (expected one of " + known + ")");
+}
+
+Result<std::unique_ptr<Sut>> MakeSut(std::string_view name) {
+  GB_ASSIGN_OR_RETURN(SutKind kind, ParseSutKind(name));
+  return MakeSut(kind);
 }
 
 }  // namespace graphbench

@@ -75,10 +75,24 @@ enum class SutKind {
 /// Creates a fresh, empty SUT of the given kind.
 std::unique_ptr<Sut> MakeSut(SutKind kind);
 
+/// Creates a SUT selected by configuration name (see ParseSutKind for the
+/// accepted spellings). InvalidArgument for unknown names.
+Result<std::unique_ptr<Sut>> MakeSut(std::string_view name);
+
 /// All eight configurations in the paper's column order.
 std::vector<SutKind> AllSutKinds();
 
 const char* SutKindName(SutKind kind);
+
+/// Stable lowercase identifier ("postgres", "neo4j", "titan-c", ...);
+/// used for flags, metric names, and report keys.
+const char* SutKindId(SutKind kind);
+
+/// Parses a configuration name: the SutKindId spellings plus the common
+/// aliases "neo4j-cypher", "virtuoso-sql", "titan", and the full column
+/// labels ("Postgres (SQL)", ...), case-insensitively. InvalidArgument
+/// (with the accepted spellings in the message) for anything else.
+Result<SutKind> ParseSutKind(std::string_view name);
 
 }  // namespace graphbench
 

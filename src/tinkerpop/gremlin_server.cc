@@ -3,6 +3,7 @@
 #include <future>
 
 #include "tinkerpop/bytecode.h"
+#include "util/stopwatch.h"
 
 namespace graphbench {
 
@@ -13,27 +14,56 @@ GremlinServer::GremlinServer(GremlinGraph* graph,
 GremlinServer::~GremlinServer() { pool_.Shutdown(); }
 
 Result<std::vector<Value>> GremlinServer::Submit(const Traversal& traversal) {
+  const uint64_t trace_id = obs::kEnabled ? trace_.NextTraceId() : 0;
+  const uint64_t submit_start = obs::kEnabled ? NowMicros() : 0;
+
   // Client side: encode the traversal to bytecode.
-  std::string request = gremlinio::EncodeTraversal(traversal);
+  std::string request;
+  {
+    obs::ScopedSpan span(&trace_, obs::Stage::kSerialize, trace_id);
+    request = gremlinio::EncodeTraversal(traversal);
+  }
 
   auto response = std::make_shared<std::promise<Result<std::string>>>();
   std::future<Result<std::string>> reply = response->get_future();
 
   GremlinGraph* graph = graph_;
+  obs::TraceRing* trace = &trace_;
+  const uint64_t enqueued_at = obs::kEnabled ? NowMicros() : 0;
   bool accepted = pool_.Submit([graph, request = std::move(request),
-                                response]() mutable {
-    // Server side: decode, execute, encode the response frame.
+                                response, trace, trace_id,
+                                enqueued_at]() mutable {
+    uint64_t started_at = 0;
+    if constexpr (obs::kEnabled) {
+      started_at = NowMicros();
+      trace->Record(obs::Span{trace_id, obs::Stage::kQueue, enqueued_at,
+                              started_at - enqueued_at});
+    }
+    // Server side: decode, execute, encode the response frame. The
+    // execute span must be recorded BEFORE set_value — set_value wakes
+    // the waiting client, and any scheduling delay after it would be
+    // misattributed to this stage.
+    auto record_execute = [&] {
+      if constexpr (obs::kEnabled) {
+        trace->Record(obs::Span{trace_id, obs::Stage::kExecute, started_at,
+                                NowMicros() - started_at});
+      }
+    };
     auto decoded = gremlinio::DecodeTraversal(request);
     if (!decoded.ok()) {
+      record_execute();
       response->set_value(decoded.status());
       return;
     }
     auto results = ExecuteTraversal(graph, *decoded);
     if (!results.ok()) {
+      record_execute();
       response->set_value(results.status());
       return;
     }
-    response->set_value(gremlinio::EncodeResults(*results));
+    std::string frame = gremlinio::EncodeResults(*results);
+    record_execute();
+    response->set_value(std::move(frame));
   });
   if (!accepted) {
     ++rejected_;
@@ -44,7 +74,12 @@ Result<std::vector<Value>> GremlinServer::Submit(const Traversal& traversal) {
   if (!frame.ok()) return frame.status();
   ++served_;
   // Client side: decode the response frame.
-  return gremlinio::DecodeResults(*frame);
+  obs::ScopedSpan span(&trace_, obs::Stage::kDeserialize, trace_id);
+  auto decoded = gremlinio::DecodeResults(*frame);
+  if constexpr (obs::kEnabled) {
+    submit_micros_.Add(NowMicros() - submit_start);
+  }
+  return decoded;
 }
 
 Result<std::vector<Value>> GremlinServer::SubmitEmbedded(

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tinkerpop/structure.h"
 #include "tinkerpop/traversal.h"
 #include "util/result.h"
@@ -45,9 +47,21 @@ class GremlinServer {
 
   GremlinGraph* graph() { return graph_; }
 
+  /// Per-stage spans of recent Submit calls: serialize (client encode),
+  /// queue (wait for a worker), execute (server-side decode + run +
+  /// encode), deserialize (client decode). Their per-request sum is the
+  /// Figure 2 platform-agnostic-access tax, attributed.
+  const obs::TraceRing& trace() const { return trace_; }
+  obs::TraceRing* mutable_trace() { return &trace_; }
+
+  /// Total wall-clock Submit latency (accepted requests only).
+  const Histogram& submit_latency_micros() const { return submit_micros_; }
+
  private:
   GremlinGraph* graph_;
   ThreadPool pool_;
+  obs::TraceRing trace_;
+  Histogram submit_micros_;
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> rejected_{0};
 };

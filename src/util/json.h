@@ -41,6 +41,7 @@ class Json {
   void Append(Json value);
   size_t size() const { return array_.size(); }
   const Json& at(size_t i) const { return array_[i]; }
+  Json& at(size_t i) { return array_[i]; }
 
   /// Object access. Get returns null Json when absent.
   void Set(std::string key, Json value);

@@ -41,6 +41,28 @@ TEST(MqTest, ProduceConsumeRoundTrip) {
   EXPECT_TRUE(more->empty());
 }
 
+TEST(MqTest, LagTracksUnconsumedMessages) {
+  mq::Broker broker;
+  ASSERT_TRUE(broker.CreateTopic("lag", 2).ok());
+  mq::Producer producer(&broker, "lag");
+  mq::Consumer consumer(&broker, "lag");
+  EXPECT_EQ(consumer.Lag(), 0u);
+  EXPECT_TRUE(consumer.CaughtUp());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(producer.Send("k" + std::to_string(i), "p").ok());
+  }
+  EXPECT_EQ(consumer.Lag(), 30u);
+  EXPECT_FALSE(consumer.CaughtUp());
+  auto batch = consumer.Poll(10);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(consumer.Lag(), 30u - batch->size());
+  while (consumer.Lag() > 0) {
+    ASSERT_TRUE(consumer.Poll(10).ok());
+  }
+  EXPECT_TRUE(consumer.CaughtUp());
+  EXPECT_EQ(consumer.consumed(), 30u);
+}
+
 TEST(MqTest, SingleTopicPartitionPreservesOrder) {
   mq::Broker broker;
   ASSERT_TRUE(broker.CreateTopic("ordered", 1).ok());
@@ -66,8 +88,8 @@ TEST(MqTest, ErrorsOnUnknownTopicAndBadPartition) {
   mq::Producer producer(&broker, "nope");
   EXPECT_TRUE(producer.Send("", "x").status().IsNotFound());
   ASSERT_TRUE(broker.CreateTopic("t", 1).ok());
-  std::vector<mq::Message> out;
-  EXPECT_TRUE(broker.Fetch("t", 5, 0, 1, &out).status().IsInvalidArgument());
+  EXPECT_TRUE(broker.Fetch("t", 5, 0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(broker.Fetch("missing", 0, 0, 1).status().IsNotFound());
   EXPECT_TRUE(broker.CreateTopic("t", 1).IsAlreadyExists());
   EXPECT_TRUE(broker.CreateTopic("z", 0).IsInvalidArgument());
 }

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace graphbench {
+namespace {
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter* c = registry.GetCounter("test.hits");
+      for (int i = 0; i < kIncrements; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("test.hits")->value(),
+            uint64_t(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(MetricsRegistryTest, SnapshotAndReset) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(5);
+  registry.GetGauge("g")->Set(-3);
+  registry.GetHistogram("h")->Add(100);
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "c");
+  EXPECT_EQ(snap.counters[0].second, 5u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -3);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+
+  obs::Counter* c = registry.GetCounter("c");
+  registry.Reset();
+  EXPECT_EQ(c, registry.GetCounter("c"));  // pointers survive Reset
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->count(), 0u);
+}
+
+TEST(HistogramStatsTest, PercentileEdges) {
+  Histogram empty;
+  obs::MetricsSnapshot::HistogramStats zero =
+      obs::SummarizeHistogram(empty);
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.min, 0u);
+  EXPECT_EQ(zero.max, 0u);
+  EXPECT_EQ(zero.p50, 0);
+  EXPECT_EQ(zero.p99, 0);
+
+  Histogram one;
+  one.Add(250);
+  obs::MetricsSnapshot::HistogramStats single = obs::SummarizeHistogram(one);
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_EQ(single.min, 250u);
+  EXPECT_EQ(single.max, 250u);
+  // All percentiles collapse to (the bucket of) the only sample.
+  EXPECT_GE(single.p99, single.p50);
+  EXPECT_GE(single.p50, 250.0 / 2);
+
+  Histogram many;
+  for (uint64_t i = 1; i <= 1000; ++i) many.Add(i);
+  obs::MetricsSnapshot::HistogramStats stats = obs::SummarizeHistogram(many);
+  EXPECT_EQ(stats.count, 1000u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 1000u);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_LE(stats.p99, double(stats.max) * 2);
+}
+
+TEST(ScopedTimerTest, RecordsIntoHistogramAndCounter) {
+  Histogram h;
+  obs::Counter c;
+  { obs::ScopedTimer timer(&h, &c); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(c.value(), 1u);
+  { obs::ScopedTimer noop(nullptr); }  // must not crash
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestOldestFirst) {
+  obs::TraceRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ring.Record(obs::Span{i, obs::Stage::kExecute, i * 100, 10});
+  }
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  std::vector<obs::Span> spans = ring.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest retained is trace 7, newest is 10, in order.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].trace_id, 7 + i);
+  }
+  auto totals = ring.totals(obs::Stage::kExecute);
+  EXPECT_EQ(totals.count, 10u);  // totals cover overwritten spans too
+  EXPECT_EQ(totals.total_micros, 100u);
+
+  ring.Clear();
+  EXPECT_TRUE(ring.Spans().empty());
+  EXPECT_EQ(ring.total_recorded(), 0u);
+}
+
+TEST(TraceRingTest, ScopedSpanRecordsStage) {
+  obs::TraceRing ring(16);
+  uint64_t id = ring.NextTraceId();
+  { obs::ScopedSpan span(&ring, obs::Stage::kSerialize, id); }
+  { obs::ScopedSpan span(&ring, obs::Stage::kExecute, id); }
+  { obs::ScopedSpan noop(nullptr, obs::Stage::kParse); }  // no-op
+  std::vector<obs::Span> spans = ring.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].stage, obs::Stage::kSerialize);
+  EXPECT_EQ(spans[1].stage, obs::Stage::kExecute);
+  EXPECT_EQ(spans[0].trace_id, id);
+  EXPECT_EQ(ring.totals(obs::Stage::kSerialize).count, 1u);
+  EXPECT_EQ(ring.totals(obs::Stage::kParse).count, 0u);
+}
+
+TEST(BenchReportTest, WrittenFileParsesBackWithAllKeys) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("mq.produced")->Increment(42);
+  registry.GetGauge("mq.consumer.lag")->Set(7);
+  registry.GetHistogram("sut.neo4j.read_micros")->Add(123);
+
+  obs::BenchReport report("obs_test", "unit");
+  report.SetParam("reps", Json::Int(3));
+  Json system = Json::Object();
+  system.Set("reads_per_second", Json::Number(123.5));
+  report.AddSystem("Neo4j (Cypher)", std::move(system));
+  report.AttachRegistry(registry);
+
+  obs::TraceRing ring(8);
+  ring.Record(obs::Span{1, obs::Stage::kExecute, 0, 50});
+  report.AttachTrace(ring);
+
+  Result<std::string> path = report.WriteFile(::testing::TempDir());
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_NE(path->find("BENCH_obs_test.json"), std::string::npos);
+
+  std::FILE* f = std::fopen(path->c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path->c_str());
+
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& doc = *parsed;
+  for (const char* key :
+       {"schema_version", "bench", "scale", "params", "systems", "metrics"}) {
+    EXPECT_TRUE(doc.Has(key)) << "missing key " << key;
+  }
+  EXPECT_EQ(doc.Get("schema_version").as_int(),
+            obs::BenchReport::kSchemaVersion);
+  EXPECT_EQ(doc.Get("bench").as_string(), "obs_test");
+  EXPECT_EQ(doc.Get("params").Get("reps").as_int(), 3);
+
+  ASSERT_EQ(doc.Get("systems").size(), 1u);
+  const Json& sys = doc.Get("systems").at(0);
+  EXPECT_EQ(sys.Get("system").as_string(), "Neo4j (Cypher)");
+  EXPECT_TRUE(sys.Has("trace_stages"));
+  EXPECT_EQ(sys.Get("trace_stages").Get("execute").Get("count").as_int(), 1);
+
+  const Json& metrics = doc.Get("metrics");
+  EXPECT_EQ(metrics.Get("counters").Get("mq.produced").as_int(), 42);
+  EXPECT_EQ(metrics.Get("gauges").Get("mq.consumer.lag").as_int(), 7);
+  const Json& hist =
+      metrics.Get("histograms").Get("sut.neo4j.read_micros");
+  for (const char* key :
+       {"count", "mean_us", "min_us", "max_us", "p50_us", "p95_us",
+        "p99_us"}) {
+    EXPECT_TRUE(hist.Has(key)) << "missing histogram key " << key;
+  }
+  EXPECT_EQ(hist.Get("count").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace graphbench
