@@ -4,6 +4,7 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,10 +34,54 @@ inline std::string FlagValue(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// Exits with a usage error instead of crashing (std::stoll throws on
+/// garbage, which used to surface as an unhandled exception).
+[[noreturn]] inline void FlagParseError(const char* name,
+                                        const std::string& value,
+                                        const char* expected) {
+  std::fprintf(stderr, "invalid value for --%s: \"%s\" (expected %s)\n",
+               name, value.c_str(), expected);
+  std::exit(2);
+}
+
 inline int64_t FlagInt(int argc, char** argv, const char* name,
                        int64_t fallback) {
   std::string v = FlagValue(argc, argv, name, "");
-  return v.empty() ? fallback : std::stoll(v);
+  if (v.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0') {
+    FlagParseError(name, v, "an integer");
+  }
+  return parsed;
+}
+
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  std::string v = FlagValue(argc, argv, name, "");
+  if (v.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end == v.c_str() || *end != '\0') {
+    FlagParseError(name, v, "a number");
+  }
+  return parsed;
+}
+
+/// Accepts bare `--name` as true, or `--name=0/1/true/false/yes/no`.
+inline bool FlagBool(int argc, char** argv, const char* name,
+                     bool fallback) {
+  std::string bare = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  std::string v = FlagValue(argc, argv, name, "");
+  if (v.empty()) return fallback;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  FlagParseError(name, v, "a boolean (0/1/true/false/yes/no/on/off)");
 }
 
 /// Scale selection: "a" is the SF3 analog, "b" the SF10 analog.

@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
   DriverOptions options;
   options.num_readers = size_t(bench::FlagInt(argc, argv, "readers", 8));
   options.run_millis = bench::FlagInt(argc, argv, "millis", 3000);
+  options.slowlog_threshold_micros =
+      uint64_t(bench::FlagInt(argc, argv, "slowlog_threshold_us", 0));
   std::printf("readers=%zu, window=%lldms (paper: 32 readers on 32 cores; "
               "single-core container measures contention shape)\n\n",
               options.num_readers, (long long)options.run_millis);
@@ -73,6 +75,10 @@ int main(int argc, char** argv) {
   report.SetParam("readers", Json::Int(int64_t(options.num_readers)));
   report.SetParam("run_millis", Json::Int(options.run_millis));
   report.SetParam("update_ops", Json::Int(int64_t(data.update_stream.size())));
+  report.SetParam("timeline_bucket_millis",
+                  Json::Int(options.timeline_bucket_millis));
+  report.SetParam("slowlog_threshold_us",
+                  Json::Int(int64_t(options.slowlog_threshold_micros)));
 
   struct Timeline {
     std::string name;

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace graphbench;
   benchlib::ReadLatencyOptions options;
   options.repetitions = int(bench::FlagInt(argc, argv, "reps", 100));
+  options.profile = bench::FlagBool(argc, argv, "profile", false);
   obs::BenchReport report("table2_read_latency", "SF-A (SF3 analog)");
   benchlib::RunReadLatencyTable(
       snb::ScaleA(), options,

@@ -1,0 +1,143 @@
+#include "benchlib/bench_diff.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace graphbench {
+namespace benchlib {
+
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool IsHistogramLatencyField(const std::string& key) {
+  return key == "mean_us" || key == "p50_us" || key == "p95_us" ||
+         key == "p99_us";
+}
+
+const Json* FindSystem(const Json& systems, const std::string& name) {
+  for (size_t i = 0; i < systems.size(); ++i) {
+    const Json& entry = systems.at(i);
+    if (entry.Get("system").as_string() == name) return &entry;
+  }
+  return nullptr;
+}
+
+void DiffEntry(const std::string& system, const Json& before,
+               const Json& after, double threshold_pct,
+               std::vector<MetricDelta>* out) {
+  for (const auto& [key, b_value] : before.object_pairs()) {
+    if (!after.Has(key)) continue;
+    const Json& a_value = after.Get(key);
+    if (b_value.type() == Json::Type::kNumber && EndsWith(key, "_ms")) {
+      if (b_value.as_number() <= 0) continue;
+      MetricDelta d;
+      d.system = system;
+      d.metric = key;
+      d.before = b_value.as_number();
+      d.after = a_value.as_number();
+      d.delta_pct = (d.after - d.before) / d.before * 100.0;
+      d.regressed = d.delta_pct > threshold_pct;
+      out->push_back(std::move(d));
+    } else if (b_value.type() == Json::Type::kObject &&
+               a_value.type() == Json::Type::kObject &&
+               b_value.Has("p99_us")) {
+      // Histogram summary (read_latency, write_schedule_latency, ...).
+      for (const auto& [field, b_field] : b_value.object_pairs()) {
+        if (!IsHistogramLatencyField(field)) continue;
+        if (!a_value.Has(field)) continue;
+        if (b_field.as_number() <= 0) continue;
+        MetricDelta d;
+        d.system = system;
+        d.metric = key + "." + field;
+        d.before = b_field.as_number();
+        d.after = a_value.Get(field).as_number();
+        d.delta_pct = (d.after - d.before) / d.before * 100.0;
+        d.regressed = d.delta_pct > threshold_pct;
+        out->push_back(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<DiffResult> DiffReports(const Json& before, const Json& after,
+                               double threshold_pct) {
+  if (!before.Has("systems") ||
+      before.Get("systems").type() != Json::Type::kArray) {
+    return Status::InvalidArgument("before report has no \"systems\" array");
+  }
+  if (!after.Has("systems") ||
+      after.Get("systems").type() != Json::Type::kArray) {
+    return Status::InvalidArgument("after report has no \"systems\" array");
+  }
+  const std::string& b_bench = before.Get("bench").as_string();
+  const std::string& a_bench = after.Get("bench").as_string();
+  if (b_bench != a_bench) {
+    return Status::InvalidArgument("reports are from different benches: \"" +
+                                   b_bench + "\" vs \"" + a_bench + "\"");
+  }
+
+  const Json& b_systems = before.Get("systems");
+  const Json& a_systems = after.Get("systems");
+  DiffResult diff;
+  for (size_t i = 0; i < b_systems.size(); ++i) {
+    const Json& b_entry = b_systems.at(i);
+    const std::string& name = b_entry.Get("system").as_string();
+    const Json* a_entry = FindSystem(a_systems, name);
+    if (a_entry == nullptr) {
+      diff.only_in_before.push_back(name);
+      continue;
+    }
+    DiffEntry(name, b_entry, *a_entry, threshold_pct, &diff.deltas);
+  }
+  for (size_t i = 0; i < a_systems.size(); ++i) {
+    const std::string& name = a_systems.at(i).Get("system").as_string();
+    if (FindSystem(b_systems, name) == nullptr) {
+      diff.only_in_after.push_back(name);
+    }
+  }
+  return diff;
+}
+
+std::string FormatDiff(const DiffResult& diff, double threshold_pct) {
+  TablePrinter table("Latency diff (positive delta = slower)");
+  table.SetHeader({"System", "Metric", "Before", "After", "Delta", ""});
+  // Worst regressions first so the verdict line's evidence leads.
+  std::vector<const MetricDelta*> sorted;
+  sorted.reserve(diff.deltas.size());
+  for (const auto& d : diff.deltas) sorted.push_back(&d);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const MetricDelta* a, const MetricDelta* b) {
+                     return a->delta_pct > b->delta_pct;
+                   });
+  for (const MetricDelta* d : sorted) {
+    table.AddRow({d->system, d->metric, StringPrintf("%.3f", d->before),
+                  StringPrintf("%.3f", d->after),
+                  StringPrintf("%+.1f%%", d->delta_pct),
+                  d->regressed ? "REGRESSED" : ""});
+  }
+  std::string out = table.ToString();
+  for (const auto& name : diff.only_in_before) {
+    out += "only in before: " + name + "\n";
+  }
+  for (const auto& name : diff.only_in_after) {
+    out += "only in after: " + name + "\n";
+  }
+  size_t regressions = 0;
+  for (const auto& d : diff.deltas) regressions += d.regressed ? 1 : 0;
+  out += StringPrintf(
+      "%zu shared latency metrics, %zu regressed beyond +%.1f%%\n",
+      diff.deltas.size(), regressions, threshold_pct);
+  return out;
+}
+
+}  // namespace benchlib
+}  // namespace graphbench

@@ -1,0 +1,60 @@
+#ifndef GRAPHBENCH_BENCHLIB_BENCH_DIFF_H_
+#define GRAPHBENCH_BENCHLIB_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace graphbench {
+namespace benchlib {
+
+/// One latency metric present in both reports for the same system.
+struct MetricDelta {
+  std::string system;
+  /// Dotted path within the system entry, e.g. "two_hop_ms" or
+  /// "read_latency.p99_us".
+  std::string metric;
+  double before = 0;
+  double after = 0;
+  /// (after - before) / before * 100. Positive means slower.
+  double delta_pct = 0;
+  bool regressed = false;
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> deltas;
+  /// Systems present in only one of the two reports (not an error, but
+  /// worth surfacing — a SUT that stopped loading looks like "no
+  /// regressions" otherwise).
+  std::vector<std::string> only_in_before;
+  std::vector<std::string> only_in_after;
+  bool HasRegression() const {
+    for (const auto& d : deltas) {
+      if (d.regressed) return true;
+    }
+    return false;
+  }
+};
+
+/// Compares two BENCH_*.json documents produced by obs::BenchReport.
+/// Walks the "systems" arrays, matching entries by their "system" name,
+/// and diffs every shared latency metric: top-level numeric keys ending in
+/// "_ms", and the {"mean_us","p50_us","p95_us","p99_us"} fields of nested
+/// histogram objects ("count", "min_us" and "max_us" are noise, not
+/// latency). A metric regresses when it grows by more than `threshold_pct`
+/// percent; baseline values <= 0 are skipped (a -1 mean means the query
+/// failed, and ratios against zero are meaningless). Errors when either
+/// document has no "systems" array or the reports' "bench" names differ.
+Result<DiffResult> DiffReports(const Json& before, const Json& after,
+                               double threshold_pct);
+
+/// Renders the diff as a table plus a one-line verdict. `threshold_pct`
+/// only affects the wording.
+std::string FormatDiff(const DiffResult& diff, double threshold_pct);
+
+}  // namespace benchlib
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_BENCHLIB_BENCH_DIFF_H_

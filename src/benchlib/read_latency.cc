@@ -1,9 +1,11 @@
 #include "benchlib/read_latency.h"
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "snb/params.h"
 #include "sut/sut.h"
 #include "util/stopwatch.h"
@@ -54,33 +56,74 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
   const char* kNames[] = {"Point lookup", "1-hop", "2-hop", "Shortest path"};
   const char* kKeys[] = {"point_lookup_ms", "one_hop_ms", "two_hop_ms",
                          "shortest_path_ms"};
+  const char* kProfileKeys[] = {"point_lookup", "one_hop", "two_hop",
+                                "shortest_path"};
   std::vector<Json> system_metrics(suts.size(), Json::Object());
+
+  struct Profiled {
+    obs::QueryProfile profile;
+    uint64_t measured_micros = 0;
+  };
+  // profiles[sut][query type], captured only under options.profile.
+  std::vector<std::array<Profiled, 4>> profiles(suts.size());
 
   for (int qt = kPoint; qt <= kShortestPath; ++qt) {
     std::vector<std::string> row{kNames[qt]};
     std::vector<double> means;
     for (const auto& l : suts) {
+      size_t si = size_t(&l - suts.data());
       // Identical deterministic parameter sequence per SUT.
       snb::ParamPools params(data, options.seed);
+      obs::ProfileScope scope(options.profile
+                                  ? &profiles[si][size_t(qt)].profile
+                                  : nullptr);
       Stopwatch total;
       int completed = 0;
       for (int rep = 0; rep < options.repetitions; ++rep) {
+        int64_t id = 0;
+        int64_t id2 = 0;
+        if (qt == kShortestPath) {
+          auto [a, b] = params.NextPersonPair();
+          id = a;
+          id2 = b;
+        } else {
+          id = params.NextPersonId();
+        }
         Status s;
+        // Coverage denominator: the SUT call only, excluding harness work
+        // (parameter generation above, result teardown after `elapsed` is
+        // captured). Clocked only under --profile so the latency table's
+        // timed region is untouched.
+        uint64_t elapsed = 0;
+        uint64_t op_start = options.profile ? NowMicros() : 0;
         switch (qt) {
-          case kPoint:
-            s = l.sut->PointLookup(params.NextPersonId()).status();
-            break;
-          case kOneHop:
-            s = l.sut->OneHop(params.NextPersonId()).status();
-            break;
-          case kTwoHop:
-            s = l.sut->TwoHop(params.NextPersonId()).status();
-            break;
-          case kShortestPath: {
-            auto [a, b] = params.NextPersonPair();
-            s = l.sut->ShortestPathLen(a, b).status();
+          case kPoint: {
+            auto r = l.sut->PointLookup(id);
+            if (options.profile) elapsed = NowMicros() - op_start;
+            s = r.status();
             break;
           }
+          case kOneHop: {
+            auto r = l.sut->OneHop(id);
+            if (options.profile) elapsed = NowMicros() - op_start;
+            s = r.status();
+            break;
+          }
+          case kTwoHop: {
+            auto r = l.sut->TwoHop(id);
+            if (options.profile) elapsed = NowMicros() - op_start;
+            s = r.status();
+            break;
+          }
+          case kShortestPath: {
+            auto r = l.sut->ShortestPathLen(id, id2);
+            if (options.profile) elapsed = NowMicros() - op_start;
+            s = r.status();
+            break;
+          }
+        }
+        if (options.profile) {
+          profiles[si][size_t(qt)].measured_micros += elapsed;
         }
         if (s.ok()) ++completed;
       }
@@ -89,7 +132,7 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
                            : -1;
       means.push_back(mean_ms);
       row.push_back(FormatMs(mean_ms));
-      system_metrics[&l - suts.data()].Set(kKeys[qt], Json::Number(mean_ms));
+      system_metrics[si].Set(kKeys[qt], Json::Number(mean_ms));
     }
     table.AddRow(row);
 
@@ -107,14 +150,41 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
     table.AddRow(ratio);
   }
 
+  std::string rendered = table.ToString();
+
+  if (options.profile) {
+    for (size_t si = 0; si < suts.size(); ++si) {
+      Json profile_json = Json::Object();
+      for (int qt = kPoint; qt <= kShortestPath; ++qt) {
+        const Profiled& cell = profiles[si][size_t(qt)];
+        double coverage =
+            cell.measured_micros > 0
+                ? 100.0 * double(cell.profile.TotalSelfMicros()) /
+                      double(cell.measured_micros)
+                : 0;
+        rendered += cell.profile.ToString(
+            StringPrintf("%s / %s — operator coverage %.1f%% of %.2f ms "
+                         "measured",
+                         suts[si].sut->name().c_str(), kNames[qt],
+                         coverage, double(cell.measured_micros) / 1000.0));
+        Json cell_json = obs::ProfileJson(cell.profile);
+        cell_json.Set("measured_micros",
+                      Json::Int(int64_t(cell.measured_micros)));
+        cell_json.Set("coverage_pct", Json::Number(coverage));
+        profile_json.Set(kProfileKeys[qt], std::move(cell_json));
+      }
+      system_metrics[si].Set("profiles", std::move(profile_json));
+    }
+  }
+
   if (report != nullptr) {
     report->SetParam("repetitions", Json::Int(options.repetitions));
+    report->SetParam("profile", Json::Int(options.profile ? 1 : 0));
     for (size_t i = 0; i < suts.size(); ++i) {
       report->AddSystem(suts[i].sut->name(), std::move(system_metrics[i]));
     }
   }
 
-  std::string rendered = table.ToString();
   std::fputs(rendered.c_str(), stdout);
   std::fflush(stdout);
   return rendered;

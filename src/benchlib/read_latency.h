@@ -13,6 +13,11 @@ struct ReadLatencyOptions {
   /// Executions per query type (the paper uses 100).
   int repetitions = 100;
   uint64_t seed = 77;
+  /// When true (the --profile flag), captures a per-operator QueryProfile
+  /// per (SUT, query type), prints the breakdowns — with the fraction of
+  /// the measured latency the instrumented operators account for — and
+  /// embeds them under "profiles" in each system's report entry.
+  bool profile = false;
 };
 
 /// Runs the §4.2 read-only experiment — point lookup, 1-hop, 2-hop,

@@ -6,7 +6,10 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/slowlog.h"
 #include "snb/update_codec.h"
+#include "util/string_util.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 
@@ -102,8 +105,9 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
             ++dep_violations;
           }
         }
+        uint64_t due_us = 0;
         if (pace > 0) {
-          uint64_t due_us = uint64_t(double(op_index) / pace * 1e6);
+          due_us = uint64_t(double(op_index) / pace * 1e6);
           uint64_t now_us = run_clock.ElapsedMicros();
           if (now_us < due_us) {
             std::this_thread::sleep_for(
@@ -119,6 +123,15 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
         Status s = sut_->Apply(*op);
         uint64_t us = op_clock.ElapsedMicros();
         metrics.write_latency_micros.Add(us);
+        if (pace > 0) {
+          // Schedule-aware latency (the LDBC driver's definition):
+          // completion relative to the op's scheduled slot, not its actual
+          // start. When the writer falls behind, the queueing delay counts
+          // — avoiding coordinated omission in overload reporting.
+          uint64_t end_us = run_clock.ElapsedMicros();
+          metrics.write_schedule_latency_micros.Add(
+              end_us > due_us ? end_us - due_us : 0);
+        }
         if (s.ok()) {
           ++writes;
           obs_writes->Increment();
@@ -137,31 +150,63 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
   });
 
   // --- Concurrent readers over the modified query mix -------------------
+  // Slow-query capture: when enabled, every read runs under a ProfileScope
+  // so the per-operator breakdown of an offending query is available at
+  // the moment it crosses the threshold.
+  obs::SlowQueryLog slowlog(options_.slowlog_capacity,
+                            options_.slowlog_threshold_micros);
+  const bool slowlog_enabled =
+      obs::kEnabled && options_.slowlog_threshold_micros > 0;
+
   std::vector<std::thread> readers;
   readers.reserve(options_.num_readers);
   for (size_t r = 0; r < options_.num_readers; ++r) {
     readers.emplace_back([&, r] {
       snb::ParamPools local(*params);  // independent deterministic stream
       Rng mix_rng(options_.seed + r * 7919);
+      obs::QueryProfile profile;
       while (!stop.load()) {
         double roll = mix_rng.NextDouble();
+        const char* kind;
+        int64_t person = 0;
         Stopwatch op_clock;
         Status s;
-        if (roll < options_.two_hop_fraction) {
-          s = sut_->TwoHop(local.NextPersonId()).status();
-        } else if (roll <
-                   options_.two_hop_fraction + options_.one_hop_fraction) {
-          s = sut_->OneHop(local.NextPersonId()).status();
-        } else if (roll < options_.two_hop_fraction +
-                              options_.one_hop_fraction +
-                              options_.recent_posts_fraction) {
-          s = sut_->RecentPosts(local.NextPersonId(),
-                                options_.recent_posts_limit)
-                  .status();
-        } else {
-          s = sut_->PointLookup(local.NextPersonId()).status();
+        {
+          obs::ProfileScope scope(slowlog_enabled ? &profile : nullptr);
+          if (roll < options_.two_hop_fraction) {
+            kind = "two_hop";
+            person = local.NextPersonId();
+            s = sut_->TwoHop(person).status();
+          } else if (roll <
+                     options_.two_hop_fraction + options_.one_hop_fraction) {
+            kind = "one_hop";
+            person = local.NextPersonId();
+            s = sut_->OneHop(person).status();
+          } else if (roll < options_.two_hop_fraction +
+                                options_.one_hop_fraction +
+                                options_.recent_posts_fraction) {
+            kind = "recent_posts";
+            person = local.NextPersonId();
+            s = sut_->RecentPosts(person, options_.recent_posts_limit)
+                    .status();
+          } else {
+            kind = "point_lookup";
+            person = local.NextPersonId();
+            s = sut_->PointLookup(person).status();
+          }
         }
         uint64_t us = op_clock.ElapsedMicros();
+        if (slowlog_enabled) {
+          if (us >= options_.slowlog_threshold_micros) {
+            slowlog.Record(kind,
+                           StringPrintf("person_id=%lld",
+                                        (long long)person),
+                           us, std::move(profile));
+            profile = obs::QueryProfile();
+          } else {
+            profile.Clear();
+          }
+        }
         metrics.read_latency_micros.Add(us);
         if (s.ok()) {
           ++reads;
@@ -183,6 +228,8 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
   writer.join();
 
   metrics.elapsed_seconds = run_clock.ElapsedSeconds();
+  metrics.timeline_bucket_millis = options_.timeline_bucket_millis;
+  metrics.slow_queries = slowlog.TakeEntries();
   metrics.reads_completed = reads;
   metrics.read_errors = read_errors;
   metrics.writes_completed = writes;

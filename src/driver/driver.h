@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mq/broker.h"
+#include "obs/slowlog.h"
 #include "snb/params.h"
 #include "snb/schema.h"
 #include "sut/sut.h"
@@ -42,6 +43,14 @@ struct DriverOptions {
   /// SUT sustains a pre-set transaction rate. 0 = drain as fast as
   /// possible (the Figure 3 max-throughput mode).
   double replay_updates_per_second = 0;
+
+  /// Slow-query log: when > 0, every read is profiled and those at or
+  /// above this latency (micros) are captured — query kind, parameter
+  /// digest, latency, per-operator profile — into
+  /// DriverMetrics::slow_queries, keeping the `slowlog_capacity` worst.
+  /// 0 disables capture (and its profiling overhead) entirely.
+  uint64_t slowlog_threshold_micros = 0;
+  size_t slowlog_capacity = 16;
 };
 
 /// Results of one driver run.
@@ -62,11 +71,24 @@ struct DriverMetrics {
 
   Histogram read_latency_micros;
   Histogram write_latency_micros;
+  /// Paced mode only: write latency measured from each op's *scheduled*
+  /// slot rather than its actual start (LDBC-style schedule-aware
+  /// latency). Includes the time an op queued behind schedule, so a SUT
+  /// that falls behind shows honest overload latency instead of the
+  /// coordinated-omission-friendly service latency above. Empty when
+  /// replay_updates_per_second == 0.
+  Histogram write_schedule_latency_micros;
 
+  /// Bucket width (millis) backing the timelines below.
+  int64_t timeline_bucket_millis = 0;
   /// Writes completed per timeline bucket (Figure 3 dips).
   std::vector<uint64_t> write_timeline;
   /// Reads completed per timeline bucket.
   std::vector<uint64_t> read_timeline;
+
+  /// The run's worst reads at or above DriverOptions::
+  /// slowlog_threshold_micros, worst first (empty when disabled).
+  std::vector<obs::SlowQueryEntry> slow_queries;
 };
 
 /// The benchmark driver of Figure 1, minus the data generator: produces

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "lang/cypher/parser.h"
+#include "obs/profiler.h"
 
 namespace graphbench {
 
@@ -67,7 +68,13 @@ Result<Value> CypherEngine::EvalConst(const Expr& e,
 
 Result<QueryResult> CypherEngine::Execute(std::string_view query,
                                           const Params& params) {
+  // Root operator (Neo4j PROFILE's ProduceResults): cumulative spans the
+  // whole execution; self is whatever the specific operators below do not
+  // account for (setup, expression-closure allocation, result assembly).
+  obs::OpTimer root_op("ProduceResults");
+  obs::OpTimer parse_op("Parse");
   GB_ASSIGN_OR_RETURN(cypher::Query q, cypher::Parse(query));
+  parse_op.Stop();
 
   Slots slots;
   std::vector<BindingRow> rows;
@@ -102,6 +109,7 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
         return Value(CompareSatisfies(e.op, l.Compare(r)));
       }
       case Expr::Kind::kPathLength: {
+        obs::OpTimer op("ShortestPath");
         int from = slots.Find(e.path_from);
         int to = slots.Find(e.path_to);
         if (from < 0 || to < 0) {
@@ -126,6 +134,13 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
       const cypher::NodePattern& node = chain.nodes[ni];
       int slot = node.var.empty() ? -1 : slots.GetOrAdd(node.var);
       ensure_width();
+
+      const char* op_name =
+          ni == 0 ? (node.props.empty() ? "NodeByLabelScan"
+                                        : "NodeIndexSeek")
+                  : (chain.rels[ni - 1].max_hops == 1 ? "Expand"
+                                                      : "VarLengthExpand");
+      obs::OpTimer op(op_name);
 
       std::vector<BindingRow> next;
       for (const BindingRow& b : rows) {
@@ -231,6 +246,7 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
         }
       }
       rows = std::move(next);
+      op.AddRows(rows.size());
       if (rows.empty()) break;
     }
     if (rows.empty()) break;
@@ -238,18 +254,21 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
 
   // --- WHERE ----------------------------------------------------------
   if (q.where != nullptr) {
+    obs::OpTimer op("Filter");
     std::vector<BindingRow> kept;
     for (BindingRow& b : rows) {
       GB_ASSIGN_OR_RETURN(Value pass, eval(*q.where, b));
       if (pass.is_bool() && pass.as_bool()) kept.push_back(std::move(b));
     }
     rows = std::move(kept);
+    op.AddRows(rows.size());
   }
 
   QueryResult result;
 
   // --- CREATE ---------------------------------------------------------
   if (!q.create_nodes.empty() || !q.create_rels.empty()) {
+    obs::OpTimer create_op("Create");
     for (const BindingRow& b : rows) {
       std::unordered_map<std::string, VertexId> created;
       for (const auto& node : q.create_nodes) {
@@ -286,6 +305,7 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
         ++result.affected;
       }
     }
+    create_op.AddRows(result.affected);
     if (q.ret.empty()) return result;
   }
 
@@ -299,6 +319,7 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
     has_count |= item.expr->kind == Expr::Kind::kCountStar;
   }
   if (has_count) {
+    obs::OpTimer agg_op("EagerAggregation");
     std::unordered_map<Row, int64_t, RowHash, RowEq> counts;
     std::vector<Row> group_order;
     for (const BindingRow& b : rows) {
@@ -329,8 +350,11 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
       }
       result.rows.push_back(std::move(row));
     }
+    agg_op.AddRows(result.rows.size());
+    agg_op.Stop();
     // ORDER BY over aggregated output: only aliases of return items.
     if (!q.order_by.empty()) {
+      obs::OpTimer sort_op("Sort");
       std::vector<std::pair<size_t, bool>> keys;
       for (const auto& o : q.order_by) {
         size_t column = q.ret.size();
@@ -375,6 +399,7 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
   };
   std::vector<Projected> projected;
   std::unordered_set<Row, RowHash, RowEq> seen;
+  obs::OpTimer project_op("Projection");
   for (const BindingRow& b : rows) {
     Row row;
     for (const auto& item : q.ret) {
@@ -389,7 +414,10 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
     }
     projected.push_back(Projected{std::move(row), std::move(sort_key)});
   }
+  project_op.AddRows(projected.size());
+  project_op.Stop();
   if (!q.order_by.empty()) {
+    obs::OpTimer sort_op("Sort");
     std::stable_sort(projected.begin(), projected.end(),
                      [&q](const Projected& a, const Projected& b) {
                        for (size_t i = 0; i < q.order_by.size(); ++i) {

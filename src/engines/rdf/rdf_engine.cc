@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "lang/sparql/parser.h"
+#include "obs/profiler.h"
 
 namespace graphbench {
 
@@ -26,7 +27,12 @@ Status RdfEngine::AddTriple(const Term& subject, std::string_view predicate,
 }
 
 Result<QueryResult> RdfEngine::Execute(std::string_view sparql_text) {
+  // Root phase: cumulative spans the whole query; self is whatever the
+  // specific phases below do not account for.
+  obs::OpTimer root_op("execute");
+  obs::OpTimer parse_op("parse");
   GB_ASSIGN_OR_RETURN(sparql::Query q, sparql::Parse(sparql_text));
+  parse_op.Stop();
   return ExecuteParsed(q);
 }
 
@@ -42,6 +48,9 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
   std::vector<ResolvedPattern> patterns;
   patterns.reserve(q.patterns.size());
   bool impossible = false;
+  // Dictionary-encode the constant terms (the forward half of the RDF
+  // translation cost).
+  obs::OpTimer resolve_op("resolve_terms");
   for (const auto& tp : q.patterns) {
     ResolvedPattern rp{kWildcard, kWildcard, kWildcard};
     auto resolve = [&](const sparql::TermPattern& t, uint64_t* id,
@@ -70,6 +79,8 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
     impossible |= rp.impossible;
     patterns.push_back(rp);
   }
+  resolve_op.AddRows(patterns.size());
+  resolve_op.Stop();
   // Variables that only appear in projections (shortestPath args must come
   // from patterns; plain vars too) are an error caught below.
 
@@ -117,6 +128,9 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
     used[size_t(best)] = true;
     const ResolvedPattern& rp = patterns[size_t(best)];
 
+    // One triple-pattern join step: probe the triple indexes once per
+    // current binding and extend with every match.
+    obs::OpTimer join_op("triple_pattern_join");
     std::vector<BindingRow> next;
     std::vector<Triple> matches;
     for (const BindingRow& row : rows) {
@@ -142,22 +156,30 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
     if (rp.p_var >= 0) bound[size_t(rp.p_var)] = true;
     if (rp.o_var >= 0) bound[size_t(rp.o_var)] = true;
     rows = std::move(next);
+    join_op.AddRows(rows.size());
+    join_op.Stop();
 
     // Apply filters whose variables are both bound.
-    for (const auto& f : q.filters) {
-      auto a = var_slots.find(f.var_a);
-      auto b = var_slots.find(f.var_b);
-      if (a == var_slots.end() || b == var_slots.end()) {
-        return Status::InvalidArgument("FILTER on unknown variable");
+    if (!q.filters.empty()) {
+      obs::OpTimer filter_op("filter");
+      for (const auto& f : q.filters) {
+        auto a = var_slots.find(f.var_a);
+        auto b = var_slots.find(f.var_b);
+        if (a == var_slots.end() || b == var_slots.end()) {
+          return Status::InvalidArgument("FILTER on unknown variable");
+        }
+        if (!bound[size_t(a->second)] || !bound[size_t(b->second)]) {
+          continue;
+        }
+        std::vector<BindingRow> kept;
+        kept.reserve(rows.size());
+        for (BindingRow& row : rows) {
+          bool eq = row[size_t(a->second)] == row[size_t(b->second)];
+          if (eq != f.not_equal) kept.push_back(std::move(row));
+        }
+        rows = std::move(kept);
       }
-      if (!bound[size_t(a->second)] || !bound[size_t(b->second)]) continue;
-      std::vector<BindingRow> kept;
-      kept.reserve(rows.size());
-      for (BindingRow& row : rows) {
-        bool eq = row[size_t(a->second)] == row[size_t(b->second)];
-        if (eq != f.not_equal) kept.push_back(std::move(row));
-      }
-      rows = std::move(kept);
+      filter_op.AddRows(rows.size());
     }
     if (rows.empty()) break;
   }
@@ -174,6 +196,7 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
   bool has_count = false;
   for (const auto& sel : q.select) has_count |= sel.is_count;
   if (has_count) {
+    obs::OpTimer agg_op("aggregate");
     auto slot = [&var_slots](const std::string& name) -> Result<int> {
       auto it = var_slots.find(name);
       if (it == var_slots.end()) {
@@ -224,8 +247,11 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
       }
       result.rows.push_back(std::move(row));
     }
+    agg_op.AddRows(result.rows.size());
+    agg_op.Stop();
     // ORDER BY over aggregated output references projected names.
     if (!q.order_by.empty()) {
+      obs::OpTimer sort_op("sort");
       std::vector<std::pair<size_t, bool>> keys;
       for (const auto& [var, desc] : q.order_by) {
         size_t column = q.select.size();
@@ -264,6 +290,7 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
   };
   std::vector<Projected> projected;
   std::unordered_set<Row, RowHash, RowEq> seen;
+  obs::OpTimer project_op("project");
   for (const BindingRow& binding : rows) {
     Row row;
     for (const auto& sel : q.select) {
@@ -302,8 +329,11 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
     }
     projected.push_back(Projected{std::move(row), std::move(sort_key)});
   }
+  project_op.AddRows(projected.size());
+  project_op.Stop();
 
   if (!q.order_by.empty()) {
+    obs::OpTimer sort_op("sort");
     std::stable_sort(projected.begin(), projected.end(),
                      [&q](const Projected& a, const Projected& b) {
                        for (size_t i = 0; i < q.order_by.size(); ++i) {
@@ -325,6 +355,7 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
 
 Result<int> RdfEngine::ShortestPath(uint64_t from_id, uint64_t to_id,
                                     uint64_t pred_id) const {
+  obs::OpTimer op("shortest_path");
   if (from_id == to_id) return 0;
   // BFS over the triple indexes, expanding both edge directions.
   std::unordered_set<uint64_t> visited{from_id};

@@ -7,6 +7,7 @@
 
 #include "engines/relational/sql_executor.h"
 #include "lang/sql/parser.h"
+#include "obs/profiler.h"
 #include "storage/column_table.h"
 #include "storage/heap_table.h"
 
@@ -339,7 +340,12 @@ Result<QueryResult> Database::ExecuteDelete(
 
 Result<QueryResult> Database::Execute(std::string_view sql_text,
                                       const std::vector<Value>& params) {
+  // Root phase: cumulative spans the whole statement; self is the
+  // dispatch/assembly work the phases below do not account for.
+  obs::OpTimer root_op("execute");
+  obs::OpTimer parse_op("parse");
   GB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+  parse_op.Stop();
   if (stmt.kind == sql::Statement::Kind::kSelect) {
     SqlExecutor exec(this, *stmt.select, params);
     return exec.Run();

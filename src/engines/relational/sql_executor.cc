@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/profiler.h"
+
 namespace graphbench {
 
 using sql::BinOp;
@@ -137,6 +139,7 @@ Result<Value> SqlExecutor::Eval(const Expr& e, const Binding& binding) const {
       return Value(CompareSatisfies(e.op, l.Compare(r)));
     }
     case Expr::Kind::kShortestPath: {
+      obs::OpTimer op("shortest_path");
       GB_ASSIGN_OR_RETURN(Value from, Eval(*e.sp_from, binding));
       GB_ASSIGN_OR_RETURN(Value to, Eval(*e.sp_to, binding));
       GB_ASSIGN_OR_RETURN(
@@ -414,7 +417,8 @@ Result<std::vector<Row>> SqlExecutor::Aggregate(
 }
 
 Result<QueryResult> SqlExecutor::Run() {
-  // Resolve FROM aliases.
+  // Plan phase: resolve FROM aliases and flatten the WHERE conjuncts.
+  obs::OpTimer plan_op("plan");
   for (const auto& ref : stmt_.from) {
     Table* t = db_->GetTable(ref.table);
     if (t == nullptr) {
@@ -425,17 +429,32 @@ Result<QueryResult> SqlExecutor::Run() {
 
   std::vector<const Expr*> conjuncts;
   FlattenConjuncts(stmt_.where.get(), &conjuncts);
+  plan_op.Stop();
 
   std::vector<Binding> bindings;
   if (aliases_.empty()) {
     bindings.emplace_back();  // one empty binding: SELECT SHORTEST_PATH(..)
   } else {
-    GB_ASSIGN_OR_RETURN(bindings, BuildDrivingSet(&conjuncts));
-    GB_RETURN_IF_ERROR(ApplyReadyConjuncts(&conjuncts, 1, &bindings));
+    {
+      obs::OpTimer scan_op("scan");
+      GB_ASSIGN_OR_RETURN(bindings, BuildDrivingSet(&conjuncts));
+      scan_op.AddRows(bindings.size());
+    }
+    {
+      obs::OpTimer filter_op("filter");
+      GB_RETURN_IF_ERROR(ApplyReadyConjuncts(&conjuncts, 1, &bindings));
+      filter_op.AddRows(bindings.size());
+    }
     for (size_t i = 1; i < aliases_.size(); ++i) {
-      GB_ASSIGN_OR_RETURN(
-          bindings, JoinNext(std::move(bindings), i, *stmt_.from[i].on));
+      {
+        obs::OpTimer join_op("join");
+        GB_ASSIGN_OR_RETURN(
+            bindings, JoinNext(std::move(bindings), i, *stmt_.from[i].on));
+        join_op.AddRows(bindings.size());
+      }
+      obs::OpTimer filter_op("filter");
       GB_RETURN_IF_ERROR(ApplyReadyConjuncts(&conjuncts, i + 1, &bindings));
+      filter_op.AddRows(bindings.size());
     }
   }
   if (!conjuncts.empty()) {
@@ -452,11 +471,13 @@ Result<QueryResult> SqlExecutor::Run() {
                      item.expr->kind == Expr::Kind::kAggregate;
   }
   if (has_aggregate) {
+    obs::OpTimer agg_op("aggregate");
     GB_ASSIGN_OR_RETURN(result.rows, Aggregate(bindings));
     size_t limit = stmt_.limit < 0 ? result.rows.size()
                                    : std::min(size_t(stmt_.limit),
                                               result.rows.size());
     result.rows.resize(limit);
+    agg_op.AddRows(result.rows.size());
     return result;
   }
 
@@ -468,6 +489,7 @@ Result<QueryResult> SqlExecutor::Run() {
   std::vector<Projected> projected;
   projected.reserve(bindings.size());
   std::unordered_set<Row, RowHash, RowEq> seen;
+  obs::OpTimer project_op("project");
   for (const Binding& b : bindings) {
     Row row;
     row.reserve(stmt_.items.size());
@@ -483,8 +505,11 @@ Result<QueryResult> SqlExecutor::Run() {
     }
     projected.push_back(Projected{std::move(row), std::move(sort_key)});
   }
+  project_op.AddRows(projected.size());
+  project_op.Stop();
 
   if (!stmt_.order_by.empty()) {
+    obs::OpTimer sort_op("sort");
     std::stable_sort(projected.begin(), projected.end(),
                      [this](const Projected& a, const Projected& b) {
                        for (size_t i = 0; i < stmt_.order_by.size(); ++i) {

@@ -116,6 +116,10 @@ Json DriverMetricsJson(const DriverMetrics& metrics) {
   out.Set("writes_per_second", Json::Number(metrics.writes_per_second));
   out.Set("read_latency", HistogramJson(metrics.read_latency_micros));
   out.Set("write_latency", HistogramJson(metrics.write_latency_micros));
+  out.Set("write_schedule_latency",
+          HistogramJson(metrics.write_schedule_latency_micros));
+  out.Set("timeline_bucket_millis",
+          Json::Int(metrics.timeline_bucket_millis));
   Json reads = Json::Array();
   for (uint64_t n : metrics.read_timeline) reads.Append(Json::Int(int64_t(n)));
   Json writes = Json::Array();
@@ -124,6 +128,38 @@ Json DriverMetricsJson(const DriverMetrics& metrics) {
   }
   out.Set("read_timeline", std::move(reads));
   out.Set("write_timeline", std::move(writes));
+  out.Set("slow_queries", SlowLogJson(metrics.slow_queries));
+  return out;
+}
+
+Json ProfileJson(const QueryProfile& profile) {
+  Json out = Json::Object();
+  out.Set("total_self_micros",
+          Json::Int(int64_t(profile.TotalSelfMicros())));
+  Json ops = Json::Array();
+  for (const OpStats& s : profile.ops()) {
+    Json row = Json::Object();
+    row.Set("op", Json::Str(s.name));
+    row.Set("invocations", Json::Int(int64_t(s.invocations)));
+    row.Set("rows", Json::Int(int64_t(s.rows)));
+    row.Set("self_micros", Json::Int(int64_t(s.self_micros)));
+    row.Set("cumulative_micros", Json::Int(int64_t(s.cumulative_micros)));
+    ops.Append(std::move(row));
+  }
+  out.Set("ops", std::move(ops));
+  return out;
+}
+
+Json SlowLogJson(const std::vector<SlowQueryEntry>& entries) {
+  Json out = Json::Array();
+  for (const SlowQueryEntry& e : entries) {
+    Json entry = Json::Object();
+    entry.Set("kind", Json::Str(e.kind));
+    entry.Set("params", Json::Str(e.param_digest));
+    entry.Set("latency_micros", Json::Int(int64_t(e.latency_micros)));
+    entry.Set("profile", ProfileJson(e.profile));
+    out.Append(std::move(entry));
+  }
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "driver/driver.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "util/histogram.h"
 #include "util/json.h"
@@ -20,7 +22,7 @@ namespace obs {
 /// present, see DESIGN.md "Observability & bench reports"):
 ///
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "bench":   "<name>",
 ///     "scale":   "<dataset description>",
 ///     "params":  { flag: value, ... },
@@ -29,6 +31,12 @@ namespace obs {
 ///                  "histograms": { name: {count,mean,min,max,
 ///                                         p50,p95,p99}, ... } }
 ///   }
+///
+/// Schema v2 additions (all inside "systems" entries): "profiles"
+/// (per-query-type per-operator breakdowns, see ProfileJson),
+/// "slow_queries" (the slow-query log, see SlowLogJson),
+/// "write_schedule_latency" and "timeline_bucket_millis" (schedule-aware
+/// driver metrics, see DriverMetricsJson).
 class BenchReport {
  public:
   explicit BenchReport(std::string bench_name, std::string scale = "");
@@ -57,7 +65,7 @@ class BenchReport {
   /// Returns the path written.
   Result<std::string> WriteFile(std::string_view dir = ".") const;
 
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
  private:
   std::string bench_name_;
@@ -73,8 +81,19 @@ Json HistogramJson(const Histogram& h);
 Json HistogramJson(const MetricsSnapshot::HistogramStats& stats);
 
 /// DriverMetrics -> one "systems" entry body: op counts, rates, latency
-/// summaries, and the Figure 3 read/write timelines.
+/// summaries (service and, in paced mode, schedule-aware write latency),
+/// the Figure 3 read/write timelines with their bucket width, and any
+/// captured slow queries.
 Json DriverMetricsJson(const DriverMetrics& metrics);
+
+/// QueryProfile -> {"total_self_micros", "ops": [{"op", "invocations",
+/// "rows", "self_micros", "cumulative_micros"}, ...]} in first-execution
+/// order.
+Json ProfileJson(const QueryProfile& profile);
+
+/// Slow-query entries -> [{"kind", "params", "latency_micros",
+/// "profile"}, ...], worst first.
+Json SlowLogJson(const std::vector<SlowQueryEntry>& entries);
 
 /// TraceRing per-stage breakdown ->
 /// {stage: {"count","total_micros","mean_us"}, ...} for every stage with

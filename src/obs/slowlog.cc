@@ -1,0 +1,55 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+
+namespace graphbench {
+namespace obs {
+
+void SlowQueryLog::Record(std::string_view kind,
+                          std::string_view param_digest,
+                          uint64_t latency_micros, QueryProfile profile) {
+  if (capacity_ == 0 || latency_micros < threshold_micros_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_ &&
+      latency_micros <= entries_.back().latency_micros) {
+    return;  // not worse than the current worst-N cut
+  }
+  SlowQueryEntry entry;
+  entry.kind = std::string(kind);
+  entry.param_digest = std::string(param_digest);
+  entry.latency_micros = latency_micros;
+  entry.profile = std::move(profile);
+  // Insert keeping latency-descending order; ties keep arrival order.
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), latency_micros,
+      [](uint64_t lat, const SlowQueryEntry& e) {
+        return lat > e.latency_micros;
+      });
+  entries_.insert(pos, std::move(entry));
+  if (entries_.size() > capacity_) entries_.pop_back();  // evict least-bad
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::TakeEntries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out = std::move(entries_);
+  entries_.clear();
+  return out;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace obs
+}  // namespace graphbench

@@ -1,0 +1,65 @@
+#ifndef GRAPHBENCH_OBS_SLOWLOG_H_
+#define GRAPHBENCH_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/profiler.h"
+
+namespace graphbench {
+namespace obs {
+
+/// One captured slow query: what ran, with which parameters (as a short
+/// digest, e.g. "person_id=42"), how long it took, and its per-operator
+/// profile.
+struct SlowQueryEntry {
+  std::string kind;
+  std::string param_digest;
+  uint64_t latency_micros = 0;
+  QueryProfile profile;
+};
+
+/// Thread-safe bounded log of the N worst queries at or above a latency
+/// threshold. When full, a new entry evicts the least-bad retained one (or
+/// is dropped if it is the least bad itself), so the log converges on the
+/// run's worst offenders regardless of arrival order. The interactive
+/// driver wires this up under --slowlog_threshold_us and serializes it
+/// into BENCH_*.json.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 16,
+                        uint64_t threshold_micros = 0)
+      : capacity_(capacity), threshold_micros_(threshold_micros) {}
+
+  size_t capacity() const { return capacity_; }
+  uint64_t threshold_micros() const { return threshold_micros_; }
+
+  /// Records the query if latency_micros >= the threshold (and it beats
+  /// the current worst-N cut). The profile is consumed.
+  void Record(std::string_view kind, std::string_view param_digest,
+              uint64_t latency_micros, QueryProfile profile);
+
+  /// Retained entries, worst (highest latency) first.
+  std::vector<SlowQueryEntry> Entries() const;
+
+  /// Moves the entries out (worst first), leaving the log empty.
+  std::vector<SlowQueryEntry> TakeEntries();
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  const uint64_t threshold_micros_;
+  mutable std::mutex mu_;
+  /// Sorted by latency descending (worst first).
+  std::vector<SlowQueryEntry> entries_;
+};
+
+}  // namespace obs
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_OBS_SLOWLOG_H_

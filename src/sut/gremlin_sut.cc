@@ -4,6 +4,7 @@
 
 #include "engines/native/native_graph.h"
 #include "engines/titan/titan_graph.h"
+#include "obs/profiler.h"
 #include "kv/btree_kv.h"
 #include "kv/lsm_kv.h"
 #include "providers/native_provider.h"
@@ -276,28 +277,43 @@ QueryResult GremlinSut::Reshape(std::vector<Value> flat, size_t width,
 
 Result<QueryResult> GremlinSut::PointLookup(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  // buildTraversal / materializeResult are client-side work the server's
+  // step profiler cannot see. Both run strictly outside Submit, so they
+  // never race with the worker recording into the same profile.
+  obs::OpTimer build_op("buildTraversal");
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .ValueMap({"firstName", "lastName", "gender", "birthday",
                  "browserUsed", "locationIP"});
+  build_op.Stop();
   GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
-  return Reshape(std::move(flat), 6,
-                 {"firstName", "lastName", "gender", "birthday",
-                  "browserUsed", "locationIP"});
+  obs::OpTimer mat_op("materializeResult");
+  QueryResult out = Reshape(std::move(flat), 6,
+                            {"firstName", "lastName", "gender", "birthday",
+                             "browserUsed", "locationIP"});
+  mat_op.AddRows(out.rows.size());
+  return out;
 }
 
 Result<QueryResult> GremlinSut::OneHop(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  obs::OpTimer build_op("buildTraversal");
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .Both("knows")
       .ValueMap({"id", "firstName", "lastName"});
+  build_op.Stop();
   GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
-  return Reshape(std::move(flat), 3, {"id", "firstName", "lastName"});
+  obs::OpTimer mat_op("materializeResult");
+  QueryResult out =
+      Reshape(std::move(flat), 3, {"id", "firstName", "lastName"});
+  mat_op.AddRows(out.rows.size());
+  return out;
 }
 
 Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  obs::OpTimer build_op("buildTraversal");
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .As("p")
@@ -306,16 +322,22 @@ Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
       .WhereNeq("p")
       .Dedup()
       .Values("id");
+  build_op.Stop();
   GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
-  return Reshape(std::move(flat), 1, {"id"});
+  obs::OpTimer mat_op("materializeResult");
+  QueryResult out = Reshape(std::move(flat), 1, {"id"});
+  mat_op.AddRows(out.rows.size());
+  return out;
 }
 
 Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
                                         int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  obs::OpTimer build_op("buildTraversal");
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(from_person))
       .ShortestPath("knows", "id", Value(to_person));
+  build_op.Stop();
   GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
   if (flat.empty()) return Status::NotFound("start person");
   return int(flat[0].as_int());
@@ -324,14 +346,20 @@ Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
 Result<QueryResult> GremlinSut::RecentPosts(int64_t person_id,
                                             int64_t limit) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  obs::OpTimer build_op("buildTraversal");
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .In("postHasCreator")
       .OrderBy("creationDate", /*desc=*/true)
       .Limit(limit)
       .ValueMap({"id", "content", "creationDate"});
+  build_op.Stop();
   GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
-  return Reshape(std::move(flat), 3, {"id", "content", "creationDate"});
+  obs::OpTimer mat_op("materializeResult");
+  QueryResult out =
+      Reshape(std::move(flat), 3, {"id", "content", "creationDate"});
+  mat_op.AddRows(out.rows.size());
+  return out;
 }
 
 Result<QueryResult> GremlinSut::FriendsWithName(

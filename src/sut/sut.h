@@ -3,9 +3,11 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engines/relational/query_result.h"
+#include "obs/profiler.h"
 #include "snb/schema.h"
 #include "util/result.h"
 
@@ -18,6 +20,19 @@ namespace graphbench {
 class Sut {
  public:
   virtual ~Sut() = default;
+
+  /// Runs `fn` (typically one or more queries against this SUT) with
+  /// per-operator profiling captured into `profile`: every instrumented
+  /// pipeline (Gremlin traversal steps — including across the Gremlin
+  /// Server's worker pool — Cypher operators, SQL executor phases, RDF
+  /// triple-pattern joins) records its OpTimer rows there. Uniform across
+  /// SUTs because capture rides the thread-local active profile rather
+  /// than a plumbed context. No-op capture when obs is compiled out.
+  template <typename Fn>
+  auto Profiled(obs::QueryProfile* profile, Fn&& fn) {
+    obs::ProfileScope scope(profile);
+    return std::forward<Fn>(fn)();
+  }
 
   /// Column label, e.g. "Postgres (SQL)" or "Titan-C (Gremlin)".
   virtual std::string name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "obs/profiler.h"
 #include "tinkerpop/bytecode.h"
 #include "util/stopwatch.h"
 
@@ -14,8 +15,16 @@ GremlinServer::GremlinServer(GremlinGraph* graph,
 GremlinServer::~GremlinServer() { pool_.Shutdown(); }
 
 Result<std::vector<Value>> GremlinServer::Submit(const Traversal& traversal) {
+  // Opened first so trace-id/span setup is attributed rather than lost.
+  obs::OpTimer serialize_op("serialize");
   const uint64_t trace_id = obs::kEnabled ? trace_.NextTraceId() : 0;
   const uint64_t submit_start = obs::kEnabled ? NowMicros() : 0;
+
+  // The submitting thread's active profile, handed to the worker so the
+  // traversal's per-step OpTimers land in the client's QueryProfile. Safe:
+  // the client blocks on reply.get() while the worker runs, so only one
+  // thread records at a time.
+  obs::QueryProfile* profile = obs::ActiveProfile();
 
   // Client side: encode the traversal to bytecode.
   std::string request;
@@ -23,21 +32,39 @@ Result<std::vector<Value>> GremlinServer::Submit(const Traversal& traversal) {
     obs::ScopedSpan span(&trace_, obs::Stage::kSerialize, trace_id);
     request = gremlinio::EncodeTraversal(traversal);
   }
+  serialize_op.Stop();
 
+  // Client-side dispatch: promise/future setup and packaging the request
+  // closure. Stops before the pool hand-off — once the worker can run it
+  // may record into the same profile, so this timer must not overlap it
+  // (the hand-off itself lands in the worker's "queue" wait).
+  obs::OpTimer dispatch_op("dispatchRequest");
   auto response = std::make_shared<std::promise<Result<std::string>>>();
   std::future<Result<std::string>> reply = response->get_future();
+  // Written by the worker right before set_value so the client can
+  // attribute the wake-up delay of the blocking reply.get() (real Gremlin
+  // clients see the same scheduling gap on the response path).
+  auto finished_at = std::make_shared<std::atomic<uint64_t>>(0);
 
   GremlinGraph* graph = graph_;
   obs::TraceRing* trace = &trace_;
-  const uint64_t enqueued_at = obs::kEnabled ? NowMicros() : 0;
-  bool accepted = pool_.Submit([graph, request = std::move(request),
-                                response, trace, trace_id,
-                                enqueued_at]() mutable {
+  // Stamped right before the pool hand-off (after dispatch_op stops) so the
+  // worker's "queue" wait never overlaps the client's dispatchRequest time.
+  auto enqueued_at = std::make_shared<std::atomic<uint64_t>>(0);
+  std::function<void()> task = [graph, request = std::move(request),
+                                response, trace, trace_id, enqueued_at,
+                                profile, finished_at]() mutable {
+    obs::ProfileScope profile_scope(profile);
     uint64_t started_at = 0;
     if constexpr (obs::kEnabled) {
       started_at = NowMicros();
-      trace->Record(obs::Span{trace_id, obs::Stage::kQueue, enqueued_at,
-                              started_at - enqueued_at});
+      uint64_t enq = enqueued_at->load();
+      uint64_t waited = started_at > enq ? started_at - enq : 0;
+      trace->Record(
+          obs::Span{trace_id, obs::Stage::kQueue, enq, waited});
+      if (profile != nullptr) {
+        profile->Record("queue", 1, 0, waited, waited);
+      }
     }
     // Server side: decode, execute, encode the response frame. The
     // execute span must be recorded BEFORE set_value — set_value wakes
@@ -49,36 +76,65 @@ Result<std::vector<Value>> GremlinServer::Submit(const Traversal& traversal) {
                                 NowMicros() - started_at});
       }
     };
+    obs::OpTimer decode_op("decodeRequest");
     auto decoded = gremlinio::DecodeTraversal(request);
+    decode_op.Stop();
     if (!decoded.ok()) {
       record_execute();
+      if constexpr (obs::kEnabled) finished_at->store(NowMicros());
       response->set_value(decoded.status());
       return;
     }
     auto results = ExecuteTraversal(graph, *decoded);
     if (!results.ok()) {
       record_execute();
+      if constexpr (obs::kEnabled) finished_at->store(NowMicros());
       response->set_value(results.status());
       return;
     }
+    obs::OpTimer encode_op("encodeResults");
     std::string frame = gremlinio::EncodeResults(*results);
+    encode_op.AddRows(results->size());
+    encode_op.Stop();
     record_execute();
+    if constexpr (obs::kEnabled) finished_at->store(NowMicros());
     response->set_value(std::move(frame));
-  });
+  };
+  dispatch_op.Stop();
+  if constexpr (obs::kEnabled) enqueued_at->store(NowMicros());
+  bool accepted = pool_.Submit(std::move(task));
   if (!accepted) {
     ++rejected_;
     return Status::Busy("gremlin server request queue full");
   }
 
   Result<std::string> frame = reply.get();
+  if constexpr (obs::kEnabled) {
+    // Wake-up delay between the worker publishing the reply and this
+    // thread resuming — response-path scheduling the step timers can't see.
+    if (profile != nullptr && finished_at->load() != 0) {
+      uint64_t now = NowMicros();
+      uint64_t done = finished_at->load();
+      uint64_t wake = now > done ? now - done : 0;
+      profile->Record("awaitResponse", 1, 0, wake, wake);
+    }
+  }
   if (!frame.ok()) return frame.status();
   ++served_;
-  // Client side: decode the response frame.
-  obs::ScopedSpan span(&trace_, obs::Stage::kDeserialize, trace_id);
-  auto decoded = gremlinio::DecodeResults(*frame);
+  // Client side: decode the response frame. The span's ring record and the
+  // submit histogram update happen inside the timer so the tail of Submit
+  // stays attributed.
+  obs::OpTimer op("deserialize");
+  Result<std::vector<Value>> decoded = Status::Internal("not decoded");
+  {
+    obs::ScopedSpan span(&trace_, obs::Stage::kDeserialize, trace_id);
+    decoded = gremlinio::DecodeResults(*frame);
+  }
+  if (decoded.ok()) op.AddRows(decoded->size());
   if constexpr (obs::kEnabled) {
     submit_micros_.Add(NowMicros() - submit_start);
   }
+  op.Stop();
   return decoded;
 }
 

@@ -7,9 +7,37 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace graphbench {
 
 namespace {
+
+// Operator labels for the profile() analogue: one row per step kind.
+const char* StepName(GremlinStep::Kind kind) {
+  switch (kind) {
+    case GremlinStep::Kind::kV: return "V()";
+    case GremlinStep::Kind::kHasIndexed: return "has(indexed)";
+    case GremlinStep::Kind::kHas: return "has()";
+    case GremlinStep::Kind::kOut: return "out()";
+    case GremlinStep::Kind::kIn: return "in()";
+    case GremlinStep::Kind::kBoth: return "both()";
+    case GremlinStep::Kind::kValues: return "values()";
+    case GremlinStep::Kind::kDedup: return "dedup()";
+    case GremlinStep::Kind::kLimit: return "limit()";
+    case GremlinStep::Kind::kCount: return "count()";
+    case GremlinStep::Kind::kAs: return "as()";
+    case GremlinStep::Kind::kWhereNeq: return "where(neq)";
+    case GremlinStep::Kind::kShortestPath: return "repeat(both()).until()";
+    case GremlinStep::Kind::kOrderBy: return "order().by()";
+    case GremlinStep::Kind::kGroupCount: return "groupCount()";
+    case GremlinStep::Kind::kValueMap: return "valueMap()";
+    case GremlinStep::Kind::kAddEdgeTo: return "addE(to)";
+    case GremlinStep::Kind::kAddV: return "addV()";
+    case GremlinStep::Kind::kAddE: return "addE()";
+  }
+  return "step";
+}
 
 /// A traverser: the current element (vertex or value) plus path marks from
 /// As() steps, as in TinkerPop's traverser model.
@@ -59,12 +87,17 @@ Result<int> BfsShortestPath(GremlinGraph* graph, GVertex start,
 
 Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
                                             const Traversal& traversal) {
+  // Root operator (TinkerPop's terminal iterate()): the per-step timers
+  // below nest under it, so its self time is the step-machine glue —
+  // traverser-set management and the dispatch loop itself.
+  obs::OpTimer root_op("iterate()");
   std::vector<Traverser> set;
   bool started = false;
 
   const auto& steps = traversal.steps();
   for (size_t si = 0; si < steps.size(); ++si) {
     const GremlinStep& step = steps[si];
+    obs::OpTimer op(StepName(step.kind));
     switch (step.kind) {
       case GremlinStep::Kind::kV: {
         // g.V().has(l,k,v) immediately after V() uses the provider index.
@@ -166,6 +199,7 @@ Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
       }
       case GremlinStep::Kind::kCount: {
         std::vector<Value> out{Value(int64_t(set.size()))};
+        op.AddRows(out.size());
         return out;
       }
       case GremlinStep::Kind::kAs: {
@@ -261,6 +295,7 @@ Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
           out.push_back(std::move(e.key));
           out.push_back(Value(e.count));
         }
+        op.AddRows(out.size());
         return out;
       }
       case GremlinStep::Kind::kValueMap: {
@@ -276,6 +311,7 @@ Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
             out.push_back(std::move(v));
           }
         }
+        op.AddRows(out.size());
         return out;
       }
       case GremlinStep::Kind::kAddEdgeTo: {
@@ -315,10 +351,12 @@ Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
         break;
       }
     }
+    op.AddRows(set.size());
   }
 
   // Terminal collection: values pass through; vertices render as their
   // application-level "id" property.
+  obs::OpTimer op("collect()");
   std::vector<Value> out;
   out.reserve(set.size());
   for (const Traverser& t : set) {
@@ -329,6 +367,7 @@ Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
       out.push_back(t.value);
     }
   }
+  op.AddRows(out.size());
   return out;
 }
 

@@ -1,0 +1,101 @@
+// Unit tests for the slow-query log: threshold filtering, worst-N
+// retention with least-bad eviction, and thread safety.
+
+#include "obs/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace graphbench {
+namespace obs {
+namespace {
+
+QueryProfile ProfileWith(const char* op) {
+  QueryProfile p;
+  p.Record(op, 1, 1, 10, 10);
+  return p;
+}
+
+TEST(SlowLogTest, ThresholdFiltersFastQueries) {
+  SlowQueryLog log(/*capacity=*/4, /*threshold_micros=*/1000);
+  log.Record("two_hop", "person_id=1", 999, {});
+  log.Record("two_hop", "person_id=2", 1000, {});
+  log.Record("two_hop", "person_id=3", 5000, {});
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].latency_micros, 5000u);
+  EXPECT_EQ(entries[1].latency_micros, 1000u);
+}
+
+TEST(SlowLogTest, KeepsWorstNAndEvictsLeastBad) {
+  SlowQueryLog log(/*capacity=*/3, /*threshold_micros=*/2);
+  const uint64_t latencies[] = {5, 1, 9, 7, 3};
+  for (uint64_t lat : latencies) {
+    log.Record("q", "p", lat, {});
+  }
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // 1 is below the threshold; 3 never makes the cut; 5 is evicted by 7.
+  EXPECT_EQ(entries[0].latency_micros, 9u);
+  EXPECT_EQ(entries[1].latency_micros, 7u);
+  EXPECT_EQ(entries[2].latency_micros, 5u);
+}
+
+TEST(SlowLogTest, TiesKeepArrivalOrder) {
+  SlowQueryLog log(/*capacity=*/3, /*threshold_micros=*/0);
+  log.Record("a", "first", 100, {});
+  log.Record("b", "second", 100, {});
+  log.Record("c", "third", 100, {});
+  log.Record("d", "late", 100, {});  // ties with the worst cut: dropped
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].kind, "a");
+  EXPECT_EQ(entries[1].kind, "b");
+  EXPECT_EQ(entries[2].kind, "c");
+}
+
+TEST(SlowLogTest, CarriesProfileAndDigest) {
+  SlowQueryLog log(2, 0);
+  log.Record("two_hop", "person_id=42", 777, ProfileWith("Expand"));
+  auto entries = log.TakeEntries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].kind, "two_hop");
+  EXPECT_EQ(entries[0].param_digest, "person_id=42");
+  ASSERT_NE(entries[0].profile.Find("Expand"), nullptr);
+  // TakeEntries empties the log.
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.Entries().empty());
+}
+
+TEST(SlowLogTest, ZeroCapacityRecordsNothing) {
+  SlowQueryLog log(0, 0);
+  log.Record("q", "p", 12345, {});
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SlowLogTest, ConcurrentRecordsKeepTheGlobalWorst) {
+  SlowQueryLog log(/*capacity=*/8, /*threshold_micros=*/0);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        log.Record("q", "p", uint64_t(t) * kPerThread + i + 1, {});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 8u);
+  // The global worst 8 of 1..1000 survive regardless of interleaving.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].latency_micros, 1000u - i);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace graphbench

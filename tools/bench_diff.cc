@@ -1,0 +1,140 @@
+// bench_diff: compares two BENCH_*.json reports and fails (exit 1) when a
+// shared latency metric regressed beyond the threshold. Intended for CI:
+//
+//   bench_diff [--threshold_pct=15] before.json after.json
+//   bench_diff --selftest
+//
+// Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchlib/bench_diff.h"
+#include "obs/report.h"
+#include "util/histogram.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace graphbench;
+
+Result<Json> ReadJsonFile(const char* path) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return Status::NotFound(std::string("cannot open ") + path);
+  }
+  std::string body;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    body.append(buf, n);
+  }
+  std::fclose(f);
+  return Json::Parse(body);
+}
+
+// Builds a report through the real serialization path and diffs it against
+// itself: every shared metric must appear with a 0% delta and no
+// regression. Guards the metric-discovery logic against schema drift.
+int SelfTest(double threshold_pct) {
+  obs::BenchReport report("selftest", "tiny");
+  Json entry = Json::Object();
+  entry.Set("two_hop_ms", Json::Number(3.5));
+  entry.Set("point_lookup_ms", Json::Number(0.02));
+  Histogram h;
+  for (uint64_t us = 100; us <= 1000; us += 100) h.Add(us);
+  entry.Set("read_latency", obs::HistogramJson(h));
+  report.AddSystem("neo4j-cypher", std::move(entry));
+
+  auto parsed = Json::Parse(report.ToJson().Serialize());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "selftest: reserialize failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  auto diff = benchlib::DiffReports(*parsed, *parsed, threshold_pct);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "selftest: diff failed: %s\n",
+                 diff.status().ToString().c_str());
+    return 2;
+  }
+  // 2 "_ms" keys + 4 histogram latency fields.
+  if (diff->deltas.size() != 6) {
+    std::fprintf(stderr,
+                 "selftest: expected 6 shared metrics, found %zu\n",
+                 diff->deltas.size());
+    return 2;
+  }
+  for (const auto& d : diff->deltas) {
+    if (d.delta_pct != 0 || d.regressed) {
+      std::fprintf(stderr, "selftest: self-diff of %s/%s is %+f%%\n",
+                   d.system.c_str(), d.metric.c_str(), d.delta_pct);
+      return 2;
+    }
+  }
+  std::printf("selftest passed: %zu metrics, all deltas zero\n",
+              diff->deltas.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 15;
+  bool selftest = false;
+  const char* files[2] = {nullptr, nullptr};
+  int file_count = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threshold_pct=", 16) == 0) {
+      char* end = nullptr;
+      threshold_pct = std::strtod(arg + 16, &end);
+      if (end == arg + 16 || *end != '\0') {
+        std::fprintf(stderr, "invalid --threshold_pct value: %s\n",
+                     arg + 16);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    } else if (file_count < 2) {
+      files[file_count++] = arg;
+    } else {
+      std::fprintf(stderr, "too many arguments: %s\n", arg);
+      return 2;
+    }
+  }
+
+  if (selftest) return SelfTest(threshold_pct);
+
+  if (file_count != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold_pct=15] before.json "
+                 "after.json\n       bench_diff --selftest\n");
+    return 2;
+  }
+
+  auto before = ReadJsonFile(files[0]);
+  if (!before.ok()) {
+    std::fprintf(stderr, "%s: %s\n", files[0],
+                 before.status().ToString().c_str());
+    return 2;
+  }
+  auto after = ReadJsonFile(files[1]);
+  if (!after.ok()) {
+    std::fprintf(stderr, "%s: %s\n", files[1],
+                 after.status().ToString().c_str());
+    return 2;
+  }
+  auto diff = benchlib::DiffReports(*before, *after, threshold_pct);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "%s\n", diff.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(benchlib::FormatDiff(*diff, threshold_pct).c_str(), stdout);
+  return diff->HasRegression() ? 1 : 0;
+}
