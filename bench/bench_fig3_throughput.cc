@@ -18,7 +18,8 @@
 namespace graphbench {
 namespace {
 
-std::unique_ptr<Sut> MakeFig3Sut(SutKind kind) {
+std::unique_ptr<Sut> MakeFig3Sut(SutKind kind, bool plan_cache) {
+  std::unique_ptr<Sut> sut;
   if (kind == SutKind::kNeo4jCypher) {
     // Aggressive checkpointing so the §4.3 write dips land inside the
     // measurement window at this scale.
@@ -26,9 +27,12 @@ std::unique_ptr<Sut> MakeFig3Sut(SutKind kind) {
     options.checkpoint_interval_writes = 1500;
     options.checkpoint_micros_per_dirty_write = 40;
     options.checkpoint_max_pause_micros = 80000;
-    return std::make_unique<CypherSut>(options);
+    sut = std::make_unique<CypherSut>(options);
+  } else {
+    sut = MakeSut(kind);
   }
-  return MakeSut(kind);
+  if (plan_cache) sut->EnablePlanCache();
+  return sut;
 }
 
 std::string Sparkline(const std::vector<uint64_t>& buckets) {
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   options.run_millis = bench::FlagInt(argc, argv, "millis", 3000);
   options.slowlog_threshold_micros =
       uint64_t(bench::FlagInt(argc, argv, "slowlog_threshold_us", 0));
+  bool plan_cache = bench::FlagBool(argc, argv, "plan_cache", false);
   std::printf("readers=%zu, window=%lldms (paper: 32 readers on 32 cores; "
               "single-core container measures contention shape)\n\n",
               options.num_readers, (long long)options.run_millis);
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
                   Json::Int(options.timeline_bucket_millis));
   report.SetParam("slowlog_threshold_us",
                   Json::Int(int64_t(options.slowlog_threshold_micros)));
+  report.SetParam("plan_cache", Json::Int(plan_cache ? 1 : 0));
 
   struct Timeline {
     std::string name;
@@ -88,7 +94,7 @@ int main(int argc, char** argv) {
 
   mq::Broker broker;
   for (SutKind kind : AllSutKinds()) {
-    std::unique_ptr<Sut> sut = MakeFig3Sut(kind);
+    std::unique_ptr<Sut> sut = MakeFig3Sut(kind, plan_cache);
     Status load = sut->Load(data);
     if (!load.ok()) {
       table.AddRow({sut->name(), "load error", load.ToString(), "", "", "",

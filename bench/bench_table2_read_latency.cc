@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   benchlib::ReadLatencyOptions options;
   options.repetitions = int(bench::FlagInt(argc, argv, "reps", 100));
   options.profile = bench::FlagBool(argc, argv, "profile", false);
+  options.plan_cache = bench::FlagBool(argc, argv, "plan_cache", false);
   obs::BenchReport report("table2_read_latency", "SF-A (SF3 analog)");
   benchlib::RunReadLatencyTable(
       snb::ScaleA(), options,

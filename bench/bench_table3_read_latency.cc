@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   benchlib::ReadLatencyOptions options;
   options.repetitions = int(bench::FlagInt(argc, argv, "reps", 100));
   options.profile = bench::FlagBool(argc, argv, "profile", false);
+  options.plan_cache = bench::FlagBool(argc, argv, "plan_cache", false);
   obs::BenchReport report("table3_read_latency", "SF-B (SF10 analog)");
   benchlib::RunReadLatencyTable(
       snb::ScaleB(), options,

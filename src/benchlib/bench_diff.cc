@@ -21,6 +21,12 @@ bool IsHistogramLatencyField(const std::string& key) {
          key == "p99_us";
 }
 
+// Driver reports emit "reads_per_second"/"writes_per_second"; the short
+// "_per_sec" spelling is accepted for hand-written baselines.
+bool IsThroughputKey(const std::string& key) {
+  return EndsWith(key, "_per_sec") || EndsWith(key, "_per_second");
+}
+
 const Json* FindSystem(const Json& systems, const std::string& name) {
   for (size_t i = 0; i < systems.size(); ++i) {
     const Json& entry = systems.at(i);
@@ -44,6 +50,19 @@ void DiffEntry(const std::string& system, const Json& before,
       d.after = a_value.as_number();
       d.delta_pct = (d.after - d.before) / d.before * 100.0;
       d.regressed = d.delta_pct > threshold_pct;
+      out->push_back(std::move(d));
+    } else if (b_value.type() == Json::Type::kNumber &&
+               IsThroughputKey(key)) {
+      // Throughput: higher is better, so a regression is a *drop* beyond
+      // the threshold (delta_pct stays "positive = grew" for display).
+      if (b_value.as_number() <= 0) continue;
+      MetricDelta d;
+      d.system = system;
+      d.metric = key;
+      d.before = b_value.as_number();
+      d.after = a_value.as_number();
+      d.delta_pct = (d.after - d.before) / d.before * 100.0;
+      d.regressed = d.delta_pct < -threshold_pct;
       out->push_back(std::move(d));
     } else if (b_value.type() == Json::Type::kObject &&
                a_value.type() == Json::Type::kObject &&
@@ -108,14 +127,18 @@ Result<DiffResult> DiffReports(const Json& before, const Json& after,
 }
 
 std::string FormatDiff(const DiffResult& diff, double threshold_pct) {
-  TablePrinter table("Latency diff (positive delta = slower)");
+  TablePrinter table(
+      "Metric diff (latency: positive delta = slower; throughput: "
+      "negative delta = slower)");
   table.SetHeader({"System", "Metric", "Before", "After", "Delta", ""});
-  // Worst regressions first so the verdict line's evidence leads.
+  // Regressions first (throughput regresses downward, so raw delta order
+  // would bury them), then worst latency growth.
   std::vector<const MetricDelta*> sorted;
   sorted.reserve(diff.deltas.size());
   for (const auto& d : diff.deltas) sorted.push_back(&d);
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const MetricDelta* a, const MetricDelta* b) {
+                     if (a->regressed != b->regressed) return a->regressed;
                      return a->delta_pct > b->delta_pct;
                    });
   for (const MetricDelta* d : sorted) {
@@ -134,7 +157,8 @@ std::string FormatDiff(const DiffResult& diff, double threshold_pct) {
   size_t regressions = 0;
   for (const auto& d : diff.deltas) regressions += d.regressed ? 1 : 0;
   out += StringPrintf(
-      "%zu shared latency metrics, %zu regressed beyond +%.1f%%\n",
+      "%zu shared metrics, %zu regressed beyond %.1f%% (latency up or "
+      "throughput down)\n",
       diff.deltas.size(), regressions, threshold_pct);
   return out;
 }

@@ -40,13 +40,16 @@ struct DiffResult {
 
 /// Compares two BENCH_*.json documents produced by obs::BenchReport.
 /// Walks the "systems" arrays, matching entries by their "system" name,
-/// and diffs every shared latency metric: top-level numeric keys ending in
-/// "_ms", and the {"mean_us","p50_us","p95_us","p99_us"} fields of nested
-/// histogram objects ("count", "min_us" and "max_us" are noise, not
-/// latency). A metric regresses when it grows by more than `threshold_pct`
-/// percent; baseline values <= 0 are skipped (a -1 mean means the query
-/// failed, and ratios against zero are meaningless). Errors when either
-/// document has no "systems" array or the reports' "bench" names differ.
+/// and diffs every shared metric: top-level numeric keys ending in "_ms"
+/// (latency), keys ending in "_per_sec"/"_per_second" (throughput), and
+/// the {"mean_us","p50_us","p95_us","p99_us"} fields of nested histogram
+/// objects ("count", "min_us" and "max_us" are noise, not latency). A
+/// latency metric regresses when it grows by more than `threshold_pct`
+/// percent; a throughput metric regresses when it *drops* by more than
+/// `threshold_pct` percent (delta_pct always reports growth). Baseline
+/// values <= 0 are skipped (a -1 mean means the query failed, and ratios
+/// against zero are meaningless). Errors when either document has no
+/// "systems" array or the reports' "bench" names differ.
 Result<DiffResult> DiffReports(const Json& before, const Json& after,
                                double threshold_pct);
 

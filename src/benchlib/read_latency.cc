@@ -37,7 +37,7 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
   std::vector<Loaded> suts;
   for (SutKind kind : AllSutKinds()) {
     Loaded l;
-    l.sut = MakeSut(kind);
+    l.sut = MakeSut(kind, options.plan_cache);
     Status s = l.sut->Load(data);
     if (!s.ok()) {
       std::fprintf(stderr, "load failed for %s: %s\n",
@@ -180,7 +180,17 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
   if (report != nullptr) {
     report->SetParam("repetitions", Json::Int(options.repetitions));
     report->SetParam("profile", Json::Int(options.profile ? 1 : 0));
+    report->SetParam("plan_cache", Json::Int(options.plan_cache ? 1 : 0));
     for (size_t i = 0; i < suts.size(); ++i) {
+      if (options.plan_cache) {
+        lang::PlanCacheStats stats = suts[i].sut->plan_cache_stats();
+        Json cache = Json::Object();
+        cache.Set("hits", Json::Int(int64_t(stats.hits)));
+        cache.Set("misses", Json::Int(int64_t(stats.misses)));
+        cache.Set("evictions", Json::Int(int64_t(stats.evictions)));
+        cache.Set("hit_rate", Json::Number(stats.HitRate()));
+        system_metrics[i].Set("plan_cache", std::move(cache));
+      }
       report->AddSystem(suts[i].sut->name(), std::move(system_metrics[i]));
     }
   }

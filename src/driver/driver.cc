@@ -198,7 +198,7 @@ Result<DriverMetrics> InteractiveDriver::Run(std::string_view topic,
         uint64_t us = op_clock.ElapsedMicros();
         if (slowlog_enabled) {
           if (us >= options_.slowlog_threshold_micros) {
-            slowlog.Record(kind,
+            slowlog.Record(kind, sut_->StatementText(kind),
                            StringPrintf("person_id=%lld",
                                         (long long)person),
                            us, std::move(profile));

@@ -66,15 +66,87 @@ Result<Value> CypherEngine::EvalConst(const Expr& e,
   }
 }
 
+void CypherEngine::EnablePlanCache(size_t capacity) {
+  plan_cache_ =
+      std::make_unique<lang::PlanCache<cypher::Query>>("cypher", capacity);
+}
+
+Result<CypherEngine::PreparedStatement> CypherEngine::Prepare(
+    std::string_view query) {
+  PreparedStatement prepared;
+  prepared.text_ = std::string(query);
+  if (plan_cache_ != nullptr) {
+    if (auto cached = plan_cache_->Lookup(query)) {
+      prepared.query_ = std::move(cached);
+      return prepared;
+    }
+  }
+  obs::OpTimer parse_op("Parse");
+  GB_ASSIGN_OR_RETURN(cypher::Query q, cypher::Parse(query));
+  parse_op.Stop();
+  auto shared = std::make_shared<const cypher::Query>(std::move(q));
+  if (plan_cache_ != nullptr) plan_cache_->Insert(query, shared);
+  prepared.query_ = std::move(shared);
+  return prepared;
+}
+
+Result<QueryResult> CypherEngine::Execute(const PreparedStatement& prepared,
+                                          const Params& params) {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("prepared statement is empty");
+  }
+  obs::OpTimer root_op("ProduceResults");
+  if (plan_cache_ != nullptr) {
+    // Extended-protocol model: every execution of a named statement goes
+    // through the server's statement cache. A handle whose entry was
+    // evicted re-seeds it — never a re-parse, the handle keeps the plan
+    // alive.
+    if (auto cached = plan_cache_->Lookup(prepared.text_)) {
+      return ExecuteParsed(*cached, params);
+    }
+    plan_cache_->Insert(prepared.text_, prepared.query_);
+  }
+  return ExecuteParsed(*prepared.query_, params);
+}
+
 Result<QueryResult> CypherEngine::Execute(std::string_view query,
                                           const Params& params) {
   // Root operator (Neo4j PROFILE's ProduceResults): cumulative spans the
   // whole execution; self is whatever the specific operators below do not
   // account for (setup, expression-closure allocation, result assembly).
   obs::OpTimer root_op("ProduceResults");
+  if (plan_cache_ != nullptr) {
+    if (auto cached = plan_cache_->Lookup(query)) {
+      return ExecuteParsed(*cached, params);
+    }
+    obs::OpTimer cached_parse_op("Parse");
+    GB_ASSIGN_OR_RETURN(cypher::Query parsed, cypher::Parse(query));
+    cached_parse_op.Stop();
+    auto shared = std::make_shared<const cypher::Query>(std::move(parsed));
+    plan_cache_->Insert(query, shared);
+    return ExecuteParsed(*shared, params);
+  }
   obs::OpTimer parse_op("Parse");
   GB_ASSIGN_OR_RETURN(cypher::Query q, cypher::Parse(query));
   parse_op.Stop();
+  return ExecuteParsed(q, params);
+}
+
+Result<QueryResult> CypherEngine::ExecuteParsed(const cypher::Query& q,
+                                                const Params& params) {
+  // LIMIT binds like any other parameter so one cached plan serves every
+  // limit value.
+  int64_t limit_bound = q.limit;
+  if (!q.limit_param.empty()) {
+    auto it = params.find(q.limit_param);
+    if (it == params.end()) {
+      return Status::InvalidArgument("missing parameter $" + q.limit_param);
+    }
+    if (!it->second.is_int()) {
+      return Status::InvalidArgument("LIMIT parameter must be an integer");
+    }
+    limit_bound = it->second.as_int();
+  }
 
   Slots slots;
   std::vector<BindingRow> rows;
@@ -387,8 +459,8 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
                          return false;
                        });
     }
-    if (q.limit >= 0 && result.rows.size() > size_t(q.limit)) {
-      result.rows.resize(size_t(q.limit));
+    if (limit_bound >= 0 && result.rows.size() > size_t(limit_bound)) {
+      result.rows.resize(size_t(limit_bound));
     }
     return result;
   }
@@ -428,8 +500,9 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
                        return false;
                      });
   }
-  size_t limit = q.limit < 0 ? projected.size()
-                             : std::min(size_t(q.limit), projected.size());
+  size_t limit = limit_bound < 0
+                     ? projected.size()
+                     : std::min(size_t(limit_bound), projected.size());
   result.rows.reserve(limit);
   for (size_t i = 0; i < limit; ++i) {
     result.rows.push_back(std::move(projected[i].row));

@@ -2,6 +2,7 @@
 #define GRAPHBENCH_ENGINES_NATIVE_CYPHER_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,14 +10,17 @@
 #include "engines/native/native_graph.h"
 #include "engines/relational/query_result.h"
 #include "lang/cypher/ast.h"
+#include "lang/plan_cache.h"
 #include "util/result.h"
 
 namespace graphbench {
 
 /// Declarative query front-end over the native graph store: the
 /// Neo4j-with-Cypher configuration. Queries are parsed and planned per
-/// execution (as a server does), then run as pipelined pattern expansions
-/// directly over the store's adjacency records.
+/// execution (as a server does) by default; Prepare splits that lifecycle
+/// so a statement is parsed once and executed repeatedly with per-call
+/// $parameters (Neo4j's query-cache analog, opted into per instance via
+/// EnablePlanCache).
 ///
 /// Planning: each MATCH chain is solved left-to-right; the first node of a
 /// chain must be resolvable — by an inline property equality (index lookup
@@ -28,8 +32,41 @@ class CypherEngine {
 
   explicit CypherEngine(NativeGraph* graph) : graph_(graph) {}
 
-  /// Parses and executes one statement with named $parameters.
+  /// An immutable parsed query; share freely across threads and execute
+  /// with per-call parameters.
+  class PreparedStatement {
+   public:
+    PreparedStatement() = default;
+    const std::string& text() const { return text_; }
+    const cypher::Query& query() const { return *query_; }
+    bool valid() const { return query_ != nullptr; }
+
+   private:
+    friend class CypherEngine;
+    std::string text_;
+    std::shared_ptr<const cypher::Query> query_;
+  };
+
+  /// Parses `query` into an immutable statement (consulting the plan
+  /// cache when enabled).
+  Result<PreparedStatement> Prepare(std::string_view query);
+
+  /// Binds `params` and runs a prepared statement — no parsing.
+  Result<QueryResult> Execute(const PreparedStatement& prepared,
+                              const Params& params);
+
+  /// Parses and executes one statement with named $parameters. Parses per
+  /// call — the paper-faithful default — unless the plan cache is enabled.
   Result<QueryResult> Execute(std::string_view query, const Params& params);
+
+  /// Opts this instance into caching parsed queries keyed by statement
+  /// text. Call before concurrent use. Off by default.
+  void EnablePlanCache(size_t capacity = lang::kDefaultPlanCacheCapacity);
+  bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
+  lang::PlanCacheStats plan_cache_stats() const {
+    return plan_cache_ == nullptr ? lang::PlanCacheStats{}
+                                  : plan_cache_->Stats();
+  }
 
   NativeGraph* graph() { return graph_; }
 
@@ -37,8 +74,13 @@ class CypherEngine {
   struct Binding;  // var name -> VertexId slots; defined in the .cc
 
   Result<Value> EvalConst(const cypher::Expr& e, const Params& params) const;
+  // Runs an already-parsed query: the shared tail of both Execute
+  // overloads.
+  Result<QueryResult> ExecuteParsed(const cypher::Query& q,
+                                    const Params& params);
 
   NativeGraph* graph_;
+  std::unique_ptr<lang::PlanCache<cypher::Query>> plan_cache_;
 };
 
 }  // namespace graphbench

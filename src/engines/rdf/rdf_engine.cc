@@ -26,17 +26,86 @@ Status RdfEngine::AddTriple(const Term& subject, std::string_view predicate,
   return st;
 }
 
+void RdfEngine::EnablePlanCache(size_t capacity) {
+  plan_cache_ =
+      std::make_unique<lang::PlanCache<sparql::Query>>("sparql", capacity);
+}
+
+Result<RdfEngine::PreparedStatement> RdfEngine::Prepare(
+    std::string_view sparql_text) {
+  PreparedStatement prepared;
+  prepared.text_ = std::string(sparql_text);
+  if (plan_cache_ != nullptr) {
+    if (auto cached = plan_cache_->Lookup(sparql_text)) {
+      prepared.query_ = std::move(cached);
+      return prepared;
+    }
+  }
+  obs::OpTimer parse_op("parse");
+  GB_ASSIGN_OR_RETURN(sparql::Query q, sparql::Parse(sparql_text));
+  parse_op.Stop();
+  auto shared = std::make_shared<const sparql::Query>(std::move(q));
+  if (plan_cache_ != nullptr) plan_cache_->Insert(sparql_text, shared);
+  prepared.query_ = std::move(shared);
+  return prepared;
+}
+
+Result<QueryResult> RdfEngine::Execute(const PreparedStatement& prepared,
+                                       const Params& params) {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("prepared statement is empty");
+  }
+  obs::OpTimer root_op("execute");
+  if (plan_cache_ != nullptr) {
+    // Extended-protocol model: every execution of a named statement goes
+    // through the server's statement cache. A handle whose entry was
+    // evicted re-seeds it — never a re-parse, the handle keeps the plan
+    // alive.
+    if (auto cached = plan_cache_->Lookup(prepared.text_)) {
+      return ExecuteParsed(*cached, params);
+    }
+    plan_cache_->Insert(prepared.text_, prepared.query_);
+  }
+  return ExecuteParsed(*prepared.query_, params);
+}
+
 Result<QueryResult> RdfEngine::Execute(std::string_view sparql_text) {
   // Root phase: cumulative spans the whole query; self is whatever the
   // specific phases below do not account for.
   obs::OpTimer root_op("execute");
+  if (plan_cache_ != nullptr) {
+    if (auto cached = plan_cache_->Lookup(sparql_text)) {
+      return ExecuteParsed(*cached, Params{});
+    }
+    obs::OpTimer cached_parse_op("parse");
+    GB_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parse(sparql_text));
+    cached_parse_op.Stop();
+    auto shared = std::make_shared<const sparql::Query>(std::move(parsed));
+    plan_cache_->Insert(sparql_text, shared);
+    return ExecuteParsed(*shared, Params{});
+  }
   obs::OpTimer parse_op("parse");
   GB_ASSIGN_OR_RETURN(sparql::Query q, sparql::Parse(sparql_text));
   parse_op.Stop();
-  return ExecuteParsed(q);
+  return ExecuteParsed(q, Params{});
 }
 
-Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
+Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q,
+                                             const Params& params) {
+  // LIMIT binds like any other parameter so one cached plan serves every
+  // limit value.
+  int64_t limit_bound = q.limit;
+  if (!q.limit_param.empty()) {
+    auto it = params.find(q.limit_param);
+    if (it == params.end()) {
+      return Status::InvalidArgument("missing parameter $" + q.limit_param);
+    }
+    if (!it->second.is_int()) {
+      return Status::InvalidArgument("LIMIT parameter must be an integer");
+    }
+    limit_bound = it->second.as_int();
+  }
+
   // Assign variable slots.
   std::unordered_map<std::string, int> var_slots;
   auto slot_of = [&var_slots](const std::string& name) {
@@ -54,7 +123,7 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
   for (const auto& tp : q.patterns) {
     ResolvedPattern rp{kWildcard, kWildcard, kWildcard};
     auto resolve = [&](const sparql::TermPattern& t, uint64_t* id,
-                       int* var) {
+                       int* var) -> Status {
       switch (t.kind) {
         case sparql::TermPattern::Kind::kVariable:
           *var = slot_of(t.text);
@@ -71,11 +140,23 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
           else *id = *found;
           break;
         }
+        case sparql::TermPattern::Kind::kParam: {
+          // Bind step: parameters resolve to literal terms per call.
+          auto it = params.find(t.text);
+          if (it == params.end()) {
+            return Status::InvalidArgument("missing parameter $" + t.text);
+          }
+          auto found = dict_.LookupLiteral(it->second);
+          if (!found) rp.impossible = true;
+          else *id = *found;
+          break;
+        }
       }
+      return Status::OK();
     };
-    resolve(tp.s, &rp.s, &rp.s_var);
-    resolve(tp.p, &rp.p, &rp.p_var);
-    resolve(tp.o, &rp.o, &rp.o_var);
+    GB_RETURN_IF_ERROR(resolve(tp.s, &rp.s, &rp.s_var));
+    GB_RETURN_IF_ERROR(resolve(tp.p, &rp.p, &rp.p_var));
+    GB_RETURN_IF_ERROR(resolve(tp.o, &rp.o, &rp.o_var));
     impossible |= rp.impossible;
     patterns.push_back(rp);
   }
@@ -278,8 +359,8 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
                          return false;
                        });
     }
-    if (q.limit >= 0 && result.rows.size() > size_t(q.limit)) {
-      result.rows.resize(size_t(q.limit));
+    if (limit_bound >= 0 && result.rows.size() > size_t(limit_bound)) {
+      result.rows.resize(size_t(limit_bound));
     }
     return result;
   }
@@ -344,8 +425,9 @@ Result<QueryResult> RdfEngine::ExecuteParsed(const sparql::Query& q) {
                        return false;
                      });
   }
-  size_t limit = q.limit < 0 ? projected.size()
-                             : std::min(size_t(q.limit), projected.size());
+  size_t limit = limit_bound < 0
+                     ? projected.size()
+                     : std::min(size_t(limit_bound), projected.size());
   result.rows.reserve(limit);
   for (size_t i = 0; i < limit; ++i) {
     result.rows.push_back(std::move(projected[i].row));

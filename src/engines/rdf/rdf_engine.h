@@ -1,6 +1,8 @@
 #ifndef GRAPHBENCH_ENGINES_RDF_RDF_ENGINE_H_
 #define GRAPHBENCH_ENGINES_RDF_RDF_ENGINE_H_
 
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "engines/rdf/term_dictionary.h"
 #include "engines/rdf/triple_store.h"
 #include "engines/relational/query_result.h"
+#include "lang/plan_cache.h"
 #include "lang/sparql/ast.h"
 #include "util/result.h"
 
@@ -22,9 +25,46 @@ class RdfEngine {
  public:
   explicit RdfEngine(int num_indexes = 4);
 
+  /// Named $parameters bound at execution time; parameter values bind as
+  /// literals (ids, names — the constants the SNB workload varies).
+  using Params = std::map<std::string, Value>;
+
+  /// An immutable parsed query; share freely across threads and execute
+  /// with per-call parameters.
+  class PreparedStatement {
+   public:
+    PreparedStatement() = default;
+    const std::string& text() const { return text_; }
+    const sparql::Query& query() const { return *query_; }
+    bool valid() const { return query_ != nullptr; }
+
+   private:
+    friend class RdfEngine;
+    std::string text_;
+    std::shared_ptr<const sparql::Query> query_;
+  };
+
+  /// Parses `sparql` into an immutable statement with $name placeholders
+  /// (consulting the plan cache when enabled).
+  Result<PreparedStatement> Prepare(std::string_view sparql);
+
+  /// Binds `params` and runs a prepared statement — no parsing.
+  Result<QueryResult> Execute(const PreparedStatement& prepared,
+                              const Params& params);
+
   /// Parses and executes one SPARQL query. Constants are inlined in the
-  /// query text, as SPARQL clients do.
+  /// query text, as SPARQL clients do; parses per call — the
+  /// paper-faithful default — unless the plan cache is enabled.
   Result<QueryResult> Execute(std::string_view sparql);
+
+  /// Opts this instance into caching parsed queries keyed by statement
+  /// text. Call before concurrent use. Off by default.
+  void EnablePlanCache(size_t capacity = lang::kDefaultPlanCacheCapacity);
+  bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
+  lang::PlanCacheStats plan_cache_stats() const {
+    return plan_cache_ == nullptr ? lang::PlanCacheStats{}
+                                  : plan_cache_->Stats();
+  }
 
   /// Loader/update path (bulk import bypasses SPARQL, as Virtuoso's bulk
   /// loader does; per-update inserts are issued by the writer thread).
@@ -56,10 +96,12 @@ class RdfEngine {
     bool impossible = false;  // constant term not in dictionary
   };
 
-  Result<QueryResult> ExecuteParsed(const sparql::Query& q);
+  Result<QueryResult> ExecuteParsed(const sparql::Query& q,
+                                    const Params& params);
 
   TermDictionary dict_;
   TripleStore store_;
+  std::unique_ptr<lang::PlanCache<sparql::Query>> plan_cache_;
 };
 
 }  // namespace graphbench

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 
@@ -338,14 +339,73 @@ Result<QueryResult> Database::ExecuteDelete(
   return result;
 }
 
+void Database::EnablePlanCache(size_t capacity) {
+  plan_cache_ =
+      std::make_unique<lang::PlanCache<sql::Statement>>("sql", capacity);
+}
+
+Result<Database::PreparedStatement> Database::Prepare(
+    std::string_view sql_text) {
+  PreparedStatement prepared;
+  prepared.text_ = std::string(sql_text);
+  if (plan_cache_ != nullptr) {
+    if (auto cached = plan_cache_->Lookup(sql_text)) {
+      prepared.stmt_ = std::move(cached);
+      return prepared;
+    }
+  }
+  obs::OpTimer parse_op("parse");
+  GB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+  parse_op.Stop();
+  auto shared = std::make_shared<const sql::Statement>(std::move(stmt));
+  if (plan_cache_ != nullptr) plan_cache_->Insert(sql_text, shared);
+  prepared.stmt_ = std::move(shared);
+  return prepared;
+}
+
+Result<QueryResult> Database::Execute(const PreparedStatement& prepared,
+                                      const std::vector<Value>& params) {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("prepared statement is empty");
+  }
+  obs::OpTimer root_op("execute");
+  if (plan_cache_ != nullptr) {
+    // Extended-protocol model: every execution of a named statement goes
+    // through the server's statement cache. A handle whose entry was
+    // evicted re-seeds it — never a re-parse, the handle keeps the plan
+    // alive.
+    if (auto cached = plan_cache_->Lookup(prepared.text_)) {
+      return ExecuteStatement(*cached, params);
+    }
+    plan_cache_->Insert(prepared.text_, prepared.stmt_);
+  }
+  return ExecuteStatement(*prepared.stmt_, params);
+}
+
 Result<QueryResult> Database::Execute(std::string_view sql_text,
                                       const std::vector<Value>& params) {
   // Root phase: cumulative spans the whole statement; self is the
   // dispatch/assembly work the phases below do not account for.
   obs::OpTimer root_op("execute");
+  if (plan_cache_ != nullptr) {
+    if (auto cached = plan_cache_->Lookup(sql_text)) {
+      return ExecuteStatement(*cached, params);
+    }
+    obs::OpTimer cached_parse_op("parse");
+    GB_ASSIGN_OR_RETURN(sql::Statement parsed, sql::Parse(sql_text));
+    cached_parse_op.Stop();
+    auto shared = std::make_shared<const sql::Statement>(std::move(parsed));
+    plan_cache_->Insert(sql_text, shared);
+    return ExecuteStatement(*shared, params);
+  }
   obs::OpTimer parse_op("parse");
   GB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
   parse_op.Stop();
+  return ExecuteStatement(stmt, params);
+}
+
+Result<QueryResult> Database::ExecuteStatement(
+    const sql::Statement& stmt, const std::vector<Value>& params) {
   if (stmt.kind == sql::Statement::Kind::kSelect) {
     SqlExecutor exec(this, *stmt.select, params);
     return exec.Run();
@@ -356,9 +416,11 @@ Result<QueryResult> Database::Execute(std::string_view sql_text,
   if (stmt.kind == sql::Statement::Kind::kDelete) {
     return ExecuteDelete(*stmt.del, params);
   }
+  return ExecuteInsert(*stmt.insert, params);
+}
 
-  // INSERT.
-  const sql::InsertStmt& ins = *stmt.insert;
+Result<QueryResult> Database::ExecuteInsert(const sql::InsertStmt& ins,
+                                            const std::vector<Value>& params) {
   Table* table = GetTable(ins.table);
   if (table == nullptr) {
     return Status::InvalidArgument("unknown table " + ins.table);

@@ -416,6 +416,18 @@ Result<std::vector<Row>> SqlExecutor::Aggregate(
   return rows;
 }
 
+Result<int64_t> SqlExecutor::EffectiveLimit() const {
+  if (stmt_.limit_param < 0) return stmt_.limit;
+  if (size_t(stmt_.limit_param) >= params_.size()) {
+    return Status::InvalidArgument("LIMIT parameter index out of range");
+  }
+  const Value& v = params_[size_t(stmt_.limit_param)];
+  if (!v.is_int()) {
+    return Status::InvalidArgument("LIMIT parameter must be an integer");
+  }
+  return v.as_int();
+}
+
 Result<QueryResult> SqlExecutor::Run() {
   // Plan phase: resolve FROM aliases and flatten the WHERE conjuncts.
   obs::OpTimer plan_op("plan");
@@ -473,9 +485,9 @@ Result<QueryResult> SqlExecutor::Run() {
   if (has_aggregate) {
     obs::OpTimer agg_op("aggregate");
     GB_ASSIGN_OR_RETURN(result.rows, Aggregate(bindings));
-    size_t limit = stmt_.limit < 0 ? result.rows.size()
-                                   : std::min(size_t(stmt_.limit),
-                                              result.rows.size());
+    GB_ASSIGN_OR_RETURN(int64_t bound, EffectiveLimit());
+    size_t limit = bound < 0 ? result.rows.size()
+                             : std::min(size_t(bound), result.rows.size());
     result.rows.resize(limit);
     agg_op.AddRows(result.rows.size());
     return result;
@@ -522,9 +534,9 @@ Result<QueryResult> SqlExecutor::Run() {
                      });
   }
 
-  size_t limit = stmt_.limit < 0 ? projected.size()
-                                 : std::min(size_t(stmt_.limit),
-                                            projected.size());
+  GB_ASSIGN_OR_RETURN(int64_t bound, EffectiveLimit());
+  size_t limit = bound < 0 ? projected.size()
+                           : std::min(size_t(bound), projected.size());
   result.rows.reserve(limit);
   for (size_t i = 0; i < limit; ++i) {
     result.rows.push_back(std::move(projected[i].row));

@@ -47,6 +47,9 @@ class SqlExecutor {
   bool AllBound(const sql::Expr& e, size_t bound_count) const;
 
   Result<Value> Eval(const sql::Expr& e, const Binding& binding) const;
+  // The row bound: the literal LIMIT, a bound LIMIT ? parameter, or -1
+  // for none.
+  Result<int64_t> EffectiveLimit() const;
   // Column fetch honouring the storage model (see class comment).
   Result<Value> FetchColumn(int alias_idx, int col_idx,
                             const Binding& binding) const;

@@ -81,6 +81,10 @@ struct Query {
   std::vector<ReturnItem> ret;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;
+  /// LIMIT $name — the named parameter supplying the limit at bind time;
+  /// empty when the limit is a literal (or absent). Lets prepared
+  /// statements share one plan across differing limits.
+  std::string limit_param;
 
   // CREATE clause: standalone node patterns and/or relationship chains
   // between (possibly MATCH-bound) endpoints.

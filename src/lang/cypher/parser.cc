@@ -79,10 +79,14 @@ class Parser {
       }
       if (cur_.TryKeyword("LIMIT")) {
         const Token& t = cur_.Advance();
-        if (t.kind != Token::Kind::kInteger) {
-          return Status::InvalidArgument("LIMIT expects an integer");
+        if (t.kind == Token::Kind::kParam && !t.text.empty()) {
+          q.limit_param = t.text;
+        } else if (t.kind == Token::Kind::kInteger) {
+          q.limit = t.literal.as_int();
+        } else {
+          return Status::InvalidArgument(
+              "LIMIT expects an integer or $parameter");
         }
-        q.limit = t.literal.as_int();
       }
     }
     if (q.match.empty() && q.create_nodes.empty() && q.create_rels.empty()) {

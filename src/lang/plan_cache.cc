@@ -1,0 +1,15 @@
+#include "lang/plan_cache.h"
+
+namespace graphbench {
+namespace lang {
+
+PlanCacheCounters::PlanCacheCounters(std::string_view engine) {
+  std::string prefix = "plan_cache." + std::string(engine) + ".";
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  hits_counter_ = registry.GetCounter(prefix + "hits");
+  misses_counter_ = registry.GetCounter(prefix + "misses");
+  evictions_counter_ = registry.GetCounter(prefix + "evictions");
+}
+
+}  // namespace lang
+}  // namespace graphbench

@@ -9,12 +9,13 @@
 namespace graphbench {
 namespace sparql {
 
-/// A term position in a triple pattern: constant IRI, constant literal, or
+/// A term position in a triple pattern: constant IRI, constant literal,
+/// named parameter ($name, bound to a literal at execution time), or
 /// variable.
 struct TermPattern {
-  enum class Kind { kIri, kLiteral, kVariable };
+  enum class Kind { kIri, kLiteral, kVariable, kParam };
   Kind kind = Kind::kIri;
-  std::string text;  // IRI spelling or variable name
+  std::string text;  // IRI spelling, variable name, or parameter name
   Value literal;
 
   static TermPattern Var(std::string name) {
@@ -58,6 +59,10 @@ struct Query {
   std::vector<std::string> group_by;  // GROUP BY ?vars
   std::vector<std::pair<std::string, bool>> order_by;  // (var, desc)
   int64_t limit = -1;
+  /// LIMIT $name — the named parameter supplying the limit at bind time;
+  /// empty when the limit is a literal (or absent). Lets prepared
+  /// statements share one plan across differing limits.
+  std::string limit_param;
 };
 
 }  // namespace sparql

@@ -94,10 +94,14 @@ class Parser {
     }
     if (cur_.TryKeyword("LIMIT")) {
       const Token& t = cur_.Advance();
-      if (t.kind != Token::Kind::kInteger) {
-        return Status::InvalidArgument("LIMIT expects an integer");
+      if (t.kind == Token::Kind::kParam && !t.text.empty()) {
+        q.limit_param = t.text;
+      } else if (t.kind == Token::Kind::kInteger) {
+        q.limit = t.literal.as_int();
+      } else {
+        return Status::InvalidArgument(
+            "LIMIT expects an integer or $parameter");
       }
-      q.limit = t.literal.as_int();
     }
     if (!cur_.AtEnd()) {
       return Status::InvalidArgument("trailing tokens near '" +
@@ -200,6 +204,14 @@ class Parser {
       case Token::Kind::kString:
         out.kind = TermPattern::Kind::kLiteral;
         out.literal = cur_.Advance().literal;
+        return out;
+      case Token::Kind::kParam:
+        if (t.text.empty()) {
+          return Status::InvalidArgument(
+              "SPARQL parameters must be named ($name)");
+        }
+        out.kind = TermPattern::Kind::kParam;
+        out.text = cur_.Advance().text;
         return out;
       default:
         return Status::InvalidArgument("unexpected token '" + t.text +

@@ -87,6 +87,10 @@ struct SelectStmt {
   std::vector<std::unique_ptr<Expr>> group_by;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;  // -1: no limit
+  /// LIMIT ? — positional parameter index supplying the limit at bind
+  /// time; -1 when the limit is a literal (or absent). Lets prepared
+  /// statements share one plan across differing limits.
+  int limit_param = -1;
 };
 
 struct InsertStmt {

@@ -110,10 +110,14 @@ class Parser {
     }
     if (cur_.TryKeyword("LIMIT")) {
       const Token& t = cur_.Advance();
-      if (t.kind != Token::Kind::kInteger) {
-        return Status::InvalidArgument("LIMIT expects an integer");
+      if (t.kind == Token::Kind::kParam) {
+        stmt->limit_param = next_param_++;
+      } else if (t.kind == Token::Kind::kInteger) {
+        stmt->limit = t.literal.as_int();
+      } else {
+        return Status::InvalidArgument(
+            "LIMIT expects an integer or parameter");
       }
-      stmt->limit = t.literal.as_int();
     }
     return stmt;
   }

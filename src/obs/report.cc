@@ -155,6 +155,9 @@ Json SlowLogJson(const std::vector<SlowQueryEntry>& entries) {
   for (const SlowQueryEntry& e : entries) {
     Json entry = Json::Object();
     entry.Set("kind", Json::Str(e.kind));
+    if (!e.statement.empty()) {
+      entry.Set("statement", Json::Str(e.statement));
+    }
     entry.Set("params", Json::Str(e.param_digest));
     entry.Set("latency_micros", Json::Int(int64_t(e.latency_micros)));
     entry.Set("profile", ProfileJson(e.profile));

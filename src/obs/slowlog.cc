@@ -5,7 +5,7 @@
 namespace graphbench {
 namespace obs {
 
-void SlowQueryLog::Record(std::string_view kind,
+void SlowQueryLog::Record(std::string_view kind, std::string_view statement,
                           std::string_view param_digest,
                           uint64_t latency_micros, QueryProfile profile) {
   if (capacity_ == 0 || latency_micros < threshold_micros_) return;
@@ -16,6 +16,7 @@ void SlowQueryLog::Record(std::string_view kind,
   }
   SlowQueryEntry entry;
   entry.kind = std::string(kind);
+  entry.statement = std::string(statement);
   entry.param_digest = std::string(param_digest);
   entry.latency_micros = latency_micros;
   entry.profile = std::move(profile);

@@ -12,11 +12,15 @@
 namespace graphbench {
 namespace obs {
 
-/// One captured slow query: what ran, with which parameters (as a short
-/// digest, e.g. "person_id=42"), how long it took, and its per-operator
-/// profile.
+/// One captured slow query: what ran (the driver's query kind plus the
+/// SUT's statement text, when it has one), with which parameters (as a
+/// short digest, e.g. "person_id=42"), how long it took, and its
+/// per-operator profile.
 struct SlowQueryEntry {
   std::string kind;
+  /// The workload statement behind the kind (SQL/Cypher/SPARQL text);
+  /// empty for SUTs without a textual statement form (Gremlin).
+  std::string statement;
   std::string param_digest;
   uint64_t latency_micros = 0;
   QueryProfile profile;
@@ -39,8 +43,9 @@ class SlowQueryLog {
 
   /// Records the query if latency_micros >= the threshold (and it beats
   /// the current worst-N cut). The profile is consumed.
-  void Record(std::string_view kind, std::string_view param_digest,
-              uint64_t latency_micros, QueryProfile profile);
+  void Record(std::string_view kind, std::string_view statement,
+              std::string_view param_digest, uint64_t latency_micros,
+              QueryProfile profile);
 
   /// Retained entries, worst (highest latency) first.
   std::vector<SlowQueryEntry> Entries() const;

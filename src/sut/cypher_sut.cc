@@ -13,6 +13,38 @@ constexpr const char* kVertexLabels[] = {"Person",       "Forum",
                                          "Tag",          "Place",
                                          "Organisation"};
 
+// The fixed read statement set. Limit-bearing statements end in "LIMIT "
+// so the legacy path can concatenate the literal while the prepared path
+// appends "$limit" and binds.
+constexpr char kPointLookupCypher[] =
+    "MATCH (p:Person {id: $id}) RETURN p.firstName, p.lastName, "
+    "p.gender, p.birthday, p.browserUsed, p.locationIP";
+constexpr char kOneHopCypher[] =
+    "MATCH (p:Person {id: $id})-[:knows]-(f) "
+    "RETURN f.id, f.firstName, f.lastName";
+constexpr char kTwoHopCypher[] =
+    "MATCH (p:Person {id: $id})-[:knows]-(f)-[:knows]-(ff) "
+    "WHERE ff.id <> $id RETURN DISTINCT ff.id";
+constexpr char kShortestPathCypher[] =
+    "MATCH (a:Person {id: $a}), (b:Person {id: $b}) "
+    "RETURN length(shortestPath((a)-[:knows*]-(b))) AS len";
+constexpr char kRecentPostsCypherPrefix[] =
+    "MATCH (p:Person {id: $id})<-[:postHasCreator]-(post) "
+    "RETURN post.id, post.content, post.creationDate "
+    "ORDER BY post.creationDate DESC LIMIT ";
+constexpr char kFriendsWithNameCypher[] =
+    "MATCH (p:Person {id: $id})-[:knows]-(f) WHERE f.firstName = $name "
+    "RETURN f.id, f.lastName ORDER BY f.id";
+constexpr char kRepliesOfPostCypher[] =
+    "MATCH (post:Post {id: $id})<-[:replyOfPost]-(c)"
+    "-[:commentHasCreator]->(cr) "
+    "RETURN c.id, c.content, cr.id "
+    "ORDER BY c.creationDate DESC";
+constexpr char kTopPostersCypherPrefix[] =
+    "MATCH (post:Post)-[:postHasCreator]->(p) "
+    "RETURN p.id, count(*) AS n "
+    "ORDER BY count(*) DESC, p.id LIMIT ";
+
 }  // namespace
 
 Status LoadSnbIntoNativeGraph(const snb::Dataset& data, NativeGraph* graph) {
@@ -152,42 +184,79 @@ CypherSut::CypherSut(NativeGraphOptions options)
     : graph_(options), engine_(&graph_) {}
 
 Status CypherSut::Load(const snb::Dataset& data) {
-  return LoadSnbIntoNativeGraph(data, &graph_);
+  GB_RETURN_IF_ERROR(LoadSnbIntoNativeGraph(data, &graph_));
+  if (engine_.plan_cache_enabled()) {
+    GB_RETURN_IF_ERROR(PrepareStatements());
+  }
+  return Status::OK();
+}
+
+Status CypherSut::PrepareStatements() {
+  auto prep = [this](CypherEngine::PreparedStatement* out,
+                     const std::string& text) -> Status {
+    GB_ASSIGN_OR_RETURN(*out, engine_.Prepare(text));
+    return Status::OK();
+  };
+  GB_RETURN_IF_ERROR(prep(&prepared_.point_lookup, kPointLookupCypher));
+  GB_RETURN_IF_ERROR(prep(&prepared_.one_hop, kOneHopCypher));
+  GB_RETURN_IF_ERROR(prep(&prepared_.two_hop, kTwoHopCypher));
+  GB_RETURN_IF_ERROR(prep(&prepared_.shortest_path, kShortestPathCypher));
+  GB_RETURN_IF_ERROR(
+      prep(&prepared_.recent_posts,
+           std::string(kRecentPostsCypherPrefix) + "$limit"));
+  GB_RETURN_IF_ERROR(
+      prep(&prepared_.friends_with_name, kFriendsWithNameCypher));
+  GB_RETURN_IF_ERROR(prep(&prepared_.replies_of_post, kRepliesOfPostCypher));
+  GB_RETURN_IF_ERROR(prep(&prepared_.top_posters,
+                          std::string(kTopPostersCypherPrefix) + "$limit"));
+  return Status::OK();
+}
+
+std::string CypherSut::StatementText(std::string_view kind) const {
+  if (kind == "point_lookup") return kPointLookupCypher;
+  if (kind == "one_hop") return kOneHopCypher;
+  if (kind == "two_hop") return kTwoHopCypher;
+  if (kind == "recent_posts") {
+    return std::string(kRecentPostsCypherPrefix) + "$limit";
+  }
+  return std::string();
 }
 
 Result<QueryResult> CypherSut::PointLookup(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return engine_.Execute(
-      "MATCH (p:Person {id: $id}) RETURN p.firstName, p.lastName, "
-      "p.gender, p.birthday, p.browserUsed, p.locationIP",
-      {{"id", Value(person_id)}});
+  if (prepared_.point_lookup.valid()) {
+    return engine_.Execute(prepared_.point_lookup,
+                           {{"id", Value(person_id)}});
+  }
+  return engine_.Execute(kPointLookupCypher, {{"id", Value(person_id)}});
 }
 
 Result<QueryResult> CypherSut::OneHop(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return engine_.Execute(
-      "MATCH (p:Person {id: $id})-[:knows]-(f) "
-      "RETURN f.id, f.firstName, f.lastName",
-      {{"id", Value(person_id)}});
+  if (prepared_.one_hop.valid()) {
+    return engine_.Execute(prepared_.one_hop, {{"id", Value(person_id)}});
+  }
+  return engine_.Execute(kOneHopCypher, {{"id", Value(person_id)}});
 }
 
 Result<QueryResult> CypherSut::TwoHop(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return engine_.Execute(
-      "MATCH (p:Person {id: $id})-[:knows]-(f)-[:knows]-(ff) "
-      "WHERE ff.id <> $id RETURN DISTINCT ff.id",
-      {{"id", Value(person_id)}});
+  if (prepared_.two_hop.valid()) {
+    return engine_.Execute(prepared_.two_hop, {{"id", Value(person_id)}});
+  }
+  return engine_.Execute(kTwoHopCypher, {{"id", Value(person_id)}});
 }
 
 Result<int> CypherSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  GB_ASSIGN_OR_RETURN(
-      QueryResult r,
-      engine_.Execute(
-          "MATCH (a:Person {id: $a}), (b:Person {id: $b}) "
-          "RETURN length(shortestPath((a)-[:knows*]-(b))) AS len",
-          {{"a", Value(from_person)}, {"b", Value(to_person)}}));
+  CypherEngine::Params params = {{"a", Value(from_person)},
+                                 {"b", Value(to_person)}};
+  Result<QueryResult> result =
+      prepared_.shortest_path.valid()
+          ? engine_.Execute(prepared_.shortest_path, params)
+          : engine_.Execute(kShortestPathCypher, params);
+  GB_ASSIGN_OR_RETURN(QueryResult r, std::move(result));
   if (r.rows.empty()) return Status::Internal("no shortest path row");
   return int(r.rows[0][0].as_int());
 }
@@ -195,36 +264,43 @@ Result<int> CypherSut::ShortestPathLen(int64_t from_person,
 Result<QueryResult> CypherSut::RecentPosts(int64_t person_id,
                                            int64_t limit) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  if (prepared_.recent_posts.valid()) {
+    return engine_.Execute(
+        prepared_.recent_posts,
+        {{"id", Value(person_id)}, {"limit", Value(limit)}});
+  }
   return engine_.Execute(
-      "MATCH (p:Person {id: $id})<-[:postHasCreator]-(post) "
-      "RETURN post.id, post.content, post.creationDate "
-      "ORDER BY post.creationDate DESC LIMIT " + std::to_string(limit),
+      kRecentPostsCypherPrefix + std::to_string(limit),
       {{"id", Value(person_id)}});
 }
 
 Result<QueryResult> CypherSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
+  if (prepared_.friends_with_name.valid()) {
+    return engine_.Execute(
+        prepared_.friends_with_name,
+        {{"id", Value(person_id)}, {"name", Value(first_name)}});
+  }
   return engine_.Execute(
-      "MATCH (p:Person {id: $id})-[:knows]-(f) WHERE f.firstName = $name "
-      "RETURN f.id, f.lastName ORDER BY f.id",
+      kFriendsWithNameCypher,
       {{"id", Value(person_id)}, {"name", Value(first_name)}});
 }
 
 Result<QueryResult> CypherSut::RepliesOfPost(int64_t post_id) {
-  return engine_.Execute(
-      "MATCH (post:Post {id: $id})<-[:replyOfPost]-(c)"
-      "-[:commentHasCreator]->(cr) "
-      "RETURN c.id, c.content, cr.id "
-      "ORDER BY c.creationDate DESC",
-      {{"id", Value(post_id)}});
+  if (prepared_.replies_of_post.valid()) {
+    return engine_.Execute(prepared_.replies_of_post,
+                           {{"id", Value(post_id)}});
+  }
+  return engine_.Execute(kRepliesOfPostCypher, {{"id", Value(post_id)}});
 }
 
 Result<QueryResult> CypherSut::TopPosters(int64_t limit) {
-  return engine_.Execute(
-      "MATCH (post:Post)-[:postHasCreator]->(p) "
-      "RETURN p.id, count(*) AS n "
-      "ORDER BY count(*) DESC, p.id LIMIT " + std::to_string(limit),
-      {});
+  if (prepared_.top_posters.valid()) {
+    return engine_.Execute(prepared_.top_posters,
+                           {{"limit", Value(limit)}});
+  }
+  return engine_.Execute(kTopPostersCypherPrefix + std::to_string(limit),
+                         {});
 }
 
 Status CypherSut::Apply(const snb::UpdateOp& op) {

@@ -37,12 +37,35 @@ class CypherSut : public Sut {
     return graph_.ApproximateSizeBytes();
   }
 
+  void EnablePlanCache() override { engine_.EnablePlanCache(); }
+  bool plan_cache_enabled() const override {
+    return engine_.plan_cache_enabled();
+  }
+  lang::PlanCacheStats plan_cache_stats() const override {
+    return engine_.plan_cache_stats();
+  }
+  std::string StatementText(std::string_view kind) const override;
+
   NativeGraph* graph() { return &graph_; }
 
  private:
+  /// Prepares the fixed read statement set (LIMIT $limit where
+  /// applicable); called at the end of Load when the plan cache is
+  /// enabled. Updates ride the engine's text-keyed cache directly —
+  /// their statement texts are compile-time constants.
+  Status PrepareStatements();
+
   NativeGraph graph_;
   CypherEngine engine_;
   obs::SutProbe probe_{"neo4j"};
+
+  /// Populated by PrepareStatements; per-call methods bind only.
+  struct PreparedSet {
+    CypherEngine::PreparedStatement point_lookup, one_hop, two_hop,
+        shortest_path, recent_posts, friends_with_name, replies_of_post,
+        top_posters;
+  };
+  PreparedSet prepared_;
 };
 
 /// Loads the SNB snapshot into any PropertyGraph-shaped store via a bulk

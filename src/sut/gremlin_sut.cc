@@ -31,7 +31,8 @@ GremlinSut::GremlinSut(std::string name,
     : name_(std::move(name)),
       extra_(std::move(extra)),
       graph_(std::move(graph)),
-      server_(graph_.get(), server_options),
+      options_(server_options),
+      server_(std::make_unique<GremlinServer>(graph_.get(), options_)),
       probe_(ProbeIdForName(name_)) {}
 
 Status GremlinSut::LoadVertices(const snb::Dataset& data, size_t shard,
@@ -286,7 +287,7 @@ Result<QueryResult> GremlinSut::PointLookup(int64_t person_id) {
       .ValueMap({"firstName", "lastName", "gender", "birthday",
                  "browserUsed", "locationIP"});
   build_op.Stop();
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   obs::OpTimer mat_op("materializeResult");
   QueryResult out = Reshape(std::move(flat), 6,
                             {"firstName", "lastName", "gender", "birthday",
@@ -303,7 +304,7 @@ Result<QueryResult> GremlinSut::OneHop(int64_t person_id) {
       .Both("knows")
       .ValueMap({"id", "firstName", "lastName"});
   build_op.Stop();
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   obs::OpTimer mat_op("materializeResult");
   QueryResult out =
       Reshape(std::move(flat), 3, {"id", "firstName", "lastName"});
@@ -323,7 +324,7 @@ Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
       .Dedup()
       .Values("id");
   build_op.Stop();
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   obs::OpTimer mat_op("materializeResult");
   QueryResult out = Reshape(std::move(flat), 1, {"id"});
   mat_op.AddRows(out.rows.size());
@@ -338,7 +339,7 @@ Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
   t.V().HasIndexed("Person", "id", Value(from_person))
       .ShortestPath("knows", "id", Value(to_person));
   build_op.Stop();
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   if (flat.empty()) return Status::NotFound("start person");
   return int(flat[0].as_int());
 }
@@ -354,7 +355,7 @@ Result<QueryResult> GremlinSut::RecentPosts(int64_t person_id,
       .Limit(limit)
       .ValueMap({"id", "content", "creationDate"});
   build_op.Stop();
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   obs::OpTimer mat_op("materializeResult");
   QueryResult out =
       Reshape(std::move(flat), 3, {"id", "content", "creationDate"});
@@ -370,7 +371,7 @@ Result<QueryResult> GremlinSut::FriendsWithName(
       .Has("firstName", Value(first_name))
       .OrderBy("id", /*desc=*/false)
       .ValueMap({"id", "lastName"});
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   return Reshape(std::move(flat), 2, {"id", "lastName"});
 }
 
@@ -380,14 +381,14 @@ Result<QueryResult> GremlinSut::RepliesOfPost(int64_t post_id) {
       .In("replyOfPost")
       .OrderBy("creationDate", /*desc=*/true)
       .ValueMap({"id", "content", "creatorId"});
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   return Reshape(std::move(flat), 3, {"id", "content", "creatorId"});
 }
 
 Result<QueryResult> GremlinSut::TopPosters(int64_t limit) {
   Traversal t;
   t.V("Post").Out("postHasCreator").GroupCount("id", limit);
-  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_.Submit(t));
+  GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
   return Reshape(std::move(flat), 2, {"personId", "posts"});
 }
 
@@ -395,7 +396,7 @@ Status GremlinSut::Apply(const snb::UpdateOp& op) {
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   auto submit = [this](const Traversal& t) {
-    return server_.Submit(t).status();
+    return server_->Submit(t).status();
   };
   switch (op.kind) {
     case K::kAddPerson: {

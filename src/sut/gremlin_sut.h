@@ -49,8 +49,23 @@ class GremlinSut : public Sut {
     return graph_->ApproximateSizeBytes();
   }
 
+  /// Turns on the Gremlin Server's bytecode→traversal cache by recreating
+  /// the server with a non-zero cache capacity. Call before Load (the
+  /// factory form MakeSut(kind, plan_cache) does); recreating the server
+  /// drops any in-flight requests, so never call it mid-workload.
+  void EnablePlanCache() override {
+    options_.plan_cache_capacity = lang::kDefaultPlanCacheCapacity;
+    server_ = std::make_unique<GremlinServer>(graph_.get(), options_);
+  }
+  bool plan_cache_enabled() const override {
+    return server_->plan_cache_enabled();
+  }
+  lang::PlanCacheStats plan_cache_stats() const override {
+    return server_->plan_cache_stats();
+  }
+
   GremlinGraph* graph() { return graph_.get(); }
-  GremlinServer* server() { return &server_; }
+  GremlinServer* server() { return server_.get(); }
 
   /// Loads vertices/edges via the structure API. `shard`/`num_shards`
   /// partition the work for concurrent loading.
@@ -68,7 +83,9 @@ class GremlinSut : public Sut {
   std::string name_;
   std::shared_ptr<void> extra_;
   std::unique_ptr<GremlinGraph> graph_;
-  GremlinServer server_;
+  // Kept so EnablePlanCache can rebuild the server with the same sizing.
+  GremlinServerOptions options_;
+  std::unique_ptr<GremlinServer> server_;
   obs::SutProbe probe_;
 };
 

@@ -2,6 +2,66 @@
 
 namespace graphbench {
 
+namespace {
+
+// The fixed workload statement set. The prepared path parses each text
+// once at Load; the default path re-sends the same texts per call (limit
+// values concatenated, as the paper's clients do).
+constexpr char kPointLookupSql[] =
+    "SELECT firstName, lastName, gender, birthday, browserUsed, "
+    "locationIP FROM person WHERE id = ?";
+constexpr char kOneHopSql[] =
+    "SELECT p.id, p.firstName, p.lastName FROM knows k "
+    "JOIN person p ON k.person2Id = p.id WHERE k.person1Id = ?";
+constexpr char kTwoHopSql[] =
+    "SELECT DISTINCT p.id FROM knows k1 "
+    "JOIN knows k2 ON k1.person2Id = k2.person1Id "
+    "JOIN person p ON k2.person2Id = p.id "
+    "WHERE k1.person1Id = ? AND p.id <> ?";
+constexpr char kShortestPathSql[] =
+    "SELECT SHORTEST_PATH(?, ?) USING knows(person1Id, person2Id)";
+constexpr char kRecentPostsSqlPrefix[] =
+    "SELECT p.id, p.content, p.creationDate FROM post p "
+    "WHERE p.creatorId = ? ORDER BY p.creationDate DESC LIMIT ";
+constexpr char kFriendsWithNameSql[] =
+    "SELECT p.id, p.lastName FROM knows k "
+    "JOIN person p ON k.person2Id = p.id "
+    "WHERE k.person1Id = ? AND p.firstName = ? ORDER BY p.id";
+constexpr char kRepliesOfPostSql[] =
+    "SELECT c.id, c.content, c.creatorId FROM comment c "
+    "WHERE c.replyOfPost = ? ORDER BY c.creationDate DESC";
+constexpr char kTopPostersSqlPrefix[] =
+    "SELECT p.creatorId, COUNT(*) AS n FROM post p "
+    "GROUP BY p.creatorId ORDER BY n DESC, creatorId LIMIT ";
+
+constexpr char kInsertPersonSql[] =
+    "INSERT INTO person (id, firstName, lastName, gender, "
+    "birthday, creationDate, browserUsed, locationIP, cityId) "
+    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)";
+constexpr char kInsertKnowsSql[] =
+    "INSERT INTO knows (person1Id, person2Id, creationDate) "
+    "VALUES (?, ?, ?)";
+constexpr char kInsertForumSql[] =
+    "INSERT INTO forum (id, title, creationDate, moderatorId) "
+    "VALUES (?, ?, ?, ?)";
+constexpr char kInsertForumMemberSql[] =
+    "INSERT INTO forum_member (forumId, personId, joinDate) "
+    "VALUES (?, ?, ?)";
+constexpr char kInsertPostSql[] =
+    "INSERT INTO post (id, content, creationDate, creatorId, forumId, "
+    "browserUsed) VALUES (?, ?, ?, ?, ?, ?)";
+constexpr char kInsertCommentSql[] =
+    "INSERT INTO comment (id, content, creationDate, creatorId, "
+    "replyOfPost, replyOfComment) VALUES (?, ?, ?, ?, ?, ?)";
+constexpr char kInsertLikePostSql[] =
+    "INSERT INTO likes_post (personId, postId, creationDate) "
+    "VALUES (?, ?, ?)";
+constexpr char kInsertLikeCommentSql[] =
+    "INSERT INTO likes_comment (personId, commentId, creationDate) "
+    "VALUES (?, ?, ?)";
+
+}  // namespace
+
 RelationalSut::RelationalSut(StorageMode mode)
     : mode_(mode),
       db_(mode),
@@ -190,43 +250,87 @@ Status RelationalSut::Load(const snb::Dataset& data) {
                                   Value(w.year)})
             .status());
   }
+  if (db_.plan_cache_enabled()) {
+    GB_RETURN_IF_ERROR(PrepareStatements());
+  }
   return Status::OK();
+}
+
+Status RelationalSut::PrepareStatements() {
+  auto prep = [this](const std::string& text,
+                     Database::PreparedStatement* out) -> Status {
+    GB_ASSIGN_OR_RETURN(*out, db_.Prepare(text));
+    return Status::OK();
+  };
+  GB_RETURN_IF_ERROR(prep(kPointLookupSql, &prepared_.point_lookup));
+  GB_RETURN_IF_ERROR(prep(kOneHopSql, &prepared_.one_hop));
+  GB_RETURN_IF_ERROR(prep(kTwoHopSql, &prepared_.two_hop));
+  GB_RETURN_IF_ERROR(prep(kShortestPathSql, &prepared_.shortest_path));
+  GB_RETURN_IF_ERROR(prep(std::string(kRecentPostsSqlPrefix) + "?",
+                          &prepared_.recent_posts));
+  GB_RETURN_IF_ERROR(
+      prep(kFriendsWithNameSql, &prepared_.friends_with_name));
+  GB_RETURN_IF_ERROR(prep(kRepliesOfPostSql, &prepared_.replies_of_post));
+  GB_RETURN_IF_ERROR(prep(std::string(kTopPostersSqlPrefix) + "?",
+                          &prepared_.top_posters));
+  GB_RETURN_IF_ERROR(prep(kInsertPersonSql, &prepared_.insert_person));
+  GB_RETURN_IF_ERROR(prep(kInsertKnowsSql, &prepared_.insert_knows));
+  GB_RETURN_IF_ERROR(prep(kInsertForumSql, &prepared_.insert_forum));
+  GB_RETURN_IF_ERROR(
+      prep(kInsertForumMemberSql, &prepared_.insert_forum_member));
+  GB_RETURN_IF_ERROR(prep(kInsertPostSql, &prepared_.insert_post));
+  GB_RETURN_IF_ERROR(prep(kInsertCommentSql, &prepared_.insert_comment));
+  GB_RETURN_IF_ERROR(prep(kInsertLikePostSql, &prepared_.insert_like_post));
+  GB_RETURN_IF_ERROR(
+      prep(kInsertLikeCommentSql, &prepared_.insert_like_comment));
+  return Status::OK();
+}
+
+std::string RelationalSut::StatementText(std::string_view kind) const {
+  if (kind == "point_lookup") return kPointLookupSql;
+  if (kind == "one_hop") return kOneHopSql;
+  if (kind == "two_hop") return kTwoHopSql;
+  if (kind == "recent_posts") {
+    return std::string(kRecentPostsSqlPrefix) + "?";
+  }
+  return std::string();
 }
 
 Result<QueryResult> RelationalSut::PointLookup(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return db_.Execute(
-      "SELECT firstName, lastName, gender, birthday, browserUsed, "
-      "locationIP FROM person WHERE id = ?",
-      {Value(person_id)});
+  if (prepared_.point_lookup.valid()) {
+    return db_.Execute(prepared_.point_lookup, {Value(person_id)});
+  }
+  return db_.Execute(kPointLookupSql, {Value(person_id)});
 }
 
 Result<QueryResult> RelationalSut::OneHop(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return db_.Execute(
-      "SELECT p.id, p.firstName, p.lastName FROM knows k "
-      "JOIN person p ON k.person2Id = p.id WHERE k.person1Id = ?",
-      {Value(person_id)});
+  if (prepared_.one_hop.valid()) {
+    return db_.Execute(prepared_.one_hop, {Value(person_id)});
+  }
+  return db_.Execute(kOneHopSql, {Value(person_id)});
 }
 
 Result<QueryResult> RelationalSut::TwoHop(int64_t person_id) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return db_.Execute(
-      "SELECT DISTINCT p.id FROM knows k1 "
-      "JOIN knows k2 ON k1.person2Id = k2.person1Id "
-      "JOIN person p ON k2.person2Id = p.id "
-      "WHERE k1.person1Id = ? AND p.id <> ?",
-      {Value(person_id), Value(person_id)});
+  if (prepared_.two_hop.valid()) {
+    return db_.Execute(prepared_.two_hop,
+                       {Value(person_id), Value(person_id)});
+  }
+  return db_.Execute(kTwoHopSql, {Value(person_id), Value(person_id)});
 }
 
 Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
                                            int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  GB_ASSIGN_OR_RETURN(
-      QueryResult r,
-      db_.Execute(
-          "SELECT SHORTEST_PATH(?, ?) USING knows(person1Id, person2Id)",
-          {Value(from_person), Value(to_person)}));
+  Result<QueryResult> result =
+      prepared_.shortest_path.valid()
+          ? db_.Execute(prepared_.shortest_path,
+                        {Value(from_person), Value(to_person)})
+          : db_.Execute(kShortestPathSql,
+                        {Value(from_person), Value(to_person)});
+  GB_ASSIGN_OR_RETURN(QueryResult r, std::move(result));
   if (r.rows.empty()) return Status::Internal("no shortest path row");
   return int(r.rows[0][0].as_int());
 }
@@ -234,119 +338,99 @@ Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
 Result<QueryResult> RelationalSut::RecentPosts(int64_t person_id,
                                                int64_t limit) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
-  return db_.Execute(
-      "SELECT p.id, p.content, p.creationDate FROM post p "
-      "WHERE p.creatorId = ? ORDER BY p.creationDate DESC LIMIT " +
-          std::to_string(limit),
-      {Value(person_id)});
+  if (prepared_.recent_posts.valid()) {
+    // LIMIT ? binds as the second parameter: one plan, any limit.
+    return db_.Execute(prepared_.recent_posts,
+                       {Value(person_id), Value(limit)});
+  }
+  return db_.Execute(kRecentPostsSqlPrefix + std::to_string(limit),
+                     {Value(person_id)});
 }
 
 Result<QueryResult> RelationalSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
-  return db_.Execute(
-      "SELECT p.id, p.lastName FROM knows k "
-      "JOIN person p ON k.person2Id = p.id "
-      "WHERE k.person1Id = ? AND p.firstName = ? ORDER BY p.id",
-      {Value(person_id), Value(first_name)});
+  if (prepared_.friends_with_name.valid()) {
+    return db_.Execute(prepared_.friends_with_name,
+                       {Value(person_id), Value(first_name)});
+  }
+  return db_.Execute(kFriendsWithNameSql,
+                     {Value(person_id), Value(first_name)});
 }
 
 Result<QueryResult> RelationalSut::RepliesOfPost(int64_t post_id) {
-  return db_.Execute(
-      "SELECT c.id, c.content, c.creatorId FROM comment c "
-      "WHERE c.replyOfPost = ? ORDER BY c.creationDate DESC",
-      {Value(post_id)});
+  if (prepared_.replies_of_post.valid()) {
+    return db_.Execute(prepared_.replies_of_post, {Value(post_id)});
+  }
+  return db_.Execute(kRepliesOfPostSql, {Value(post_id)});
 }
 
 Result<QueryResult> RelationalSut::TopPosters(int64_t limit) {
-  return db_.Execute(
-      "SELECT p.creatorId, COUNT(*) AS n FROM post p "
-      "GROUP BY p.creatorId ORDER BY n DESC, creatorId LIMIT " +
-      std::to_string(limit));
+  if (prepared_.top_posters.valid()) {
+    return db_.Execute(prepared_.top_posters, {Value(limit)});
+  }
+  return db_.Execute(kTopPostersSqlPrefix + std::to_string(limit));
 }
 
 Status RelationalSut::Apply(const snb::UpdateOp& op) {
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
+  // One statement text per update kind; the prepared set covers them all,
+  // so the writer binds only when the plan cache is on.
+  auto run = [this](const Database::PreparedStatement& prepared,
+                    const char* text,
+                    const std::vector<Value>& params) -> Status {
+    if (prepared.valid()) return db_.Execute(prepared, params).status();
+    return db_.Execute(text, params).status();
+  };
   switch (op.kind) {
     case K::kAddPerson: {
       const auto& p = op.person;
-      return db_
-          .Execute(
-              "INSERT INTO person (id, firstName, lastName, gender, "
-              "birthday, creationDate, browserUsed, locationIP, cityId) "
-              "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-              {Value(p.id), Value(p.first_name), Value(p.last_name),
-               Value(p.gender), Value(p.birthday), Value(p.creation_date),
-               Value(p.browser), Value(p.location_ip), Value(p.city_id)})
-          .status();
+      return run(prepared_.insert_person, kInsertPersonSql,
+                 {Value(p.id), Value(p.first_name), Value(p.last_name),
+                  Value(p.gender), Value(p.birthday), Value(p.creation_date),
+                  Value(p.browser), Value(p.location_ip), Value(p.city_id)});
     }
     case K::kAddFriendship: {
       const auto& k = op.knows;
-      GB_RETURN_IF_ERROR(
-          db_.Execute("INSERT INTO knows (person1Id, person2Id, "
-                      "creationDate) VALUES (?, ?, ?)",
-                      {Value(k.person1), Value(k.person2),
-                       Value(k.creation_date)})
-              .status());
-      return db_
-          .Execute("INSERT INTO knows (person1Id, person2Id, creationDate) "
-                   "VALUES (?, ?, ?)",
-                   {Value(k.person2), Value(k.person1),
-                    Value(k.creation_date)})
-          .status();
+      GB_RETURN_IF_ERROR(run(prepared_.insert_knows, kInsertKnowsSql,
+                             {Value(k.person1), Value(k.person2),
+                              Value(k.creation_date)}));
+      return run(prepared_.insert_knows, kInsertKnowsSql,
+                 {Value(k.person2), Value(k.person1),
+                  Value(k.creation_date)});
     }
     case K::kAddForum: {
       const auto& f = op.forum;
-      return db_
-          .Execute("INSERT INTO forum (id, title, creationDate, "
-                   "moderatorId) VALUES (?, ?, ?, ?)",
-                   {Value(f.id), Value(f.title), Value(f.creation_date),
-                    Value(f.moderator)})
-          .status();
+      return run(prepared_.insert_forum, kInsertForumSql,
+                 {Value(f.id), Value(f.title), Value(f.creation_date),
+                  Value(f.moderator)});
     }
     case K::kAddForumMember: {
       const auto& m = op.member;
-      return db_
-          .Execute("INSERT INTO forum_member (forumId, personId, joinDate) "
-                   "VALUES (?, ?, ?)",
-                   {Value(m.forum), Value(m.person), Value(m.join_date)})
-          .status();
+      return run(prepared_.insert_forum_member, kInsertForumMemberSql,
+                 {Value(m.forum), Value(m.person), Value(m.join_date)});
     }
     case K::kAddPost: {
       const auto& p = op.post;
-      return db_
-          .Execute("INSERT INTO post (id, content, creationDate, "
-                   "creatorId, forumId, browserUsed) "
-                   "VALUES (?, ?, ?, ?, ?, ?)",
-                   {Value(p.id), Value(p.content), Value(p.creation_date),
-                    Value(p.creator), Value(p.forum), Value(p.browser)})
-          .status();
+      return run(prepared_.insert_post, kInsertPostSql,
+                 {Value(p.id), Value(p.content), Value(p.creation_date),
+                  Value(p.creator), Value(p.forum), Value(p.browser)});
     }
     case K::kAddComment: {
       const auto& c = op.comment;
-      return db_
-          .Execute("INSERT INTO comment (id, content, creationDate, "
-                   "creatorId, replyOfPost, replyOfComment) "
-                   "VALUES (?, ?, ?, ?, ?, ?)",
-                   {Value(c.id), Value(c.content), Value(c.creation_date),
-                    Value(c.creator), Value(c.reply_of_post),
-                    Value(c.reply_of_comment)})
-          .status();
+      return run(prepared_.insert_comment, kInsertCommentSql,
+                 {Value(c.id), Value(c.content), Value(c.creation_date),
+                  Value(c.creator), Value(c.reply_of_post),
+                  Value(c.reply_of_comment)});
     }
     case K::kAddLikePost:
-      return db_
-          .Execute("INSERT INTO likes_post (personId, postId, "
-                   "creationDate) VALUES (?, ?, ?)",
-                   {Value(op.like.person), Value(op.like.post),
-                    Value(op.like.creation_date)})
-          .status();
+      return run(prepared_.insert_like_post, kInsertLikePostSql,
+                 {Value(op.like.person), Value(op.like.post),
+                  Value(op.like.creation_date)});
     case K::kAddLikeComment:
-      return db_
-          .Execute("INSERT INTO likes_comment (personId, commentId, "
-                   "creationDate) VALUES (?, ?, ?)",
-                   {Value(op.like.person), Value(op.like.comment),
-                    Value(op.like.creation_date)})
-          .status();
+      return run(prepared_.insert_like_comment, kInsertLikeCommentSql,
+                 {Value(op.like.person), Value(op.like.comment),
+                  Value(op.like.creation_date)});
   }
   return Status::InvalidArgument("unknown update kind");
 }

@@ -37,6 +37,15 @@ class RelationalSut : public Sut {
   Status Apply(const snb::UpdateOp& op) override;
   uint64_t SizeBytes() const override { return db_.TotalSizeBytes(); }
 
+  void EnablePlanCache() override { db_.EnablePlanCache(); }
+  bool plan_cache_enabled() const override {
+    return db_.plan_cache_enabled();
+  }
+  lang::PlanCacheStats plan_cache_stats() const override {
+    return db_.plan_cache_stats();
+  }
+  std::string StatementText(std::string_view kind) const override;
+
   Database* database() { return &db_; }
 
   /// Creates the SNB relational schema (tables + vertex-id indexes) on a
@@ -44,9 +53,25 @@ class RelationalSut : public Sut {
   static Status CreateSnbSchema(Database* db);
 
  private:
+  /// Prepares the fixed workload statement set (reads with LIMIT ? where
+  /// applicable, plus the eight update INSERTs); called at the end of
+  /// Load when the plan cache is enabled.
+  Status PrepareStatements();
+
   StorageMode mode_;
   Database db_;
   obs::SutProbe probe_;
+
+  /// Populated by PrepareStatements; per-call methods bind only.
+  struct PreparedSet {
+    Database::PreparedStatement point_lookup, one_hop, two_hop,
+        shortest_path, recent_posts, friends_with_name, replies_of_post,
+        top_posters;
+    Database::PreparedStatement insert_person, insert_knows, insert_forum,
+        insert_forum_member, insert_post, insert_comment, insert_like_post,
+        insert_like_comment;
+  };
+  PreparedSet prepared_;
 };
 
 }  // namespace graphbench

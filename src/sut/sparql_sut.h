@@ -14,8 +14,10 @@ namespace graphbench {
 /// triples (edge properties are dropped — plain RDF has no edge
 /// attributes without reification; none of the benchmark queries read
 /// them). The knows relation is asserted in both directions, matching the
-/// bi-directional-edge fix (§4.4). Queries are SPARQL strings with
-/// constants inlined, translated per execution.
+/// bi-directional-edge fix (§4.4). By default queries are SPARQL strings
+/// with constants inlined, translated per execution; with the plan cache
+/// enabled the workload set is prepared once with $name parameters and
+/// per-call methods bind only (DESIGN.md §8).
 class SparqlSut : public Sut {
  public:
   explicit SparqlSut(int num_indexes = 4) : engine_(num_indexes) {}
@@ -38,9 +40,24 @@ class SparqlSut : public Sut {
     return engine_.ApproximateSizeBytes();
   }
 
+  void EnablePlanCache() override { engine_.EnablePlanCache(); }
+  bool plan_cache_enabled() const override {
+    return engine_.plan_cache_enabled();
+  }
+  lang::PlanCacheStats plan_cache_stats() const override {
+    return engine_.plan_cache_stats();
+  }
+  std::string StatementText(std::string_view kind) const override;
+
   RdfEngine* engine() { return &engine_; }
 
  private:
+  /// Prepares the fixed read statement set ($name parameters in literal
+  /// positions, LIMIT $limit); called at the end of Load when the plan
+  /// cache is enabled. Updates go through the triple API — nothing to
+  /// prepare.
+  Status PrepareStatements();
+
   // Triple helpers for the SNB mapping.
   Status AddPersonTriples(const snb::Person& p);
   Status AddKnowsTriples(const snb::Knows& k);
@@ -52,6 +69,14 @@ class SparqlSut : public Sut {
 
   RdfEngine engine_;
   obs::SutProbe probe_{"sparql"};
+
+  /// Populated by PrepareStatements; per-call methods bind only.
+  struct PreparedSet {
+    RdfEngine::PreparedStatement point_lookup, one_hop, two_hop,
+        shortest_path, recent_posts, friends_with_name, replies_of_post,
+        top_posters;
+  };
+  PreparedSet prepared_;
 };
 
 }  // namespace graphbench

@@ -30,6 +30,12 @@ std::unique_ptr<Sut> MakeSut(SutKind kind) {
   return nullptr;
 }
 
+std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache) {
+  std::unique_ptr<Sut> sut = MakeSut(kind);
+  if (plan_cache && sut != nullptr) sut->EnablePlanCache();
+  return sut;
+}
+
 std::vector<SutKind> AllSutKinds() {
   return {SutKind::kNeo4jCypher, SutKind::kNeo4jGremlin, SutKind::kTitanC,
           SutKind::kTitanB,      SutKind::kSqlg,         SutKind::kPostgresSql,

@@ -3,10 +3,12 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "engines/relational/query_result.h"
+#include "lang/plan_cache.h"
 #include "obs/profiler.h"
 #include "snb/schema.h"
 #include "util/result.h"
@@ -73,6 +75,24 @@ class Sut {
 
   /// Resident database size (Table 1's per-system column).
   virtual uint64_t SizeBytes() const = 0;
+
+  // --- Statement lifecycle (Prepare/Bind/Execute, DESIGN.md §8) ---------
+  /// Opts the SUT into the prepared-statement path: call before Load, and
+  /// the fixed workload statement set is prepared once at Load time with
+  /// per-call methods binding parameters only. Default: no-op — every
+  /// query parses per call, the paper's methodology.
+  virtual void EnablePlanCache() {}
+  virtual bool plan_cache_enabled() const { return false; }
+  /// Aggregated plan-cache traffic for this SUT's engine cache(s); zeros
+  /// when the cache is disabled.
+  virtual lang::PlanCacheStats plan_cache_stats() const { return {}; }
+  /// The workload statement text behind a driver query kind
+  /// ("point_lookup", "one_hop", "two_hop", "recent_posts"); empty when
+  /// the SUT has no textual statement form (Gremlin builds traversals).
+  virtual std::string StatementText(std::string_view kind) const {
+    (void)kind;
+    return std::string();
+  }
 };
 
 /// Factory identifiers matching the paper's eight configurations.
@@ -89,6 +109,11 @@ enum class SutKind {
 
 /// Creates a fresh, empty SUT of the given kind.
 std::unique_ptr<Sut> MakeSut(SutKind kind);
+
+/// Creates a fresh SUT with the prepared-statement/plan-cache path
+/// enabled (or not) before any Load — the factory form behind the
+/// --plan_cache flag.
+std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache);
 
 /// Creates a SUT selected by configuration name (see ParseSutKind for the
 /// accepted spellings). InvalidArgument for unknown names.

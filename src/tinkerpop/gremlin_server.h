@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "lang/plan_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tinkerpop/structure.h"
@@ -20,6 +21,12 @@ struct GremlinServerOptions {
   /// Gremlin Server hangs and eventually crashes under floods of complex
   /// queries (§4.4) — we degrade to Busy errors, which the driver counts.
   size_t max_queue = 256;
+  /// Server-side cache of decoded bytecode→traversal templates, keyed by
+  /// the bytecode string; 0 disables it (the paper-faithful default:
+  /// every request re-decodes). Because parameters are still inlined in
+  /// the bytecode, only byte-identical submissions hit (see ROADMAP:
+  /// parameterized Gremlin bytecode).
+  size_t plan_cache_capacity = 0;
 };
 
 /// In-process Gremlin Server analog. Clients submit traversals which are
@@ -57,8 +64,16 @@ class GremlinServer {
   /// Total wall-clock Submit latency (accepted requests only).
   const Histogram& submit_latency_micros() const { return submit_micros_; }
 
+  bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
+  lang::PlanCacheStats plan_cache_stats() const {
+    return plan_cache_ == nullptr ? lang::PlanCacheStats{}
+                                  : plan_cache_->Stats();
+  }
+
  private:
   GremlinGraph* graph_;
+  /// Decoded-traversal cache shared by the workers; null when disabled.
+  std::unique_ptr<lang::PlanCache<Traversal>> plan_cache_;
   ThreadPool pool_;
   obs::TraceRing trace_;
   Histogram submit_micros_;

@@ -93,6 +93,71 @@ TEST(BenchDiffTest, ComparesHistogramLatencyFieldsOnly) {
   EXPECT_TRUE(saw_p99);
 }
 
+Json ThroughputEntry(const char* name, double reads_per_second,
+                     double writes_per_second) {
+  Json entry = Json::Object();
+  entry.Set("system", Json::Str(name));
+  entry.Set("reads_per_second", Json::Number(reads_per_second));
+  entry.Set("writes_per_second", Json::Number(writes_per_second));
+  return entry;
+}
+
+TEST(BenchDiffTest, FlagsThroughputDropBeyondThreshold) {
+  Json before_systems = Json::Array();
+  before_systems.Append(ThroughputEntry("neo4j", 1000.0, 200.0));
+  Json after_systems = Json::Array();
+  // Reads drop 30% (regression); writes grow 50% (improvement, not one).
+  after_systems.Append(ThroughputEntry("neo4j", 700.0, 300.0));
+
+  auto diff = DiffReports(Report("f3", std::move(before_systems)),
+                          Report("f3", std::move(after_systems)), 15.0);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->HasRegression());
+  const MetricDelta* reads = nullptr;
+  const MetricDelta* writes = nullptr;
+  for (const auto& d : diff->deltas) {
+    if (d.metric == "reads_per_second") reads = &d;
+    if (d.metric == "writes_per_second") writes = &d;
+  }
+  ASSERT_NE(reads, nullptr);
+  EXPECT_TRUE(reads->regressed);
+  EXPECT_NEAR(reads->delta_pct, -30.0, 1e-9);
+  ASSERT_NE(writes, nullptr);
+  EXPECT_FALSE(writes->regressed);
+}
+
+TEST(BenchDiffTest, ThroughputDriftWithinThresholdPasses) {
+  Json before_systems = Json::Array();
+  before_systems.Append(ThroughputEntry("neo4j", 1000.0, 200.0));
+  Json after_systems = Json::Array();
+  after_systems.Append(ThroughputEntry("neo4j", 900.0, 195.0));  // -10%, -2.5%
+
+  auto diff = DiffReports(Report("f3", std::move(before_systems)),
+                          Report("f3", std::move(after_systems)), 15.0);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->HasRegression());
+}
+
+TEST(BenchDiffTest, AcceptsShortPerSecSuffix) {
+  Json before_systems = Json::Array();
+  Json b = Json::Object();
+  b.Set("system", Json::Str("neo4j"));
+  b.Set("reads_per_sec", Json::Number(1000.0));
+  before_systems.Append(std::move(b));
+  Json after_systems = Json::Array();
+  Json a = Json::Object();
+  a.Set("system", Json::Str("neo4j"));
+  a.Set("reads_per_sec", Json::Number(500.0));
+  after_systems.Append(std::move(a));
+
+  auto diff = DiffReports(Report("f3", std::move(before_systems)),
+                          Report("f3", std::move(after_systems)), 15.0);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->deltas.size(), 1u);
+  EXPECT_EQ(diff->deltas[0].metric, "reads_per_sec");
+  EXPECT_TRUE(diff->deltas[0].regressed);
+}
+
 TEST(BenchDiffTest, SkipsNonPositiveBaselines) {
   Json before_systems = Json::Array();
   before_systems.Append(SystemEntry("neo4j", -1.0, 5000));  // failed query

@@ -13,6 +13,7 @@ namespace graphbench {
 namespace {
 
 TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
   obs::MetricsRegistry registry;
   constexpr int kThreads = 8;
   constexpr int kIncrements = 10000;
@@ -37,6 +38,7 @@ TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
 }
 
 TEST(MetricsRegistryTest, SnapshotAndReset) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
   obs::MetricsRegistry registry;
   registry.GetCounter("c")->Increment(5);
   registry.GetGauge("g")->Set(-3);
@@ -91,6 +93,7 @@ TEST(HistogramStatsTest, PercentileEdges) {
 }
 
 TEST(ScopedTimerTest, RecordsIntoHistogramAndCounter) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
   Histogram h;
   obs::Counter c;
   { obs::ScopedTimer timer(&h, &c); }
@@ -121,6 +124,7 @@ TEST(TraceRingTest, WraparoundKeepsNewestOldestFirst) {
 }
 
 TEST(TraceRingTest, ScopedSpanRecordsStage) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
   obs::TraceRing ring(16);
   uint64_t id = ring.NextTraceId();
   { obs::ScopedSpan span(&ring, obs::Stage::kSerialize, id); }
@@ -136,6 +140,7 @@ TEST(TraceRingTest, ScopedSpanRecordsStage) {
 }
 
 TEST(BenchReportTest, WrittenFileParsesBackWithAllKeys) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
   obs::MetricsRegistry registry;
   registry.GetCounter("mq.produced")->Increment(42);
   registry.GetGauge("mq.consumer.lag")->Set(7);

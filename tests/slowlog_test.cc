@@ -20,9 +20,9 @@ QueryProfile ProfileWith(const char* op) {
 
 TEST(SlowLogTest, ThresholdFiltersFastQueries) {
   SlowQueryLog log(/*capacity=*/4, /*threshold_micros=*/1000);
-  log.Record("two_hop", "person_id=1", 999, {});
-  log.Record("two_hop", "person_id=2", 1000, {});
-  log.Record("two_hop", "person_id=3", 5000, {});
+  log.Record("two_hop", "", "person_id=1", 999, {});
+  log.Record("two_hop", "", "person_id=2", 1000, {});
+  log.Record("two_hop", "", "person_id=3", 5000, {});
   auto entries = log.Entries();
   ASSERT_EQ(entries.size(), 2u);
   EXPECT_EQ(entries[0].latency_micros, 5000u);
@@ -33,7 +33,7 @@ TEST(SlowLogTest, KeepsWorstNAndEvictsLeastBad) {
   SlowQueryLog log(/*capacity=*/3, /*threshold_micros=*/2);
   const uint64_t latencies[] = {5, 1, 9, 7, 3};
   for (uint64_t lat : latencies) {
-    log.Record("q", "p", lat, {});
+    log.Record("q", "", "p", lat, {});
   }
   auto entries = log.Entries();
   ASSERT_EQ(entries.size(), 3u);
@@ -45,10 +45,10 @@ TEST(SlowLogTest, KeepsWorstNAndEvictsLeastBad) {
 
 TEST(SlowLogTest, TiesKeepArrivalOrder) {
   SlowQueryLog log(/*capacity=*/3, /*threshold_micros=*/0);
-  log.Record("a", "first", 100, {});
-  log.Record("b", "second", 100, {});
-  log.Record("c", "third", 100, {});
-  log.Record("d", "late", 100, {});  // ties with the worst cut: dropped
+  log.Record("a", "", "first", 100, {});
+  log.Record("b", "", "second", 100, {});
+  log.Record("c", "", "third", 100, {});
+  log.Record("d", "", "late", 100, {});  // ties with the worst cut: dropped
   auto entries = log.Entries();
   ASSERT_EQ(entries.size(), 3u);
   EXPECT_EQ(entries[0].kind, "a");
@@ -58,10 +58,12 @@ TEST(SlowLogTest, TiesKeepArrivalOrder) {
 
 TEST(SlowLogTest, CarriesProfileAndDigest) {
   SlowQueryLog log(2, 0);
-  log.Record("two_hop", "person_id=42", 777, ProfileWith("Expand"));
+  log.Record("two_hop", "MATCH (p:Person {id: $id}) RETURN p",
+             "person_id=42", 777, ProfileWith("Expand"));
   auto entries = log.TakeEntries();
   ASSERT_EQ(entries.size(), 1u);
   EXPECT_EQ(entries[0].kind, "two_hop");
+  EXPECT_EQ(entries[0].statement, "MATCH (p:Person {id: $id}) RETURN p");
   EXPECT_EQ(entries[0].param_digest, "person_id=42");
   ASSERT_NE(entries[0].profile.Find("Expand"), nullptr);
   // TakeEntries empties the log.
@@ -71,7 +73,7 @@ TEST(SlowLogTest, CarriesProfileAndDigest) {
 
 TEST(SlowLogTest, ZeroCapacityRecordsNothing) {
   SlowQueryLog log(0, 0);
-  log.Record("q", "p", 12345, {});
+  log.Record("q", "", "p", 12345, {});
   EXPECT_EQ(log.size(), 0u);
 }
 
@@ -83,7 +85,7 @@ TEST(SlowLogTest, ConcurrentRecordsKeepTheGlobalWorst) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&log, t] {
       for (uint64_t i = 0; i < kPerThread; ++i) {
-        log.Record("q", "p", uint64_t(t) * kPerThread + i + 1, {});
+        log.Record("q", "", "p", uint64_t(t) * kPerThread + i + 1, {});
       }
     });
   }

@@ -2,7 +2,9 @@
 // same logical answers to every benchmark query on the same generated
 // social network, before and after applying the update stream. This is the
 // property that makes the paper's cross-system latency comparison
-// meaningful.
+// meaningful. Each SUT runs twice — with the plan cache off (the paper's
+// parse-per-call methodology) and on (prepared statements) — since the
+// cache must never change answers, only latency.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
 
 #include "snb/datagen.h"
 #include "sut/sut.h"
@@ -31,11 +34,14 @@ const snb::Dataset& SharedDataset() {
   return *data;
 }
 
-class SutEquivalenceTest : public ::testing::TestWithParam<SutKind> {
+class SutEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SutKind, bool>> {
  protected:
   void SetUp() override {
-    sut_ = MakeSut(GetParam());
+    auto [kind, plan_cache] = GetParam();
+    sut_ = MakeSut(kind, plan_cache);
     ASSERT_NE(sut_, nullptr);
+    ASSERT_EQ(sut_->plan_cache_enabled(), plan_cache) << sut_->name();
     Status s = sut_->Load(SharedDataset());
     ASSERT_TRUE(s.ok()) << sut_->name() << ": " << s.ToString();
   }
@@ -279,13 +285,16 @@ TEST_P(SutEquivalenceTest, SizeBytesIsPositiveAfterLoad) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllSuts, SutEquivalenceTest, ::testing::ValuesIn(AllSutKinds()),
-    [](const ::testing::TestParamInfo<SutKind>& info) {
-      std::string name = SutKindName(info.param);
+    AllSuts, SutEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(AllSutKinds()),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<SutKind, bool>>& info) {
+      std::string name = SutKindName(std::get<0>(info.param));
       std::string out;
       for (char c : name) {
         if (std::isalnum(static_cast<unsigned char>(c))) out += c;
       }
+      out += std::get<1>(info.param) ? "PlanCache" : "ParsePerCall";
       return out;
     });
 

@@ -43,6 +43,8 @@ int SelfTest(double threshold_pct) {
   Json entry = Json::Object();
   entry.Set("two_hop_ms", Json::Number(3.5));
   entry.Set("point_lookup_ms", Json::Number(0.02));
+  entry.Set("reads_per_second", Json::Number(1200.0));
+  entry.Set("writes_per_second", Json::Number(300.0));
   Histogram h;
   for (uint64_t us = 100; us <= 1000; us += 100) h.Add(us);
   entry.Set("read_latency", obs::HistogramJson(h));
@@ -60,10 +62,10 @@ int SelfTest(double threshold_pct) {
                  diff.status().ToString().c_str());
     return 2;
   }
-  // 2 "_ms" keys + 4 histogram latency fields.
-  if (diff->deltas.size() != 6) {
+  // 2 "_ms" keys + 2 "_per_second" keys + 4 histogram latency fields.
+  if (diff->deltas.size() != 8) {
     std::fprintf(stderr,
-                 "selftest: expected 6 shared metrics, found %zu\n",
+                 "selftest: expected 8 shared metrics, found %zu\n",
                  diff->deltas.size());
     return 2;
   }
