@@ -18,7 +18,8 @@
 namespace graphbench {
 namespace {
 
-std::unique_ptr<Sut> MakeFig3Sut(SutKind kind, bool plan_cache) {
+std::unique_ptr<Sut> MakeFig3Sut(SutKind kind, bool plan_cache,
+                                 bool landmarks) {
   std::unique_ptr<Sut> sut;
   if (kind == SutKind::kNeo4jCypher) {
     // Aggressive checkpointing so the §4.3 write dips land inside the
@@ -32,6 +33,7 @@ std::unique_ptr<Sut> MakeFig3Sut(SutKind kind, bool plan_cache) {
     sut = MakeSut(kind);
   }
   if (plan_cache) sut->EnablePlanCache();
+  if (landmarks) sut->EnableLandmarks();
   return sut;
 }
 
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   options.slowlog_threshold_micros =
       uint64_t(bench::FlagInt(argc, argv, "slowlog_threshold_us", 0));
   bool plan_cache = bench::FlagBool(argc, argv, "plan_cache", false);
+  bool landmarks = bench::FlagBool(argc, argv, "landmarks", false);
   std::printf("readers=%zu, window=%lldms (paper: 32 readers on 32 cores; "
               "single-core container measures contention shape)\n\n",
               options.num_readers, (long long)options.run_millis);
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   report.SetParam("slowlog_threshold_us",
                   Json::Int(int64_t(options.slowlog_threshold_micros)));
   report.SetParam("plan_cache", Json::Int(plan_cache ? 1 : 0));
+  report.SetParam("landmarks", Json::Int(landmarks ? 1 : 0));
 
   struct Timeline {
     std::string name;
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
 
   mq::Broker broker;
   for (SutKind kind : AllSutKinds()) {
-    std::unique_ptr<Sut> sut = MakeFig3Sut(kind, plan_cache);
+    std::unique_ptr<Sut> sut = MakeFig3Sut(kind, plan_cache, landmarks);
     Status load = sut->Load(data);
     if (!load.ok()) {
       table.AddRow({sut->name(), "load error", load.ToString(), "", "", "",
@@ -126,7 +130,18 @@ int main(int argc, char** argv) {
                       metrics->write_latency_micros.Percentile(99) / 1000.0),
          std::to_string(metrics->read_errors),
          std::to_string(metrics->write_errors)});
-    report.AddSystem(sut->name(), obs::DriverMetricsJson(*metrics));
+    Json system_json = obs::DriverMetricsJson(*metrics);
+    if (landmarks) {
+      LandmarkStats stats = sut->landmark_stats();
+      Json lm = Json::Object();
+      lm.Set("hits", Json::Int(int64_t(stats.hits)));
+      lm.Set("pruned_searches", Json::Int(int64_t(stats.pruned_searches)));
+      lm.Set("rebuilds", Json::Int(int64_t(stats.rebuilds)));
+      lm.Set("repairs", Json::Int(int64_t(stats.repairs)));
+      lm.Set("fallbacks", Json::Int(int64_t(stats.fallbacks)));
+      system_json.Set("landmarks", std::move(lm));
+    }
+    report.AddSystem(sut->name(), std::move(system_json));
 
     if (kind == SutKind::kNeo4jCypher || kind == SutKind::kTitanC) {
       timelines.push_back(Timeline{sut->name(), metrics->write_timeline});

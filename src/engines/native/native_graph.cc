@@ -49,6 +49,7 @@ void NativeGraph::SerializeRecentLocked(size_t from_vertex,
     valuecodec::EncodePropertyMap(out, vertices_[v].props);
   }
   for (size_t e = from_edge; e < edges_.size(); ++e) {
+    if (edges_[e].removed) continue;
     out->push_back('E');
     valuecodec::EncodeValue(out, Value(label_names_[edges_[e].label]));
     valuecodec::EncodeValue(out, Value(int64_t(edges_[e].src)));
@@ -193,7 +194,9 @@ Status NativeGraph::GetVertex(VertexId v, std::string* label,
 Status NativeGraph::GetEdge(EdgeId e, std::string* label, VertexId* src,
                             VertexId* dst, PropertyMap* props) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  if (e >= edges_.size()) return Status::NotFound("edge");
+  if (e >= edges_.size() || edges_[e].removed) {
+    return Status::NotFound("edge");
+  }
   const EdgeRec& rec = edges_[e];
   if (label != nullptr) *label = label_names_[rec.label];
   if (src != nullptr) *src = rec.src;
@@ -301,7 +304,56 @@ uint64_t NativeGraph::VertexCount() const {
 
 uint64_t NativeGraph::EdgeCount() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return edges_.size();
+  return edges_.size() - removed_edges_;
+}
+
+Status NativeGraph::RemoveEdge(std::string_view label, VertexId src,
+                               VertexId dst) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (src >= vertices_.size() || dst >= vertices_.size()) {
+    return Status::NotFound("vertex");
+  }
+  int label_id = LookupLabel(label);
+  if (label_id < 0) return Status::NotFound("edge");
+  // Locate one live edge between the endpoints in either orientation.
+  EdgeId eid = 0;
+  bool found = false;
+  for (const AdjGroup& g : vertices_[src].adj) {
+    if (int(g.edge_label) != label_id) continue;
+    for (const Neighbor& n : g.out) {
+      if (n.vertex == dst) {
+        eid = n.edge;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+    for (const Neighbor& n : g.in) {
+      if (n.vertex == dst) {
+        eid = n.edge;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  if (!found) return Status::NotFound("edge");
+  EdgeRec& rec = edges_[eid];
+  auto unlink = [eid](std::vector<Neighbor>& list) {
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->edge == eid) {
+        list.erase(it);
+        return;
+      }
+    }
+  };
+  unlink(GroupFor(vertices_[rec.src], rec.label).out);
+  unlink(GroupFor(vertices_[rec.dst], rec.label).in);
+  rec.removed = true;
+  ++removed_edges_;
+  bytes_ -= 48 + 2 * sizeof(Neighbor);
+  MaybeCheckpointLocked();
+  return Status::OK();
 }
 
 uint64_t NativeGraph::ApproximateSizeBytes() const {

@@ -69,6 +69,12 @@ class NativeGraph : public PropertyGraph {
   /// rule (§4.1). Existing vertices are back-filled.
   Status CreateUniqueIndex(std::string_view label, std::string_view key);
 
+  /// Removes one `label` edge between src and dst, trying both
+  /// orientations (SNB `knows` is undirected). The edge record is
+  /// tombstoned — ids stay dense — and both adjacency pointers are
+  /// unlinked. NotFound when no such edge exists.
+  Status RemoveEdge(std::string_view label, VertexId src, VertexId dst);
+
   /// Unweighted single-pair shortest-path length over `edge_label`
   /// (treated as undirected, SNB `knows` semantics). -1 when unreachable.
   /// Runs directly on adjacency records (what Cypher's shortestPath()
@@ -103,6 +109,7 @@ class NativeGraph : public PropertyGraph {
     VertexId src;
     VertexId dst;
     PropertyMap props;
+    bool removed = false;  // tombstone; record kept so edge ids stay dense
   };
 
   // Interns `label`, assigning the next id on first use. Caller holds mu_
@@ -135,6 +142,7 @@ class NativeGraph : public PropertyGraph {
            std::unordered_map<Value, VertexId, ValueHash>>
       indexes_;
   uint64_t bytes_ = 0;
+  uint64_t removed_edges_ = 0;
   uint64_t writes_since_checkpoint_ = 0;
   uint64_t checkpoints_ = 0;
 };

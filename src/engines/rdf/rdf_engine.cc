@@ -26,6 +26,20 @@ Status RdfEngine::AddTriple(const Term& subject, std::string_view predicate,
   return st;
 }
 
+Status RdfEngine::RemoveTriple(const Term& subject,
+                               std::string_view predicate,
+                               const Term& object) {
+  auto s = subject.kind == Term::Kind::kIri
+               ? dict_.LookupIri(subject.iri)
+               : dict_.LookupLiteral(subject.literal);
+  auto p = dict_.LookupIri(predicate);
+  auto o = object.kind == Term::Kind::kIri
+               ? dict_.LookupIri(object.iri)
+               : dict_.LookupLiteral(object.literal);
+  if (!s || !p || !o) return Status::NotFound("triple term");
+  return store_.Remove(*s, *p, *o);
+}
+
 void RdfEngine::EnablePlanCache(size_t capacity) {
   plan_cache_ =
       std::make_unique<lang::PlanCache<sparql::Query>>("sparql", capacity);

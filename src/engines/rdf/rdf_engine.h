@@ -71,6 +71,11 @@ class RdfEngine {
   Status AddTriple(const Term& subject, std::string_view predicate,
                    const Term& object);
 
+  /// Deletes one asserted triple (SPARQL UPDATE's DELETE DATA analog).
+  /// NotFound when the triple, or any of its terms, was never asserted.
+  Status RemoveTriple(const Term& subject, std::string_view predicate,
+                      const Term& object);
+
   /// Unweighted shortest-path length over `predicate` edges (undirected),
   /// BFS over the POS/SPO indexes. Exposed for tests; SPARQL reaches it
   /// through the shortestPath() projection extension.

@@ -34,6 +34,15 @@ Status TripleStore::Insert(uint64_t s, uint64_t p, uint64_t o) {
   return Status::OK();
 }
 
+Status TripleStore::Remove(uint64_t s, uint64_t p, uint64_t o) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (spo_.erase({s, p, o}) == 0) return Status::NotFound("triple");
+  if (num_indexes_ >= 2) pos_.erase(Permute(kPosPerm, s, p, o));
+  if (num_indexes_ >= 3) osp_.erase(Permute(kOspPerm, s, p, o));
+  if (num_indexes_ >= 4) pso_.erase(Permute(kPsoPerm, s, p, o));
+  return Status::OK();
+}
+
 void TripleStore::ScanIndex(const std::set<Key>& index, const int perm[3],
                             uint64_t s, uint64_t p, uint64_t o,
                             std::vector<Triple>* out) const {

@@ -32,6 +32,10 @@ class TripleStore {
 
   Status Insert(uint64_t s, uint64_t p, uint64_t o);
 
+  /// Deletes the exact triple from every materialized index. NotFound
+  /// when absent.
+  Status Remove(uint64_t s, uint64_t p, uint64_t o);
+
   /// All triples matching the pattern (kWildcard = any). Picks the most
   /// selective available index for the bound positions; unbound-prefix
   /// patterns fall back to scanning SPO.

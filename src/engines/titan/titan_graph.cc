@@ -110,6 +110,40 @@ Status TitanGraph::AddEdge(std::string_view label, GVertex from, GVertex to,
   return Status::OK();
 }
 
+Status TitanGraph::RemoveEdge(std::string_view label, GVertex from,
+                              GVertex to) {
+  // Scan the out-adjacency of each orientation for one matching edge,
+  // then delete both of its materializations.
+  for (const auto& [src, dst] :
+       {std::pair<GVertex, GVertex>{from, to}, {to, from}}) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    GB_RETURN_IF_ERROR(
+        kv_->ScanPrefix(AdjPrefix(src.id, Direction::kOut, label), &rows));
+    for (const auto& [key, value] : rows) {
+      std::string_view kview(key);
+      uint8_t tag, dbyte;
+      uint64_t vid, other, eid;
+      std::string elabel;
+      if (!keycodec::DecodeByte(&kview, &tag) ||
+          !keycodec::DecodeU64(&kview, &vid) ||
+          !keycodec::DecodeByte(&kview, &dbyte) ||
+          !keycodec::DecodeString(&kview, &elabel) ||
+          !keycodec::DecodeU64(&kview, &other) ||
+          !keycodec::DecodeU64(&kview, &eid)) {
+        return Status::Corruption("bad adjacency key");
+      }
+      if (other != dst.id) continue;
+      GB_RETURN_IF_ERROR(kv_->Delete(
+          AdjKey(src.id, Direction::kOut, label, dst.id, eid)));
+      GB_RETURN_IF_ERROR(kv_->Delete(
+          AdjKey(dst.id, Direction::kIn, label, src.id, eid)));
+      --edge_count_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("edge");
+}
+
 Result<std::vector<GVertex>> TitanGraph::VerticesByProperty(
     std::string_view label, std::string_view key, const Value& value) {
   {

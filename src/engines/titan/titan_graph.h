@@ -35,6 +35,8 @@ class TitanGraph : public GremlinGraph {
                             const PropertyMap& props) override;
   Status AddEdge(std::string_view label, GVertex from, GVertex to,
                  const PropertyMap& props) override;
+  Status RemoveEdge(std::string_view label, GVertex from,
+                    GVertex to) override;
   Result<std::vector<GVertex>> VerticesByProperty(
       std::string_view label, std::string_view key,
       const Value& value) override;

@@ -1,0 +1,433 @@
+#include "graph/landmarks.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace graphbench {
+namespace {
+
+constexpr int32_t kUnreachable = -1;
+constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
+
+obs::Counter* HitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("landmarks.hits");
+  return c;
+}
+obs::Counter* PrunesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("landmarks.prunes");
+  return c;
+}
+obs::Counter* RebuildsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("landmarks.rebuilds");
+  return c;
+}
+
+}  // namespace
+
+LandmarkIndex::LandmarkIndex(LandmarkOptions options)
+    : options_(options) {}
+
+int32_t LandmarkIndex::InternLocked(int64_t person_id) {
+  auto it = id_to_idx_.find(person_id);
+  if (it != id_to_idx_.end()) return it->second;
+  int32_t idx = static_cast<int32_t>(ids_.size());
+  id_to_idx_.emplace(person_id, idx);
+  ids_.push_back(person_id);
+  adj_.emplace_back();
+  // A vertex born after Build starts unreachable from every landmark;
+  // the insert repair that adds its first edge settles its distances.
+  for (auto& d : dist_) d.push_back(kUnreachable);
+  return idx;
+}
+
+void LandmarkIndex::AddPerson(int64_t person_id) {
+  std::unique_lock lock(mu_);
+  InternLocked(person_id);
+}
+
+void LandmarkIndex::AddEdge(int64_t a, int64_t b) {
+  std::unique_lock lock(mu_);
+  int32_t ia = InternLocked(a);
+  int32_t ib = InternLocked(b);
+  adj_[ia].push_back(ib);
+  adj_[ib].push_back(ia);
+}
+
+void LandmarkIndex::BfsLocked(int32_t source,
+                              std::vector<int32_t>* dist) const {
+  dist->assign(adj_.size(), kUnreachable);
+  (*dist)[source] = 0;
+  std::deque<int32_t> queue{source};
+  while (!queue.empty()) {
+    int32_t x = queue.front();
+    queue.pop_front();
+    int32_t next = (*dist)[x] + 1;
+    for (int32_t n : adj_[x]) {
+      if ((*dist)[n] != kUnreachable) continue;
+      (*dist)[n] = next;
+      queue.push_back(n);
+    }
+  }
+}
+
+void LandmarkIndex::BuildLocked() {
+  // Hubs: highest knows-degree first, person id as deterministic
+  // tie-break (the paper's generator hands every run the same hubs).
+  std::vector<int32_t> order(adj_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+    if (adj_[a].size() != adj_[b].size())
+      return adj_[a].size() > adj_[b].size();
+    return ids_[a] < ids_[b];
+  });
+  size_t k = std::min<size_t>(
+      order.size(), static_cast<size_t>(std::max(options_.num_landmarks, 0)));
+  landmarks_.assign(order.begin(), order.begin() + k);
+  dist_.resize(landmarks_.size());
+  for (size_t i = 0; i < landmarks_.size(); ++i)
+    BfsLocked(landmarks_[i], &dist_[i]);
+  built_ = true;
+  built_epoch_ = epoch_;
+  writes_since_build_ = 0;
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  RebuildsCounter()->Increment();
+}
+
+void LandmarkIndex::Build() {
+  std::unique_lock lock(mu_);
+  ++epoch_;
+  BuildLocked();
+}
+
+void LandmarkIndex::NoteWriteLocked(bool repaired) {
+  ++epoch_;
+  ++writes_since_build_;
+  if (!repaired || writes_since_build_ >= options_.rebuild_churn_threshold) {
+    BuildLocked();
+  }
+}
+
+void LandmarkIndex::OnPersonAdded(int64_t person_id) {
+  std::unique_lock lock(mu_);
+  InternLocked(person_id);
+  ++epoch_;
+}
+
+bool LandmarkIndex::RepairInsertLocked(int32_t a, int32_t b) {
+  // Unit-weight decrease propagation: the new edge can only lower
+  // distances, by relaxing across (a,b) and flooding outward.
+  size_t settled = 0;
+  std::deque<int32_t> queue;
+  for (auto& dist : dist_) {
+    int da = dist[a] == kUnreachable ? kInfinity : dist[a];
+    int db = dist[b] == kUnreachable ? kInfinity : dist[b];
+    queue.clear();
+    if (db + 1 < da) {
+      dist[a] = db + 1;
+      queue.push_back(a);
+    } else if (da + 1 < db) {
+      dist[b] = da + 1;
+      queue.push_back(b);
+    }
+    while (!queue.empty()) {
+      int32_t x = queue.front();
+      queue.pop_front();
+      if (++settled > options_.repair_budget) return false;
+      int32_t next = dist[x] + 1;
+      for (int32_t n : adj_[x]) {
+        if (dist[n] != kUnreachable && dist[n] <= next) continue;
+        dist[n] = next;
+        queue.push_back(n);
+      }
+    }
+  }
+  return true;
+}
+
+void LandmarkIndex::OnEdgeAdded(int64_t a, int64_t b) {
+  std::unique_lock lock(mu_);
+  int32_t ia = InternLocked(a);
+  int32_t ib = InternLocked(b);
+  adj_[ia].push_back(ib);
+  adj_[ib].push_back(ia);
+  if (!built_) {
+    ++epoch_;
+    return;
+  }
+  bool repaired = RepairInsertLocked(ia, ib);
+  if (repaired) repairs_.fetch_add(1, std::memory_order_relaxed);
+  NoteWriteLocked(repaired);
+}
+
+bool LandmarkIndex::RepairRemoveLocked(int32_t a, int32_t b) {
+  // A parallel knows edge keeps every distance intact.
+  for (int32_t n : adj_[a])
+    if (n == b) return true;
+
+  size_t settled = 0;
+  std::vector<int32_t> region;
+  // Dijkstra with unit weights over the invalidated region, keyed by
+  // tentative distance; lazy deletion.
+  using Entry = std::pair<int32_t, int32_t>;  // (tentative dist, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  for (auto& dist : dist_) {
+    int32_t da = dist[a];
+    int32_t db = dist[b];
+    // With the edge present both endpoints were in the same component,
+    // so one-sided unreachability cannot arise; skip defensively.
+    if (da == kUnreachable || db == kUnreachable) continue;
+    // Only a tree-tight edge (levels differing by exactly one) can have
+    // carried shortest paths; same-level edges never do.
+    int32_t diff = da - db;
+    if (diff != 1 && diff != -1) continue;
+    int32_t w = diff == 1 ? a : b;  // farther endpoint
+    // Still supported by another parent one level up? Nothing moved.
+    bool supported = false;
+    for (int32_t n : adj_[w]) {
+      if (dist[n] != kUnreachable && dist[n] == dist[w] - 1) {
+        supported = true;
+        break;
+      }
+    }
+    if (supported) continue;
+
+    // Superset of every vertex whose distance may grow: the closure of
+    // strict BFS descendants of w. Vertices inside whose distance is in
+    // fact unchanged re-derive to the same value below.
+    region.clear();
+    region.push_back(w);
+    std::vector<int32_t> saved{dist[w]};
+    dist[w] = kUnreachable - 1;  // -2: "in region, not yet re-settled"
+    for (size_t head = 0; head < region.size(); ++head) {
+      if (region.size() > options_.repair_budget) {
+        for (size_t i = 0; i < region.size(); ++i) dist[region[i]] = saved[i];
+        return false;
+      }
+      int32_t x = region[head];
+      int32_t child_level = saved[head] + 1;
+      for (int32_t n : adj_[x]) {
+        if (dist[n] == kUnreachable || dist[n] != child_level) continue;
+        region.push_back(n);
+        saved.push_back(dist[n]);
+        dist[n] = kUnreachable - 1;
+      }
+    }
+    // Re-settle from the region boundary: any intact neighbor seeds a
+    // tentative distance; unreached region vertices are now disconnected.
+    while (!pq.empty()) pq.pop();
+    for (int32_t x : region) {
+      for (int32_t n : adj_[x]) {
+        if (dist[n] >= 0) pq.emplace(dist[n] + 1, x);
+      }
+    }
+    while (!pq.empty()) {
+      auto [t, x] = pq.top();
+      pq.pop();
+      if (dist[x] >= 0) continue;  // already settled at <= t
+      dist[x] = t;
+      if (++settled > options_.repair_budget) return false;
+      for (int32_t n : adj_[x]) {
+        if (dist[n] < 0 && dist[n] != kUnreachable) pq.emplace(t + 1, n);
+      }
+    }
+    for (int32_t x : region) {
+      if (dist[x] < 0) dist[x] = kUnreachable;
+    }
+  }
+  return true;
+}
+
+void LandmarkIndex::OnEdgeRemoved(int64_t a, int64_t b) {
+  std::unique_lock lock(mu_);
+  auto ita = id_to_idx_.find(a);
+  auto itb = id_to_idx_.find(b);
+  if (ita == id_to_idx_.end() || itb == id_to_idx_.end()) return;
+  int32_t ia = ita->second;
+  int32_t ib = itb->second;
+  // Drop one occurrence from each side of the mirror.
+  auto erase_one = [this](int32_t from, int32_t to) {
+    auto& list = adj_[from];
+    auto it = std::find(list.begin(), list.end(), to);
+    if (it == list.end()) return false;
+    *it = list.back();
+    list.pop_back();
+    return true;
+  };
+  if (!erase_one(ia, ib)) return;  // edge was never mirrored
+  erase_one(ib, ia);
+  if (!built_) {
+    ++epoch_;
+    return;
+  }
+  bool repaired = RepairRemoveLocked(ia, ib);
+  if (repaired) repairs_.fetch_add(1, std::memory_order_relaxed);
+  // A landmark may sit on the removed edge's far side with its region
+  // torn off mid-repair on budget overflow; NoteWriteLocked rebuilds.
+  NoteWriteLocked(repaired);
+}
+
+std::optional<LandmarkIndex::Bounds> LandmarkIndex::BoundsFor(
+    int64_t from, int64_t to) const {
+  std::shared_lock lock(mu_);
+  auto itf = id_to_idx_.find(from);
+  auto itt = id_to_idx_.find(to);
+  if (itf == id_to_idx_.end() || itt == id_to_idx_.end() || !built_)
+    return std::nullopt;
+  Bounds out;
+  if (itf->second == itt->second) {
+    out.lower = 0;
+    out.upper = 0;
+    return out;
+  }
+  int lb = 0;
+  int ub = kInfinity;
+  for (const auto& dist : dist_) {
+    int32_t df = dist[itf->second];
+    int32_t dt = dist[itt->second];
+    if ((df == kUnreachable) != (dt == kUnreachable)) {
+      out.disconnected = true;
+      out.upper = -1;
+      out.lower = kInfinity;
+      return out;
+    }
+    if (df == kUnreachable) continue;  // landmark sees neither endpoint
+    lb = std::max(lb, df > dt ? df - dt : dt - df);
+    ub = std::min(ub, df + dt);
+  }
+  out.lower = lb;
+  out.upper = ub == kInfinity ? -1 : ub;
+  return out;
+}
+
+std::optional<int> LandmarkIndex::ShortestPathLen(int64_t from,
+                                                  int64_t to) const {
+  std::shared_lock lock(mu_);
+  auto itf = id_to_idx_.find(from);
+  auto itt = id_to_idx_.find(to);
+  if (itf == id_to_idx_.end() || itt == id_to_idx_.end() || !built_) {
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  int32_t src = itf->second;
+  int32_t dst = itt->second;
+  if (src == dst) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    HitsCounter()->Increment();
+    return 0;
+  }
+
+  int lb = 0;
+  int ub = kInfinity;
+  for (size_t i = 0; i < dist_.size(); ++i) {
+    int32_t df = dist_[i][src];
+    int32_t dt = dist_[i][dst];
+    if ((df == kUnreachable) != (dt == kUnreachable)) {
+      // One endpoint in this landmark's component, the other not:
+      // different components, no path.
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      HitsCounter()->Increment();
+      return -1;
+    }
+    if (df == kUnreachable) continue;
+    lb = std::max(lb, df > dt ? df - dt : dt - df);
+    ub = std::min(ub, df + dt);
+  }
+  if (lb >= ub) {
+    // Bounds met: the path through the best landmark is optimal.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    HitsCounter()->Increment();
+    return ub;
+  }
+
+  // Bound-pruned bidirectional BFS, looking only for paths shorter than
+  // ub; exhaustion proves the landmark path (length ub) is optimal.
+  uint64_t prunes = 0;
+  std::unordered_map<int32_t, int32_t> seen_f{{src, 0}};
+  std::unordered_map<int32_t, int32_t> seen_b{{dst, 0}};
+  std::vector<int32_t> frontier_f{src};
+  std::vector<int32_t> frontier_b{dst};
+  std::vector<int32_t> next;
+  int df = 0;
+  int db = 0;
+  int best = ub;
+  while (!frontier_f.empty() && !frontier_b.empty() && df + db < best) {
+    bool forward = frontier_f.size() <= frontier_b.size();
+    auto& frontier = forward ? frontier_f : frontier_b;
+    auto& seen = forward ? seen_f : seen_b;
+    auto& other = forward ? seen_b : seen_f;
+    int depth = (forward ? ++df : ++db);
+    int32_t far_end = forward ? dst : src;
+    next.clear();
+    for (int32_t x : frontier) {
+      for (int32_t n : adj_[x]) {
+        if (!seen.emplace(n, depth).second) continue;
+        auto met = other.find(n);
+        if (met != other.end()) best = std::min(best, depth + met->second);
+        if (best < kInfinity) {
+          // Prune any vertex that provably cannot lie on a path shorter
+          // than the best answer so far: depth(n) + LB(n, far end) is a
+          // lower bound on every path through n.
+          int est = depth;
+          for (const auto& dist : dist_) {
+            int32_t dn = dist[n];
+            int32_t de = dist[far_end];
+            if (dn == kUnreachable || de == kUnreachable) continue;
+            est = std::max(est, depth + (dn > de ? dn - de : de - dn));
+          }
+          if (est >= best) {
+            ++prunes;
+            continue;
+          }
+        }
+        next.push_back(n);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (prunes > 0) {
+    prunes_.fetch_add(prunes, std::memory_order_relaxed);
+    PrunesCounter()->Increment(prunes);
+  }
+  pruned_searches_.fetch_add(1, std::memory_order_relaxed);
+  if (best < kInfinity) return best;
+  return -1;
+}
+
+uint64_t LandmarkIndex::epoch() const {
+  std::shared_lock lock(mu_);
+  return epoch_;
+}
+
+uint64_t LandmarkIndex::built_epoch() const {
+  std::shared_lock lock(mu_);
+  return built_epoch_;
+}
+
+std::vector<int64_t> LandmarkIndex::landmark_ids() const {
+  std::shared_lock lock(mu_);
+  std::vector<int64_t> out;
+  out.reserve(landmarks_.size());
+  for (int32_t idx : landmarks_) out.push_back(ids_[idx]);
+  return out;
+}
+
+LandmarkStats LandmarkIndex::stats() const {
+  LandmarkStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.pruned_searches = pruned_searches_.load(std::memory_order_relaxed);
+  s.prunes = prunes_.load(std::memory_order_relaxed);
+  s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  s.repairs = repairs_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,147 @@
+#ifndef GRAPHBENCH_GRAPH_LANDMARKS_H_
+#define GRAPHBENCH_GRAPH_LANDMARKS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace graphbench {
+
+/// Tuning knobs for the landmark index (DESIGN.md §9).
+struct LandmarkOptions {
+  /// Number of hub persons to precompute distance vectors from. More
+  /// landmarks tighten the bounds (more queries answered without any
+  /// search) at K× the build and repair cost.
+  int num_landmarks = 8;
+  /// Maximum vertices an incremental repair may re-settle per knows write
+  /// before giving up and rebuilding from scratch.
+  size_t repair_budget = 4096;
+  /// Full rebuild (with fresh hub selection) after this many knows writes
+  /// since the last build, so hubs track the mutating degree distribution.
+  uint64_t rebuild_churn_threshold = 50000;
+};
+
+/// Aggregated index traffic, mirrored into the default obs registry as
+/// landmarks.hits / landmarks.prunes / landmarks.rebuilds.
+struct LandmarkStats {
+  uint64_t hits = 0;       // answered from the bounds alone, no search
+  uint64_t pruned_searches = 0;  // answered by the bound-pruned BFS
+  uint64_t prunes = 0;     // vertices cut from those searches by the bounds
+  uint64_t rebuilds = 0;   // full rebuilds (initial build included)
+  uint64_t repairs = 0;    // incremental distance repairs applied
+  uint64_t fallbacks = 0;  // queries declined (person unknown to the index)
+};
+
+/// Landmark-accelerated single-pair shortest paths over the SNB knows
+/// relation, shared by all four pipelines (ROADMAP: "cached shortest-path
+/// landmarks").
+///
+/// The index keeps a mirror of the undirected knows adjacency keyed by
+/// person id, picks the K highest-degree persons as landmarks, and stores
+/// one BFS distance vector per landmark. A query derives, per the triangle
+/// inequality,
+///
+///   LB(u,v) = max_L |d(L,u) - d(L,v)|   <=  d(u,v)  <=
+///   UB(u,v) = min_L  d(L,u) + d(L,v)
+///
+/// and answers without search when LB == UB, or when some landmark reaches
+/// exactly one endpoint (different components: -1). Otherwise it runs a
+/// bidirectional BFS that only looks for paths *shorter than UB* — any
+/// vertex whose landmark lower bound to the far endpoint cannot beat UB is
+/// pruned, and the search stops as soon as the frontier depths reach UB
+/// (the path through the best landmark is already known to exist). Either
+/// the search finds something shorter or the answer is exactly UB, so
+/// results are always exact, never approximate.
+///
+/// Writes invalidate incrementally: an epoch counter advances on every
+/// mutation, edge inserts run a bounded unit-distance decrease propagation
+/// and edge deletes a bounded Even–Shiloach-style increase propagation
+/// (per landmark); past the repair budget or the churn threshold the index
+/// rebuilds from scratch. One writer may mutate while any number of
+/// readers query (shared_mutex, same discipline as the native store).
+class LandmarkIndex {
+ public:
+  explicit LandmarkIndex(LandmarkOptions options = {});
+
+  // --- Bulk seeding (Load time, before Build) -------------------------
+  void AddPerson(int64_t person_id);
+  /// Seeds one undirected knows edge; parallel edges are kept (removal
+  /// deletes one occurrence at a time). Unknown endpoints are created.
+  void AddEdge(int64_t a, int64_t b);
+  /// Selects hubs and recomputes every distance vector.
+  void Build();
+
+  // --- Write-path invalidation hooks (after Build) --------------------
+  void OnPersonAdded(int64_t person_id);
+  void OnEdgeAdded(int64_t a, int64_t b);
+  void OnEdgeRemoved(int64_t a, int64_t b);
+
+  /// Exact knows-distance between two persons (-1 when unreachable), or
+  /// nullopt when either id is unknown to the index — the caller then
+  /// falls back to its engine's plain BFS (and its error semantics).
+  std::optional<int> ShortestPathLen(int64_t from, int64_t to) const;
+
+  /// Bounds as derived from the landmark vectors, without searching.
+  /// Exposed for tests; nullopt when either id is unknown.
+  struct Bounds {
+    int lower = 0;
+    int upper = -1;         // -1: no landmark reaches both endpoints
+    bool disconnected = false;  // some landmark reaches exactly one
+  };
+  std::optional<Bounds> BoundsFor(int64_t from, int64_t to) const;
+
+  /// Advances on every mutation (person/edge add, edge remove, rebuild);
+  /// readers can detect staleness of anything they cached outside the
+  /// index.
+  uint64_t epoch() const;
+  /// Epoch at which the current distance vectors were last fully rebuilt.
+  uint64_t built_epoch() const;
+
+  std::vector<int64_t> landmark_ids() const;
+  LandmarkStats stats() const;
+
+ private:
+  // Dense index of a person id, creating it on first use (mu_ held
+  // exclusively).
+  int32_t InternLocked(int64_t person_id);
+  // BFS from `source` filling `dist` (-1 unreachable); mu_ held.
+  void BfsLocked(int32_t source, std::vector<int32_t>* dist) const;
+  // Hub selection + full BFS per hub; mu_ held exclusively.
+  void BuildLocked();
+  // Bounded decrease propagation after inserting edge (a,b); returns
+  // false when the repair budget is exhausted (caller rebuilds).
+  bool RepairInsertLocked(int32_t a, int32_t b);
+  // Bounded increase propagation after removing edge (a,b); returns
+  // false when the repair budget is exhausted (caller rebuilds).
+  bool RepairRemoveLocked(int32_t a, int32_t b);
+  // Bookkeeping shared by both write hooks; mu_ held exclusively.
+  void NoteWriteLocked(bool repaired);
+
+  const LandmarkOptions options_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<int64_t, int32_t> id_to_idx_;
+  std::vector<int64_t> ids_;
+  std::vector<std::vector<int32_t>> adj_;       // undirected, dup-tolerant
+  std::vector<int32_t> landmarks_;              // dense indexes of hubs
+  std::vector<std::vector<int32_t>> dist_;      // [landmark][vertex]
+  uint64_t epoch_ = 0;
+  uint64_t built_epoch_ = 0;
+  uint64_t writes_since_build_ = 0;
+  bool built_ = false;
+
+  // Stats are relaxed atomics so readers can bump them under the shared
+  // lock.
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> pruned_searches_{0};
+  mutable std::atomic<uint64_t> prunes_{0};
+  mutable std::atomic<uint64_t> rebuilds_{0};
+  mutable std::atomic<uint64_t> repairs_{0};
+  mutable std::atomic<uint64_t> fallbacks_{0};
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_GRAPH_LANDMARKS_H_

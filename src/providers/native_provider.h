@@ -27,6 +27,11 @@ class NativeProvider : public GremlinGraph {
     return graph_->AddEdge(label, from.id, to.id, props).status();
   }
 
+  Status RemoveEdge(std::string_view label, GVertex from,
+                    GVertex to) override {
+    return graph_->RemoveEdge(label, from.id, to.id);
+  }
+
   Result<std::vector<GVertex>> VerticesByProperty(
       std::string_view label, std::string_view key,
       const Value& value) override {

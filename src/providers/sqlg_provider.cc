@@ -114,6 +114,31 @@ Status SqlgProvider::AddEdge(std::string_view label, GVertex from,
       .status();
 }
 
+Status SqlgProvider::RemoveEdge(std::string_view label, GVertex from,
+                                GVertex to) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = edge_labels_.find(std::string(label));
+  if (it == edge_labels_.end()) {
+    return Status::InvalidArgument("unregistered edge label");
+  }
+  const EdgeMeta& meta = it->second;
+  if (meta.embedded) {
+    return Status::InvalidArgument("embedded edge cannot be dropped");
+  }
+  GB_ASSIGN_OR_RETURN(Value from_id, Property(from, "id"));
+  GB_ASSIGN_OR_RETURN(Value to_id, Property(to, "id"));
+  // One small DELETE per orientation until a row goes away.
+  const std::string sql = "DELETE FROM " + meta.table + " WHERE " +
+                          meta.src_col + " = ? AND " + meta.dst_col + " = ?";
+  GB_ASSIGN_OR_RETURN(QueryResult forward,
+                      db_->Execute(sql, {from_id, to_id}));
+  if (forward.affected > 0) return Status::OK();
+  GB_ASSIGN_OR_RETURN(QueryResult backward,
+                      db_->Execute(sql, {to_id, from_id}));
+  if (backward.affected > 0) return Status::OK();
+  return Status::NotFound("edge");
+}
+
 Result<std::vector<GVertex>> SqlgProvider::VerticesByProperty(
     std::string_view label, std::string_view key, const Value& value) {
   std::shared_lock<std::shared_mutex> lock(mu_);

@@ -116,6 +116,9 @@ struct UpdateOp {
     kAddPost = 6,          // U6
     kAddComment = 7,       // U7
     kAddFriendship = 8,    // U8
+    // Extension beyond the spec's U1-U8 adds: unfriending, so precomputed
+    // read structures (landmark index) face genuine invalidation churn.
+    kRemoveFriendship = 9,
   };
 
   Kind kind = Kind::kAddPerson;

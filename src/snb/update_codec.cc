@@ -87,6 +87,7 @@ std::string EncodeUpdate(const UpdateOp& op) {
       break;
     }
     case UpdateOp::Kind::kAddFriendship:
+    case UpdateOp::Kind::kRemoveFriendship:
       PutI64(&out, op.knows.person1);
       PutI64(&out, op.knows.person2);
       PutI64(&out, op.knows.creation_date);
@@ -152,6 +153,7 @@ Result<UpdateOp> DecodeUpdate(std::string_view bytes) {
       break;
     }
     case UpdateOp::Kind::kAddFriendship:
+    case UpdateOp::Kind::kRemoveFriendship:
       ok = TakeI64(&bytes, &op.knows.person1) &&
            TakeI64(&bytes, &op.knows.person2) &&
            TakeI64(&bytes, &op.knows.creation_date);

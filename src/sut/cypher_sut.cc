@@ -188,6 +188,7 @@ Status CypherSut::Load(const snb::Dataset& data) {
   if (engine_.plan_cache_enabled()) {
     GB_RETURN_IF_ERROR(PrepareStatements());
   }
+  if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
   return Status::OK();
 }
 
@@ -250,6 +251,12 @@ Result<QueryResult> CypherSut::TwoHop(int64_t person_id) {
 Result<int> CypherSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  if (landmarks_ != nullptr) {
+    if (std::optional<int> len =
+            landmarks_->ShortestPathLen(from_person, to_person)) {
+      return *len;
+    }
+  }
   CypherEngine::Params params = {{"a", Value(from_person)},
                                  {"b", Value(to_person)}};
   Result<QueryResult> result =
@@ -309,28 +316,53 @@ Status CypherSut::Apply(const snb::UpdateOp& op) {
   switch (op.kind) {
     case K::kAddPerson: {
       const auto& p = op.person;
-      return engine_
-          .Execute("CREATE (p:Person {id: $id, firstName: $fn, "
-                   "lastName: $ln, gender: $g, birthday: $b, "
-                   "creationDate: $cd, browserUsed: $br, locationIP: $ip})",
-                   {{"id", Value(p.id)},
-                    {"fn", Value(p.first_name)},
-                    {"ln", Value(p.last_name)},
-                    {"g", Value(p.gender)},
-                    {"b", Value(p.birthday)},
-                    {"cd", Value(p.creation_date)},
-                    {"br", Value(p.browser)},
-                    {"ip", Value(p.location_ip)}})
-          .status();
+      Status st =
+          engine_
+              .Execute("CREATE (p:Person {id: $id, firstName: $fn, "
+                       "lastName: $ln, gender: $g, birthday: $b, "
+                       "creationDate: $cd, browserUsed: $br, "
+                       "locationIP: $ip})",
+                       {{"id", Value(p.id)},
+                        {"fn", Value(p.first_name)},
+                        {"ln", Value(p.last_name)},
+                        {"g", Value(p.gender)},
+                        {"b", Value(p.birthday)},
+                        {"cd", Value(p.creation_date)},
+                        {"br", Value(p.browser)},
+                        {"ip", Value(p.location_ip)}})
+              .status();
+      if (st.ok() && landmarks_ != nullptr) landmarks_->OnPersonAdded(p.id);
+      return st;
     }
-    case K::kAddFriendship:
-      return engine_
-          .Execute("MATCH (a:Person {id: $a}), (b:Person {id: $b}) "
-                   "CREATE (a)-[:knows {creationDate: $cd}]->(b)",
-                   {{"a", Value(op.knows.person1)},
-                    {"b", Value(op.knows.person2)},
-                    {"cd", Value(op.knows.creation_date)}})
-          .status();
+    case K::kAddFriendship: {
+      Status st =
+          engine_
+              .Execute("MATCH (a:Person {id: $a}), (b:Person {id: $b}) "
+                       "CREATE (a)-[:knows {creationDate: $cd}]->(b)",
+                       {{"a", Value(op.knows.person1)},
+                        {"b", Value(op.knows.person2)},
+                        {"cd", Value(op.knows.creation_date)}})
+              .status();
+      if (st.ok() && landmarks_ != nullptr) {
+        landmarks_->OnEdgeAdded(op.knows.person1, op.knows.person2);
+      }
+      return st;
+    }
+    case K::kRemoveFriendship: {
+      // Cypher has no DELETE in this engine; unfriending goes through the
+      // store's structure API, the same records MATCH/CREATE touch.
+      GB_ASSIGN_OR_RETURN(
+          VertexId a,
+          graph_.FindVertex("Person", "id", Value(op.knows.person1)));
+      GB_ASSIGN_OR_RETURN(
+          VertexId b,
+          graph_.FindVertex("Person", "id", Value(op.knows.person2)));
+      GB_RETURN_IF_ERROR(graph_.RemoveEdge("knows", a, b));
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeRemoved(op.knows.person1, op.knows.person2);
+      }
+      return Status::OK();
+    }
     case K::kAddForum:
       GB_RETURN_IF_ERROR(
           engine_

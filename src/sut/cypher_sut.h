@@ -1,6 +1,7 @@
 #ifndef GRAPHBENCH_SUT_CYPHER_SUT_H_
 #define GRAPHBENCH_SUT_CYPHER_SUT_H_
 
+#include <memory>
 #include <string>
 
 #include "engines/native/cypher_engine.h"
@@ -46,6 +47,14 @@ class CypherSut : public Sut {
   }
   std::string StatementText(std::string_view kind) const override;
 
+  void EnableLandmarks() override {
+    if (landmarks_ == nullptr) landmarks_ = std::make_unique<LandmarkIndex>();
+  }
+  bool landmarks_enabled() const override { return landmarks_ != nullptr; }
+  LandmarkStats landmark_stats() const override {
+    return landmarks_ == nullptr ? LandmarkStats{} : landmarks_->stats();
+  }
+
   NativeGraph* graph() { return &graph_; }
 
  private:
@@ -58,6 +67,7 @@ class CypherSut : public Sut {
   NativeGraph graph_;
   CypherEngine engine_;
   obs::SutProbe probe_{"neo4j"};
+  std::unique_ptr<LandmarkIndex> landmarks_;
 
   /// Populated by PrepareStatements; per-call methods bind only.
   struct PreparedSet {

@@ -240,7 +240,9 @@ Status GremlinSut::LoadEdges(const snb::Dataset& data, size_t shard,
 
 Status GremlinSut::Load(const snb::Dataset& data) {
   GB_RETURN_IF_ERROR(LoadVertices(data, 0, 1));
-  return LoadEdges(data, 0, 1);
+  GB_RETURN_IF_ERROR(LoadEdges(data, 0, 1));
+  if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
+  return Status::OK();
 }
 
 Status GremlinSut::LoadConcurrent(const snb::Dataset& data, size_t loaders) {
@@ -260,6 +262,7 @@ Status GremlinSut::LoadConcurrent(const snb::Dataset& data, size_t loaders) {
   for (const Status& s : statuses) GB_RETURN_IF_ERROR(s);
   run_phase(false);
   for (const Status& s : statuses) GB_RETURN_IF_ERROR(s);
+  if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
   return Status::OK();
 }
 
@@ -334,6 +337,12 @@ Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
 Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
                                         int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  if (landmarks_ != nullptr) {
+    if (std::optional<int> len =
+            landmarks_->ShortestPathLen(from_person, to_person)) {
+      return *len;
+    }
+  }
   obs::OpTimer build_op("buildTraversal");
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(from_person))
@@ -411,14 +420,30 @@ Status GremlinSut::Apply(const snb::UpdateOp& op) {
                         {"browserUsed", Value(p.browser)},
                         {"locationIP", Value(p.location_ip)},
                         {"cityId", Value(p.city_id)}});
-      return submit(t);
+      GB_RETURN_IF_ERROR(submit(t));
+      if (landmarks_ != nullptr) landmarks_->OnPersonAdded(p.id);
+      return Status::OK();
     }
     case K::kAddFriendship: {
       Traversal t;
       t.V().HasIndexed("Person", "id", Value(op.knows.person1))
           .AddEdgeTo("knows", "Person", "id", Value(op.knows.person2),
                      {{"creationDate", Value(op.knows.creation_date)}});
-      return submit(t);
+      GB_RETURN_IF_ERROR(submit(t));
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeAdded(op.knows.person1, op.knows.person2);
+      }
+      return Status::OK();
+    }
+    case K::kRemoveFriendship: {
+      Traversal t;
+      t.V().HasIndexed("Person", "id", Value(op.knows.person1))
+          .DropEdgeTo("knows", "Person", "id", Value(op.knows.person2));
+      GB_RETURN_IF_ERROR(submit(t));
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeRemoved(op.knows.person1, op.knows.person2);
+      }
+      return Status::OK();
     }
     case K::kAddForum: {
       const auto& f = op.forum;

@@ -64,6 +64,14 @@ class GremlinSut : public Sut {
     return server_->plan_cache_stats();
   }
 
+  void EnableLandmarks() override {
+    if (landmarks_ == nullptr) landmarks_ = std::make_unique<LandmarkIndex>();
+  }
+  bool landmarks_enabled() const override { return landmarks_ != nullptr; }
+  LandmarkStats landmark_stats() const override {
+    return landmarks_ == nullptr ? LandmarkStats{} : landmarks_->stats();
+  }
+
   GremlinGraph* graph() { return graph_.get(); }
   GremlinServer* server() { return server_.get(); }
 
@@ -87,6 +95,7 @@ class GremlinSut : public Sut {
   GremlinServerOptions options_;
   std::unique_ptr<GremlinServer> server_;
   obs::SutProbe probe_;
+  std::unique_ptr<LandmarkIndex> landmarks_;
 };
 
 /// Factory helpers for the four TinkerPop configurations. The server

@@ -41,6 +41,8 @@ constexpr char kInsertPersonSql[] =
 constexpr char kInsertKnowsSql[] =
     "INSERT INTO knows (person1Id, person2Id, creationDate) "
     "VALUES (?, ?, ?)";
+constexpr char kDeleteKnowsSql[] =
+    "DELETE FROM knows WHERE person1Id = ? AND person2Id = ?";
 constexpr char kInsertForumSql[] =
     "INSERT INTO forum (id, title, creationDate, moderatorId) "
     "VALUES (?, ?, ?, ?)";
@@ -253,6 +255,7 @@ Status RelationalSut::Load(const snb::Dataset& data) {
   if (db_.plan_cache_enabled()) {
     GB_RETURN_IF_ERROR(PrepareStatements());
   }
+  if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
   return Status::OK();
 }
 
@@ -324,6 +327,12 @@ Result<QueryResult> RelationalSut::TwoHop(int64_t person_id) {
 Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
                                            int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  if (landmarks_ != nullptr) {
+    if (std::optional<int> len =
+            landmarks_->ShortestPathLen(from_person, to_person)) {
+      return *len;
+    }
+  }
   Result<QueryResult> result =
       prepared_.shortest_path.valid()
           ? db_.Execute(prepared_.shortest_path,
@@ -385,19 +394,43 @@ Status RelationalSut::Apply(const snb::UpdateOp& op) {
   switch (op.kind) {
     case K::kAddPerson: {
       const auto& p = op.person;
-      return run(prepared_.insert_person, kInsertPersonSql,
-                 {Value(p.id), Value(p.first_name), Value(p.last_name),
-                  Value(p.gender), Value(p.birthday), Value(p.creation_date),
-                  Value(p.browser), Value(p.location_ip), Value(p.city_id)});
+      GB_RETURN_IF_ERROR(run(
+          prepared_.insert_person, kInsertPersonSql,
+          {Value(p.id), Value(p.first_name), Value(p.last_name),
+           Value(p.gender), Value(p.birthday), Value(p.creation_date),
+           Value(p.browser), Value(p.location_ip), Value(p.city_id)}));
+      if (landmarks_ != nullptr) landmarks_->OnPersonAdded(p.id);
+      return Status::OK();
     }
     case K::kAddFriendship: {
       const auto& k = op.knows;
       GB_RETURN_IF_ERROR(run(prepared_.insert_knows, kInsertKnowsSql,
                              {Value(k.person1), Value(k.person2),
                               Value(k.creation_date)}));
-      return run(prepared_.insert_knows, kInsertKnowsSql,
-                 {Value(k.person2), Value(k.person1),
-                  Value(k.creation_date)});
+      GB_RETURN_IF_ERROR(run(prepared_.insert_knows, kInsertKnowsSql,
+                             {Value(k.person2), Value(k.person1),
+                              Value(k.creation_date)}));
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeAdded(k.person1, k.person2);
+      }
+      return Status::OK();
+    }
+    case K::kRemoveFriendship: {
+      // Both stored directions go away (§4.4's doubled knows relation).
+      const auto& k = op.knows;
+      GB_ASSIGN_OR_RETURN(
+          QueryResult forward,
+          db_.Execute(kDeleteKnowsSql, {Value(k.person1), Value(k.person2)}));
+      GB_ASSIGN_OR_RETURN(
+          QueryResult backward,
+          db_.Execute(kDeleteKnowsSql, {Value(k.person2), Value(k.person1)}));
+      if (forward.affected == 0 && backward.affected == 0) {
+        return Status::NotFound("knows edge");
+      }
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeRemoved(k.person1, k.person2);
+      }
+      return Status::OK();
     }
     case K::kAddForum: {
       const auto& f = op.forum;

@@ -46,6 +46,14 @@ class RelationalSut : public Sut {
   }
   std::string StatementText(std::string_view kind) const override;
 
+  void EnableLandmarks() override {
+    if (landmarks_ == nullptr) landmarks_ = std::make_unique<LandmarkIndex>();
+  }
+  bool landmarks_enabled() const override { return landmarks_ != nullptr; }
+  LandmarkStats landmark_stats() const override {
+    return landmarks_ == nullptr ? LandmarkStats{} : landmarks_->stats();
+  }
+
   Database* database() { return &db_; }
 
   /// Creates the SNB relational schema (tables + vertex-id indexes) on a
@@ -61,6 +69,7 @@ class RelationalSut : public Sut {
   StorageMode mode_;
   Database db_;
   obs::SutProbe probe_;
+  std::unique_ptr<LandmarkIndex> landmarks_;
 
   /// Populated by PrepareStatements; per-call methods bind only.
   struct PreparedSet {

@@ -91,6 +91,15 @@ Status SparqlSut::AddKnowsTriples(const snb::Knows& k) {
                            Term::Iri(PersonIri(k.person1)));
 }
 
+Status SparqlSut::RemoveKnowsTriples(const snb::Knows& k) {
+  // Both asserted directions go away, mirroring AddKnowsTriples.
+  GB_RETURN_IF_ERROR(engine_.RemoveTriple(Term::Iri(PersonIri(k.person1)),
+                                          "snb:knows",
+                                          Term::Iri(PersonIri(k.person2))));
+  return engine_.RemoveTriple(Term::Iri(PersonIri(k.person2)), "snb:knows",
+                              Term::Iri(PersonIri(k.person1)));
+}
+
 Status SparqlSut::AddForumTriples(const snb::Forum& f) {
   Term s = Term::Iri(ForumIri(f.id));
   GB_RETURN_IF_ERROR(
@@ -200,6 +209,7 @@ Status SparqlSut::Load(const snb::Dataset& data) {
   if (engine_.plan_cache_enabled()) {
     GB_RETURN_IF_ERROR(PrepareStatements());
   }
+  if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
   return Status::OK();
 }
 
@@ -272,6 +282,12 @@ Result<QueryResult> SparqlSut::TwoHop(int64_t person_id) {
 Result<int> SparqlSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  if (landmarks_ != nullptr) {
+    if (std::optional<int> len =
+            landmarks_->ShortestPathLen(from_person, to_person)) {
+      return *len;
+    }
+  }
   Result<QueryResult> result =
       prepared_.shortest_path.valid()
           ? engine_.Execute(prepared_.shortest_path,
@@ -347,10 +363,25 @@ Status SparqlSut::Apply(const snb::UpdateOp& op) {
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {
-    case K::kAddPerson:
-      return AddPersonTriples(op.person);
-    case K::kAddFriendship:
-      return AddKnowsTriples(op.knows);
+    case K::kAddPerson: {
+      GB_RETURN_IF_ERROR(AddPersonTriples(op.person));
+      if (landmarks_ != nullptr) landmarks_->OnPersonAdded(op.person.id);
+      return Status::OK();
+    }
+    case K::kAddFriendship: {
+      GB_RETURN_IF_ERROR(AddKnowsTriples(op.knows));
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeAdded(op.knows.person1, op.knows.person2);
+      }
+      return Status::OK();
+    }
+    case K::kRemoveFriendship: {
+      GB_RETURN_IF_ERROR(RemoveKnowsTriples(op.knows));
+      if (landmarks_ != nullptr) {
+        landmarks_->OnEdgeRemoved(op.knows.person1, op.knows.person2);
+      }
+      return Status::OK();
+    }
     case K::kAddForum:
       return AddForumTriples(op.forum);
     case K::kAddForumMember:

@@ -1,6 +1,7 @@
 #ifndef GRAPHBENCH_SUT_SPARQL_SUT_H_
 #define GRAPHBENCH_SUT_SPARQL_SUT_H_
 
+#include <memory>
 #include <string>
 
 #include "engines/rdf/rdf_engine.h"
@@ -49,6 +50,14 @@ class SparqlSut : public Sut {
   }
   std::string StatementText(std::string_view kind) const override;
 
+  void EnableLandmarks() override {
+    if (landmarks_ == nullptr) landmarks_ = std::make_unique<LandmarkIndex>();
+  }
+  bool landmarks_enabled() const override { return landmarks_ != nullptr; }
+  LandmarkStats landmark_stats() const override {
+    return landmarks_ == nullptr ? LandmarkStats{} : landmarks_->stats();
+  }
+
   RdfEngine* engine() { return &engine_; }
 
  private:
@@ -66,9 +75,11 @@ class SparqlSut : public Sut {
   Status AddPostTriples(const snb::Post& p);
   Status AddCommentTriples(const snb::Comment& c);
   Status AddLikeTriples(const snb::Like& l);
+  Status RemoveKnowsTriples(const snb::Knows& k);
 
   RdfEngine engine_;
   obs::SutProbe probe_{"sparql"};
+  std::unique_ptr<LandmarkIndex> landmarks_;
 
   /// Populated by PrepareStatements; per-call methods bind only.
   struct PreparedSet {

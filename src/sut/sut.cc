@@ -36,6 +36,18 @@ std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache) {
   return sut;
 }
 
+std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache, bool landmarks) {
+  std::unique_ptr<Sut> sut = MakeSut(kind, plan_cache);
+  if (landmarks && sut != nullptr) sut->EnableLandmarks();
+  return sut;
+}
+
+void SeedLandmarkIndex(const snb::Dataset& data, LandmarkIndex* index) {
+  for (const snb::Person& p : data.persons) index->AddPerson(p.id);
+  for (const snb::Knows& k : data.knows) index->AddEdge(k.person1, k.person2);
+  index->Build();
+}
+
 std::vector<SutKind> AllSutKinds() {
   return {SutKind::kNeo4jCypher, SutKind::kNeo4jGremlin, SutKind::kTitanC,
           SutKind::kTitanB,      SutKind::kSqlg,         SutKind::kPostgresSql,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engines/relational/query_result.h"
+#include "graph/landmarks.h"
 #include "lang/plan_cache.h"
 #include "obs/profiler.h"
 #include "snb/schema.h"
@@ -93,6 +94,17 @@ class Sut {
     (void)kind;
     return std::string();
   }
+
+  // --- Landmark-accelerated shortest paths (DESIGN.md §9) ---------------
+  /// Opts the SUT into the shared landmark index: call before Load, and
+  /// ShortestPathLen answers through landmark-derived bounds that prune
+  /// (often eliminate) the per-call BFS, with invalidation hooks on the
+  /// knows write path keeping answers exact. Default: off — every path
+  /// query re-runs its engine's BFS, the paper's methodology.
+  virtual void EnableLandmarks() {}
+  virtual bool landmarks_enabled() const { return false; }
+  /// Aggregated landmark-index traffic; zeros when disabled.
+  virtual LandmarkStats landmark_stats() const { return {}; }
 };
 
 /// Factory identifiers matching the paper's eight configurations.
@@ -115,12 +127,21 @@ std::unique_ptr<Sut> MakeSut(SutKind kind);
 /// --plan_cache flag.
 std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache);
 
+/// Factory form behind the --plan_cache/--landmarks flags: both opt-in
+/// read structures toggled before any Load.
+std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache, bool landmarks);
+
 /// Creates a SUT selected by configuration name (see ParseSutKind for the
 /// accepted spellings). InvalidArgument for unknown names.
 Result<std::unique_ptr<Sut>> MakeSut(std::string_view name);
 
 /// All eight configurations in the paper's column order.
 std::vector<SutKind> AllSutKinds();
+
+/// Seeds a landmark index from the SNB snapshot (persons + knows) and
+/// builds it. Shared by every SUT's Load when landmarks are enabled, so
+/// all eight configurations accelerate the same structure the same way.
+void SeedLandmarkIndex(const snb::Dataset& data, LandmarkIndex* index);
 
 const char* SutKindName(SutKind kind);
 

@@ -32,6 +32,7 @@ const char* OpName(GremlinStep::Kind kind) {
     case GremlinStep::Kind::kOrderBy: return "orderBy";
     case GremlinStep::Kind::kValueMap: return "valueMap";
     case GremlinStep::Kind::kAddEdgeTo: return "addEdgeTo";
+    case GremlinStep::Kind::kDropEdgeTo: return "dropEdgeTo";
     case GremlinStep::Kind::kGroupCount: return "groupCount";
   }
   return "unknown";
@@ -58,6 +59,7 @@ Result<GremlinStep::Kind> OpKind(const std::string& name) {
       {"orderBy", K::kOrderBy},
       {"valueMap", K::kValueMap},
       {"addEdgeTo", K::kAddEdgeTo},
+      {"dropEdgeTo", K::kDropEdgeTo},
       {"groupCount", K::kGroupCount},
   };
   for (const auto& [op, kind] : kOps) {

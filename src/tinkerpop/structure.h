@@ -30,6 +30,17 @@ class GremlinGraph {
   virtual Status AddEdge(std::string_view label, GVertex from, GVertex to,
                          const PropertyMap& props) = 0;
 
+  /// g.V(from).outE(label).where(inV().is(to)).drop(): removes one edge
+  /// between the endpoints, either orientation. Default refuses so
+  /// providers opt in explicitly.
+  virtual Status RemoveEdge(std::string_view label, GVertex from,
+                            GVertex to) {
+    (void)label;
+    (void)from;
+    (void)to;
+    return Status::NotSupported("RemoveEdge");
+  }
+
   /// g.V().has(label, key, value): index-backed vertex lookup.
   virtual Result<std::vector<GVertex>> VerticesByProperty(
       std::string_view label, std::string_view key, const Value& value) = 0;

@@ -33,6 +33,7 @@ const char* StepName(GremlinStep::Kind kind) {
     case GremlinStep::Kind::kGroupCount: return "groupCount()";
     case GremlinStep::Kind::kValueMap: return "valueMap()";
     case GremlinStep::Kind::kAddEdgeTo: return "addE(to)";
+    case GremlinStep::Kind::kDropEdgeTo: return "dropE(to)";
     case GremlinStep::Kind::kAddV: return "addV()";
     case GremlinStep::Kind::kAddE: return "addE()";
   }
@@ -327,6 +328,22 @@ Result<std::vector<Value>> ExecuteTraversal(GremlinGraph* graph,
           }
           GB_RETURN_IF_ERROR(graph->AddEdge(step.label, t.vertex,
                                             targets.front(), step.props));
+        }
+        break;
+      }
+      case GremlinStep::Kind::kDropEdgeTo: {
+        GB_ASSIGN_OR_RETURN(
+            std::vector<GVertex> targets,
+            graph->VerticesByProperty(step.name, step.key, step.value));
+        if (targets.empty()) {
+          return Status::NotFound("drop target vertex not found");
+        }
+        for (const Traverser& t : set) {
+          if (!t.is_vertex) {
+            return Status::InvalidArgument("drop from a value");
+          }
+          GB_RETURN_IF_ERROR(
+              graph->RemoveEdge(step.label, t.vertex, targets.front()));
         }
         break;
       }

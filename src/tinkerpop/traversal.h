@@ -33,6 +33,7 @@ struct GremlinStep {
     kValueMap = 16,    // props holds the keys: emit each key's value
     kAddEdgeTo = 17,   // addE(label).to(V().has(name, key, value))
     kGroupCount = 18,  // key + n: per-vertex counts ordered desc, limit n
+    kDropEdgeTo = 19,  // outE(label).where(inV().has(name,key,value)).drop()
   };
 
   Kind kind;
@@ -145,6 +146,19 @@ class Traversal {
     s.key = std::string(key);
     s.value = std::move(value);
     s.props = std::move(props);
+    return Push(std::move(s));
+  }
+  /// bothE(label).where(otherV().has(target_label, key, value)).drop() —
+  /// removes one edge between each vertex traverser and the indexed
+  /// target vertex, either orientation.
+  Traversal& DropEdgeTo(std::string_view edge_label,
+                        std::string_view target_label, std::string_view key,
+                        Value value) {
+    GremlinStep s{GremlinStep::Kind::kDropEdgeTo,
+                  std::string(edge_label)};
+    s.name = std::string(target_label);
+    s.key = std::string(key);
+    s.value = std::move(value);
     return Push(std::move(s));
   }
   Traversal& AddV(std::string_view label, PropertyMap props) {

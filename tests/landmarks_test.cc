@@ -1,0 +1,245 @@
+// Unit tests for the landmark index (DESIGN.md §9): triangle-inequality
+// bound math, degree-based hub selection, unreachable pairs, self paths,
+// epoch/invalidation bookkeeping, and incremental-repair equivalence with
+// a plain BFS oracle. The SUT-level equivalence lives in
+// sut_equivalence_test.cc and landmarks_churn_property_test.cc.
+
+#include "graph/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace graphbench {
+namespace {
+
+// Plain BFS over an explicit undirected edge list: the oracle.
+int OracleBfs(int64_t num_vertices,
+              const std::multiset<std::pair<int64_t, int64_t>>& edges,
+              int64_t from, int64_t to) {
+  if (from == to) return 0;
+  std::vector<std::vector<int64_t>> adj(static_cast<size_t>(num_vertices));
+  for (const auto& [a, b] : edges) {
+    adj[size_t(a)].push_back(b);
+    adj[size_t(b)].push_back(a);
+  }
+  std::vector<int> dist(static_cast<size_t>(num_vertices), -1);
+  dist[size_t(from)] = 0;
+  std::deque<int64_t> queue{from};
+  while (!queue.empty()) {
+    int64_t v = queue.front();
+    queue.pop_front();
+    for (int64_t n : adj[size_t(v)]) {
+      if (dist[size_t(n)] >= 0) continue;
+      dist[size_t(n)] = dist[size_t(v)] + 1;
+      if (n == to) return dist[size_t(n)];
+      queue.push_back(n);
+    }
+  }
+  return -1;
+}
+
+// LandmarkIndex holds a shared_mutex (immovable), so seed in place.
+void SeedPath(LandmarkIndex* index, int n) {
+  for (int i = 0; i < n; ++i) index->AddPerson(i);
+  for (int i = 0; i + 1 < n; ++i) index->AddEdge(i, i + 1);
+  index->Build();
+}
+
+TEST(LandmarksTest, PathGraphExactDistances) {
+  LandmarkIndex index;
+  SeedPath(&index, 12);
+  for (int64_t a = 0; a < 12; ++a) {
+    for (int64_t b = 0; b < 12; ++b) {
+      auto len = index.ShortestPathLen(a, b);
+      ASSERT_TRUE(len.has_value());
+      EXPECT_EQ(*len, int(std::abs(a - b))) << a << "→" << b;
+    }
+  }
+}
+
+TEST(LandmarksTest, SelfPathIsZero) {
+  LandmarkIndex index;
+  SeedPath(&index, 4);
+  EXPECT_EQ(index.ShortestPathLen(2, 2), std::optional<int>(0));
+}
+
+TEST(LandmarksTest, UnknownPersonDeclines) {
+  LandmarkIndex index;
+  SeedPath(&index, 4);
+  EXPECT_EQ(index.ShortestPathLen(0, 99), std::nullopt);
+  EXPECT_EQ(index.ShortestPathLen(99, 0), std::nullopt);
+  EXPECT_EQ(index.BoundsFor(0, 99), std::nullopt);
+  EXPECT_GT(index.stats().fallbacks, 0u);
+}
+
+TEST(LandmarksTest, BoundsSandwichTrueDistance) {
+  // On a path graph the landmark vectors make LB == UB == |a-b| for every
+  // pair (any landmark L has |d(L,a)-d(L,b)| == |a-b|).
+  LandmarkIndex index;
+  SeedPath(&index, 9);
+  for (int64_t a = 0; a < 9; ++a) {
+    for (int64_t b = 0; b < 9; ++b) {
+      auto bounds = index.BoundsFor(a, b);
+      ASSERT_TRUE(bounds.has_value());
+      EXPECT_FALSE(bounds->disconnected);
+      EXPECT_LE(bounds->lower, int(std::abs(a - b)));
+      ASSERT_GE(bounds->upper, 0);
+      EXPECT_GE(bounds->upper, int(std::abs(a - b)));
+      EXPECT_EQ(bounds->lower, bounds->upper);
+    }
+  }
+  // Every pair should therefore be a bound hit — zero searches.
+  EXPECT_EQ(index.stats().pruned_searches, 0u);
+}
+
+TEST(LandmarksTest, HubSelectionPrefersHighDegree) {
+  // Star: vertex 0 has degree 6, leaves have degree 1.
+  LandmarkIndex index(LandmarkOptions{.num_landmarks = 2});
+  for (int i = 0; i < 7; ++i) index.AddPerson(i);
+  for (int i = 1; i < 7; ++i) index.AddEdge(0, i);
+  index.Build();
+  std::vector<int64_t> hubs = index.landmark_ids();
+  ASSERT_EQ(hubs.size(), 2u);
+  EXPECT_EQ(hubs[0], 0) << "highest-degree person must be the first hub";
+}
+
+TEST(LandmarksTest, DisconnectedComponentsAnswerMinusOne) {
+  LandmarkIndex index;
+  for (int i = 0; i < 6; ++i) index.AddPerson(i);
+  index.AddEdge(0, 1);
+  index.AddEdge(1, 2);
+  index.AddEdge(3, 4);  // {3,4,5 isolated-ish} second component
+  index.Build();
+  EXPECT_EQ(index.ShortestPathLen(0, 4), std::optional<int>(-1));
+  EXPECT_EQ(index.ShortestPathLen(2, 5), std::optional<int>(-1));
+  auto bounds = index.BoundsFor(0, 3);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_TRUE(bounds->disconnected);
+}
+
+TEST(LandmarksTest, EpochAdvancesOnEveryWrite) {
+  LandmarkIndex index;
+  SeedPath(&index, 5);
+  uint64_t e0 = index.epoch();
+  index.OnPersonAdded(100);
+  EXPECT_GT(index.epoch(), e0);
+  uint64_t e1 = index.epoch();
+  index.OnEdgeAdded(4, 100);
+  EXPECT_GT(index.epoch(), e1);
+  uint64_t e2 = index.epoch();
+  index.OnEdgeRemoved(4, 100);
+  EXPECT_GT(index.epoch(), e2);
+}
+
+TEST(LandmarksTest, InsertRepairKeepsAnswersExact) {
+  LandmarkIndex index;
+  SeedPath(&index, 10);
+  uint64_t rebuilds_before = index.stats().rebuilds;
+  // Shortcut edge 0—9 collapses the diameter; repair must propagate.
+  index.OnEdgeAdded(0, 9);
+  EXPECT_EQ(index.ShortestPathLen(0, 9), std::optional<int>(1));
+  EXPECT_EQ(index.ShortestPathLen(1, 9), std::optional<int>(2));
+  EXPECT_EQ(index.ShortestPathLen(4, 5), std::optional<int>(1));
+  EXPECT_EQ(index.stats().rebuilds, rebuilds_before)
+      << "a single unit-decrease should repair, not rebuild";
+  EXPECT_GT(index.stats().repairs, 0u);
+}
+
+TEST(LandmarksTest, RemoveRepairKeepsAnswersExact) {
+  LandmarkIndex index;
+  SeedPath(&index, 10);
+  // Cutting 4—5 splits the path into two components.
+  index.OnEdgeRemoved(4, 5);
+  EXPECT_EQ(index.ShortestPathLen(0, 4), std::optional<int>(4));
+  EXPECT_EQ(index.ShortestPathLen(5, 9), std::optional<int>(4));
+  EXPECT_EQ(index.ShortestPathLen(0, 9), std::optional<int>(-1));
+  EXPECT_EQ(index.ShortestPathLen(4, 5), std::optional<int>(-1));
+}
+
+TEST(LandmarksTest, ExhaustedRepairBudgetTriggersRebuild) {
+  LandmarkIndex index(LandmarkOptions{.num_landmarks = 2,
+                                      .repair_budget = 0});
+  for (int i = 0; i < 8; ++i) index.AddPerson(i);
+  for (int i = 0; i + 1 < 8; ++i) index.AddEdge(i, i + 1);
+  index.Build();
+  uint64_t rebuilds_before = index.stats().rebuilds;
+  uint64_t built_before = index.built_epoch();
+  index.OnEdgeAdded(0, 7);  // budget 0: every repair overflows
+  EXPECT_GT(index.stats().rebuilds, rebuilds_before);
+  EXPECT_GT(index.built_epoch(), built_before);
+  EXPECT_EQ(index.ShortestPathLen(1, 7), std::optional<int>(2));
+}
+
+TEST(LandmarksTest, ChurnThresholdForcesRebuild) {
+  LandmarkIndex index(LandmarkOptions{.rebuild_churn_threshold = 3});
+  for (int i = 0; i < 6; ++i) index.AddPerson(i);
+  for (int i = 0; i + 1 < 6; ++i) index.AddEdge(i, i + 1);
+  index.Build();
+  uint64_t rebuilds_before = index.stats().rebuilds;
+  index.OnEdgeAdded(0, 2);
+  index.OnEdgeAdded(0, 3);
+  index.OnEdgeAdded(0, 4);  // third write since build crosses the threshold
+  EXPECT_GT(index.stats().rebuilds, rebuilds_before);
+}
+
+TEST(LandmarksTest, ParallelEdgeRemovalKeepsDistance) {
+  LandmarkIndex index;
+  for (int i = 0; i < 3; ++i) index.AddPerson(i);
+  index.AddEdge(0, 1);
+  index.AddEdge(0, 1);  // parallel edge
+  index.AddEdge(1, 2);
+  index.Build();
+  index.OnEdgeRemoved(0, 1);  // one copy survives
+  EXPECT_EQ(index.ShortestPathLen(0, 2), std::optional<int>(2));
+  index.OnEdgeRemoved(0, 1);  // now actually disconnected
+  EXPECT_EQ(index.ShortestPathLen(0, 2), std::optional<int>(-1));
+}
+
+TEST(LandmarksTest, RandomChurnMatchesOracle) {
+  std::mt19937_64 rng(4242);
+  const int64_t kN = 60;
+  LandmarkIndex index(LandmarkOptions{.num_landmarks = 4,
+                                      .repair_budget = 64});
+  std::multiset<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i < kN; ++i) index.AddPerson(i);
+  for (int i = 0; i < 120; ++i) {
+    int64_t a = int64_t(rng() % kN), b = int64_t(rng() % kN);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    index.AddEdge(a, b);
+    edges.emplace(a, b);
+  }
+  index.Build();
+  for (int step = 0; step < 400; ++step) {
+    if (!edges.empty() && rng() % 2 == 0) {
+      auto it = edges.begin();
+      std::advance(it, long(rng() % edges.size()));
+      auto [a, b] = *it;
+      edges.erase(it);
+      index.OnEdgeRemoved(a, b);
+    } else {
+      int64_t a = int64_t(rng() % kN), b = int64_t(rng() % kN);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      index.OnEdgeAdded(a, b);
+      edges.emplace(a, b);
+    }
+  }
+  // Spot-check a grid of pairs against the oracle.
+  for (int64_t a = 0; a < kN; a += 7) {
+    for (int64_t b = 0; b < kN; b += 5) {
+      auto len = index.ShortestPathLen(a, b);
+      ASSERT_TRUE(len.has_value());
+      EXPECT_EQ(*len, OracleBfs(kN, edges, a, b)) << a << "→" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphbench
