@@ -26,6 +26,19 @@ int main(int argc, char** argv) {
   if (persons > 0) scale.num_persons = uint32_t(persons);
   const int reps = int(bench::FlagInt(argc, argv, "reps", 100));
   const uint64_t seed = uint64_t(bench::FlagInt(argc, argv, "seed", 77));
+  // Hub selection policy for the landmark build (DESIGN.md §9):
+  // --landmark_selection=degree|coverage.
+  const std::string selection =
+      bench::FlagValue(argc, argv, "landmark_selection", "degree");
+  if (selection != "degree" && selection != "coverage") {
+    std::fprintf(stderr, "unknown --landmark_selection=%s "
+                 "(want degree|coverage)\n", selection.c_str());
+    return 1;
+  }
+  LandmarkOptions landmark_options;
+  landmark_options.hub_selection = selection == "coverage"
+                                       ? HubSelection::kCoverage
+                                       : HubSelection::kDegree;
   snb::Dataset data = snb::Generate(scale);
 
   // Writes interleaved per query: 0 (read-only), then 1-in-4. Each write
@@ -47,6 +60,7 @@ int main(int argc, char** argv) {
   report.SetParam("repetitions", Json::Int(reps));
   report.SetParam("seed", Json::Int(int64_t(seed)));
   report.SetParam("persons", Json::Int(int64_t(scale.num_persons)));
+  report.SetParam("landmark_selection", Json::Str(selection));
 
   for (SutKind kind : AllSutKinds()) {
     constexpr int kNumRates = 2;
@@ -56,8 +70,9 @@ int main(int argc, char** argv) {
     bool loaded = true;
     for (int mode = 0; mode < 2 && loaded; ++mode) {
       const bool landmarks = mode == 1;
-      std::unique_ptr<Sut> sut = MakeSut(kind, /*plan_cache=*/false,
-                                         landmarks);
+      std::unique_ptr<Sut> sut =
+          MakeSut(kind, SutOptions{.landmarks = landmarks,
+                                   .landmark_options = landmark_options});
       name = sut->name();
       Status s = sut->Load(data);
       if (!s.ok()) {

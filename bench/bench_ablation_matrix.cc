@@ -1,0 +1,198 @@
+// Ablation (DESIGN.md §10): the linear-algebra engine's two structural
+// choices, isolated on the matrix SUT alone.
+//
+// Part 1 — delta merge threshold. The KNOWS matrix is an immutable CSR
+// body plus a per-row sorted delta overlay; the threshold decides how
+// much pending churn accumulates before the overlay folds back into a
+// fresh CSR. Threshold 1 degenerates to "rebuild CSR on every write"
+// (pristine reads, punishing writes); never-merge degenerates to a pure
+// delta list (cheap writes, every row gather pays the overlay walk).
+// The sweep runs an interleaved read/write mix (OneHop + TwoHop gathers
+// against KNOWS insert/delete pairs) at each threshold and reports both
+// latencies plus the merge/rebuild counters that explain them.
+//
+// Part 2 — SpMV BFS vs pointer chasing. The same engine answers the
+// §4.2 shortest-path query either by level-synchronous bitmap SpMV
+// (frontier-at-a-time row gathers) or by a conventional per-vertex FIFO
+// walk over the same delta-CSR rows, isolating the data-structure layout
+// from the traversal strategy.
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "snb/params.h"
+#include "sut/matrix_sut.h"
+
+int main(int argc, char** argv) {
+  using namespace graphbench;
+  std::printf("=== Ablation: matrix engine (delta-CSR merge, SpMV BFS) ===\n");
+
+  snb::DatagenOptions scale = bench::ScaleFromFlag(argc, argv);
+  // Smoke mode for CI: --persons overrides the scale to a tiny graph.
+  const int64_t persons = bench::FlagInt(argc, argv, "persons", 0);
+  if (persons > 0) scale.num_persons = uint32_t(persons);
+  const int reps = int(bench::FlagInt(argc, argv, "reps", 200));
+  const uint64_t seed = uint64_t(bench::FlagInt(argc, argv, "seed", 77));
+  snb::Dataset data = snb::Generate(scale);
+
+  // Two write sources that stress both overlay sides: friendship inserts
+  // from the update stream land in the add-lists, deletes of distinct
+  // snapshot edges (CSR-resident after Load) land in the del-lists.
+  // Deleting a just-inserted edge would merely cancel its overlay adds, so
+  // the sweep would never accumulate enough pending churn to cross the
+  // mid thresholds.
+  std::vector<snb::UpdateOp> inserts;
+  for (const snb::UpdateOp& op : data.update_stream) {
+    if (op.kind == snb::UpdateOp::Kind::kAddFriendship) inserts.push_back(op);
+  }
+  std::vector<snb::UpdateOp> snapshot_deletes;
+  for (const snb::Knows& k : data.knows) {
+    snb::UpdateOp del;
+    del.kind = snb::UpdateOp::Kind::kRemoveFriendship;
+    del.knows = k;
+    snapshot_deletes.push_back(del);
+  }
+
+  obs::BenchReport report("ablation_matrix", bench::ScaleName(scale));
+  report.SetParam("repetitions", Json::Int(reps));
+  report.SetParam("seed", Json::Int(int64_t(seed)));
+  report.SetParam("persons", Json::Int(int64_t(scale.num_persons)));
+
+  // --- Part 1: merge-threshold sweep --------------------------------------
+  struct Threshold {
+    const char* label;
+    size_t value;
+  };
+  const Threshold kThresholds[] = {
+      {"1 (CSR always)", 1},
+      {"64", 64},
+      {"1024", 1024},
+      {"never (pure delta)", SIZE_MAX},
+  };
+
+  TablePrinter sweep("Delta-CSR merge threshold — interleaved 1-hop/2-hop "
+                     "reads with KNOWS churn, " +
+                     bench::ScaleName(scale));
+  sweep.SetHeader({"Threshold", "Read ms", "Write ms", "Merges", "Rebuilds",
+                   "Pending"});
+
+  Json sweep_json = Json::Object();
+  for (const Threshold& t : kThresholds) {
+    MatrixSut sut(MatrixEngineOptions{
+        .csr = DeltaCsrOptions{.merge_threshold = t.value}});
+    Status s = sut.Load(data);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Identical deterministic sequence per threshold: one write per read
+    // pair, alternating stream inserts with snapshot-edge deletes so both
+    // overlay sides keep growing until a merge folds them.
+    snb::ParamPools params(data, seed);
+    size_t next_insert = 0, next_delete = 0;
+    double read_ms = 0, write_ms = 0;
+    int reads = 0, writes = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const bool do_delete = rep % 2 == 1 &&
+                             next_delete < snapshot_deletes.size();
+      if (do_delete || next_insert < inserts.size()) {
+        Stopwatch w;
+        if (do_delete) {
+          (void)sut.Apply(snapshot_deletes[next_delete++]);
+        } else {
+          (void)sut.Apply(inserts[next_insert++]);
+        }
+        write_ms += w.ElapsedMillis();
+        ++writes;
+      }
+      int64_t id = params.NextPersonId();
+      Stopwatch r;
+      if (sut.OneHop(id).ok()) ++reads;
+      if (sut.TwoHop(id).ok()) ++reads;
+      read_ms += r.ElapsedMillis();
+    }
+    MatrixStats stats = sut.matrix_stats();
+    double read_mean = reads > 0 ? read_ms / double(reads) : -1;
+    double write_mean = writes > 0 ? write_ms / double(writes) : -1;
+    sweep.AddRow({t.label, bench::FormatMillis(read_mean),
+                  bench::FormatMillis(write_mean),
+                  StringPrintf("%llu", (unsigned long long)stats.delta_merges),
+                  StringPrintf("%llu", (unsigned long long)stats.csr_rebuilds),
+                  StringPrintf("%llu",
+                               (unsigned long long)stats.pending_delta)});
+    Json cell = Json::Object();
+    cell.Set("read_ms", Json::Number(read_mean));
+    cell.Set("write_ms", Json::Number(write_mean));
+    cell.Set("delta_merges", Json::Int(int64_t(stats.delta_merges)));
+    cell.Set("csr_rebuilds", Json::Int(int64_t(stats.csr_rebuilds)));
+    cell.Set("pending_delta", Json::Int(int64_t(stats.pending_delta)));
+    sweep_json.Set(t.value == SIZE_MAX ? "never" : std::to_string(t.value),
+                   std::move(cell));
+  }
+  sweep.Print();
+  report.AddSystem("merge_threshold_sweep", std::move(sweep_json));
+
+  // --- Part 2: SpMV BFS vs pointer chasing --------------------------------
+  struct BfsMode {
+    const char* label;
+    MatrixBfsKind kind;
+  };
+  const BfsMode kModes[] = {
+      {"SpMV (bitmap frontier)", MatrixBfsKind::kSpmv},
+      {"Pointer chasing (FIFO)", MatrixBfsKind::kPointerChasing},
+  };
+
+  TablePrinter bfs("Shortest path — SpMV vs pointer chasing over the same "
+                   "delta-CSR, " + bench::ScaleName(scale));
+  bfs.SetHeader({"Traversal", "Mean ms", "Speedup", "Rows gathered"});
+
+  double mode_means[2] = {-1, -1};
+  uint64_t rows_gathered[2] = {0, 0};
+  for (size_t mi = 0; mi < 2; ++mi) {
+    MatrixSut sut(MatrixEngineOptions{.bfs = kModes[mi].kind});
+    Status s = sut.Load(data);
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    snb::ParamPools params(data, seed);
+    Stopwatch clock;
+    int completed = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto [a, b] = params.NextPersonPair();
+      if (sut.ShortestPathLen(a, b).ok()) ++completed;
+    }
+    mode_means[mi] =
+        completed > 0 ? clock.ElapsedMillis() / double(completed) : -1;
+    rows_gathered[mi] = sut.matrix_stats().spmv_rows;
+  }
+  Json bfs_json = Json::Object();
+  for (size_t mi = 0; mi < 2; ++mi) {
+    double base = mode_means[1];  // pointer chasing is the baseline
+    bfs.AddRow({kModes[mi].label, bench::FormatMillis(mode_means[mi]),
+                mode_means[mi] > 0 && base > 0
+                    ? StringPrintf("%.2fx", base / mode_means[mi])
+                    : "-",
+                StringPrintf("%llu", (unsigned long long)rows_gathered[mi])});
+    Json cell = Json::Object();
+    cell.Set("mean_ms", Json::Number(mode_means[mi]));
+    cell.Set("spmv_rows", Json::Int(int64_t(rows_gathered[mi])));
+    bfs_json.Set(mi == 0 ? "spmv" : "pointer_chasing", std::move(cell));
+  }
+  bfs.Print();
+  report.AddSystem("bfs_strategy", std::move(bfs_json));
+
+  std::printf("\nExpected shape: threshold 1 pays a CSR re-pack per write "
+              "(merges ≈ writes, cheapest reads); never-merge accumulates "
+              "pending delta that every row gather re-walks; the middle "
+              "thresholds amortize both. For BFS, the bitmap sweep costs "
+              "n/64 words per level regardless of frontier width, so "
+              "pointer chasing can win on short-diameter, narrow-frontier "
+              "graphs — the matrix formulation's advantage is the masked "
+              "row gathers (1-hop/2-hop), not the path search.\n");
+  bench::WriteReport(report, argc, argv);
+  return 0;
+}

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
     bool loaded = true;
     for (int mode = 0; mode < 2 && loaded; ++mode) {
       const bool cached = mode == 1;
-      std::unique_ptr<Sut> sut = MakeSut(kind, cached);
+      std::unique_ptr<Sut> sut =
+          MakeSut(kind, SutOptions{.plan_cache = cached});
       name = sut->name();
       Status s = sut->Load(data);
       if (!s.ok()) {

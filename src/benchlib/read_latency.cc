@@ -37,7 +37,8 @@ std::string RunReadLatencyTable(const snb::DatagenOptions& scale,
   std::vector<Loaded> suts;
   for (SutKind kind : AllSutKinds()) {
     Loaded l;
-    l.sut = MakeSut(kind, options.plan_cache, options.landmarks);
+    l.sut = MakeSut(kind, SutOptions{.plan_cache = options.plan_cache,
+                                     .landmarks = options.landmarks});
     Status s = l.sut->Load(data);
     if (!s.ok()) {
       std::fprintf(stderr, "load failed for %s: %s\n",

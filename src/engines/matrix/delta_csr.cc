@@ -1,0 +1,195 @@
+#include "engines/matrix/delta_csr.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace graphbench {
+namespace {
+
+obs::Counter* DeltaMergesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("matrix.delta_merges");
+  return c;
+}
+
+obs::Counter* CsrRebuildsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("matrix.csr_rebuilds");
+  return c;
+}
+
+// Inserts `col` into a sorted vector; false if already present.
+bool SortedInsert(std::vector<int32_t>* v, int32_t col) {
+  auto it = std::lower_bound(v->begin(), v->end(), col);
+  if (it != v->end() && *it == col) return false;
+  v->insert(it, col);
+  return true;
+}
+
+// Removes `col` from a sorted vector; false if absent.
+bool SortedErase(std::vector<int32_t>* v, int32_t col) {
+  auto it = std::lower_bound(v->begin(), v->end(), col);
+  if (it == v->end() || *it != col) return false;
+  v->erase(it);
+  return true;
+}
+
+}  // namespace
+
+DeltaCsrMatrix::DeltaCsrMatrix(DeltaCsrOptions options) : options_(options) {}
+
+void DeltaCsrMatrix::AddRow() {
+  row_ptr_.push_back(row_ptr_.back());
+  add_.emplace_back();
+  del_.emplace_back();
+}
+
+void DeltaCsrMatrix::Build(std::vector<std::vector<int32_t>> adjacency) {
+  const size_t n = adjacency.size();
+  row_ptr_.assign(n + 1, 0);
+  cols_.clear();
+  add_.assign(n, {});
+  del_.assign(n, {});
+  pending_ = 0;
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<int32_t>& row = adjacency[r];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    cols_.insert(cols_.end(), row.begin(), row.end());
+    row_ptr_[r + 1] = cols_.size();
+  }
+  nnz_ = cols_.size();
+  ++csr_rebuilds_;
+  CsrRebuildsCounter()->Increment();
+}
+
+bool DeltaCsrMatrix::CsrContains(int32_t row, int32_t col) const {
+  const size_t r = static_cast<size_t>(row);
+  return std::binary_search(cols_.begin() + row_ptr_[r],
+                            cols_.begin() + row_ptr_[r + 1], col);
+}
+
+bool DeltaCsrMatrix::Contains(int32_t row, int32_t col) const {
+  if (row < 0 || row >= rows() || col < 0 || col >= rows()) return false;
+  const size_t r = static_cast<size_t>(row);
+  if (std::binary_search(add_[r].begin(), add_[r].end(), col)) return true;
+  if (std::binary_search(del_[r].begin(), del_[r].end(), col)) return false;
+  return CsrContains(row, col);
+}
+
+size_t DeltaCsrMatrix::RowDegree(int32_t row) const {
+  const size_t r = static_cast<size_t>(row);
+  return (row_ptr_[r + 1] - row_ptr_[r]) - del_[r].size() + add_[r].size();
+}
+
+bool DeltaCsrMatrix::AddHalf(int32_t row, int32_t col) {
+  const size_t r = static_cast<size_t>(row);
+  if (CsrContains(row, col)) {
+    // Present in the body: only a pending delete can hide it.
+    if (!SortedErase(&del_[r], col)) return false;
+    --pending_;
+    ++nnz_;
+    return true;
+  }
+  if (!SortedInsert(&add_[r], col)) return false;
+  ++pending_;
+  ++nnz_;
+  return true;
+}
+
+bool DeltaCsrMatrix::RemoveHalf(int32_t row, int32_t col) {
+  const size_t r = static_cast<size_t>(row);
+  if (SortedErase(&add_[r], col)) {
+    --pending_;
+    --nnz_;
+    return true;
+  }
+  if (!CsrContains(row, col)) return false;
+  if (!SortedInsert(&del_[r], col)) return false;
+  ++pending_;
+  --nnz_;
+  return true;
+}
+
+bool DeltaCsrMatrix::AddEdge(int32_t a, int32_t b) {
+  if (a < 0 || a >= rows() || b < 0 || b >= rows() || a == b) return false;
+  if (!AddHalf(a, b)) return false;
+  AddHalf(b, a);  // symmetric slot; invariants keep it in lockstep
+  MaybeMerge();
+  return true;
+}
+
+bool DeltaCsrMatrix::RemoveEdge(int32_t a, int32_t b) {
+  if (a < 0 || a >= rows() || b < 0 || b >= rows() || a == b) return false;
+  if (!RemoveHalf(a, b)) return false;
+  RemoveHalf(b, a);
+  MaybeMerge();
+  return true;
+}
+
+void DeltaCsrMatrix::MaybeMerge() {
+  if (pending_ >= options_.merge_threshold) MergeDelta();
+}
+
+void DeltaCsrMatrix::MergeDelta() {
+  if (pending_ == 0) return;
+  const size_t n = add_.size();
+  std::vector<size_t> new_ptr(n + 1, 0);
+  std::vector<int32_t> new_cols;
+  new_cols.reserve(nnz_);
+  for (size_t r = 0; r < n; ++r) {
+    const int32_t* it = cols_.data() + row_ptr_[r];
+    const int32_t* end = cols_.data() + row_ptr_[r + 1];
+    const std::vector<int32_t>& adds = add_[r];
+    const std::vector<int32_t>& dels = del_[r];
+    size_t ai = 0;
+    size_t di = 0;
+    // Three-way sorted merge: body minus deletes, interleaved with adds
+    // (disjoint from the body by invariant), keeping columns ascending.
+    while (it != end || ai < adds.size()) {
+      if (it == end || (ai < adds.size() && adds[ai] < *it)) {
+        new_cols.push_back(adds[ai++]);
+        continue;
+      }
+      while (di < dels.size() && dels[di] < *it) ++di;
+      if (di < dels.size() && dels[di] == *it) {
+        ++it;
+        continue;
+      }
+      new_cols.push_back(*it++);
+    }
+    new_ptr[r + 1] = new_cols.size();
+  }
+  row_ptr_ = std::move(new_ptr);
+  cols_ = std::move(new_cols);
+  for (size_t r = 0; r < n; ++r) {
+    add_[r].clear();
+    del_[r].clear();
+  }
+  pending_ = 0;
+  ++delta_merges_;
+  DeltaMergesCounter()->Increment();
+}
+
+DeltaCsrStats DeltaCsrMatrix::stats() const {
+  DeltaCsrStats s;
+  s.delta_merges = delta_merges_;
+  s.csr_rebuilds = csr_rebuilds_;
+  s.pending_delta = pending_;
+  s.nnz = nnz_;
+  return s;
+}
+
+uint64_t DeltaCsrMatrix::ApproximateSizeBytes() const {
+  uint64_t bytes = row_ptr_.capacity() * sizeof(size_t) +
+                   cols_.capacity() * sizeof(int32_t);
+  for (size_t r = 0; r < add_.size(); ++r) {
+    bytes += sizeof(std::vector<int32_t>) * 2;
+    bytes += add_[r].capacity() * sizeof(int32_t);
+    bytes += del_[r].capacity() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+}  // namespace graphbench

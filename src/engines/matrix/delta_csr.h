@@ -1,0 +1,122 @@
+#ifndef GRAPHBENCH_ENGINES_MATRIX_DELTA_CSR_H_
+#define GRAPHBENCH_ENGINES_MATRIX_DELTA_CSR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphbench {
+
+/// Tuning knobs for the delta-CSR adjacency matrix (DESIGN.md §10).
+struct DeltaCsrOptions {
+  /// Pending overlay entries (inserts + deletes, summed over all rows)
+  /// tolerated before the overlay is folded into the CSR body. 1 merges
+  /// after every write (pure CSR); SIZE_MAX never merges (pure delta) —
+  /// the two endpoints of the bench_ablation_matrix sweep.
+  size_t merge_threshold = 4096;
+};
+
+/// Traffic counters for one matrix instance, mirrored into the default
+/// obs registry as matrix.delta_merges / matrix.csr_rebuilds.
+struct DeltaCsrStats {
+  uint64_t delta_merges = 0;  // overlay folded into the CSR body
+  uint64_t csr_rebuilds = 0;  // full builds from a fresh adjacency
+  size_t pending_delta = 0;   // overlay entries currently outstanding
+  size_t nnz = 0;             // stored edges (directed slots)
+};
+
+/// A square boolean sparse matrix in CSR form with a sorted delta-list
+/// overlay — the GraphBLAS-style storage for the KNOWS relation
+/// (DESIGN.md §10). The CSR body (`row_ptr` offsets into a flat sorted
+/// column array) is immutable between merges, which is what makes row
+/// gathers and SpMV cache-friendly; streamed updates land in per-row
+/// sorted insert/delete lists consulted by every gather, and are folded
+/// into the body once `merge_threshold` entries accumulate.
+///
+/// Semantics are boolean and symmetric: an edge is present or absent
+/// (duplicate inserts are no-ops), and AddEdge/RemoveEdge maintain both
+/// (a,b) and (b,a) slots. Invariants per row r: add[r] is disjoint from
+/// the CSR row, del[r] is a subset of it, both stay sorted.
+///
+/// NOT internally synchronized: MatrixEngine serializes access (one
+/// writer under an exclusive lock, readers under a shared lock).
+class DeltaCsrMatrix {
+ public:
+  explicit DeltaCsrMatrix(DeltaCsrOptions options = {});
+
+  int32_t rows() const { return static_cast<int32_t>(add_.size()); }
+
+  /// Appends one empty row/column (a new person). O(1): the CSR body
+  /// gains an empty row, the overlay an empty slot.
+  void AddRow();
+
+  /// Rebuilds the CSR body from an explicit adjacency (bulk load). Rows
+  /// are sorted and deduplicated; the overlay is cleared.
+  void Build(std::vector<std::vector<int32_t>> adjacency);
+
+  /// Inserts the undirected edge {a,b}; false if already present (the
+  /// boolean matrix collapses duplicates). May trigger a merge.
+  bool AddEdge(int32_t a, int32_t b);
+
+  /// Removes the undirected edge {a,b}; false if absent. May trigger a
+  /// merge.
+  bool RemoveEdge(int32_t a, int32_t b);
+
+  /// True when the effective matrix (CSR − deletes + inserts) has (row,
+  /// col) set.
+  bool Contains(int32_t row, int32_t col) const;
+
+  /// Effective out-degree of `row`.
+  size_t RowDegree(int32_t row) const;
+
+  /// Visits every set column of `row` (CSR slots minus deletes, then the
+  /// insert overlay), each exactly once. The CSR portion streams in
+  /// ascending column order; overlay inserts follow, also ascending.
+  template <typename Fn>
+  void ForEachInRow(int32_t row, Fn&& fn) const {
+    const size_t r = static_cast<size_t>(row);
+    const int32_t* it = cols_.data() + row_ptr_[r];
+    const int32_t* end = cols_.data() + row_ptr_[r + 1];
+    const std::vector<int32_t>& dels = del_[r];
+    size_t di = 0;
+    for (; it != end; ++it) {
+      while (di < dels.size() && dels[di] < *it) ++di;
+      if (di < dels.size() && dels[di] == *it) continue;
+      fn(*it);
+    }
+    for (int32_t c : add_[r]) fn(c);
+  }
+
+  /// Folds the overlay into the CSR body (also called automatically past
+  /// the merge threshold). Public so tests and the ablation can force the
+  /// pure-CSR configuration.
+  void MergeDelta();
+
+  DeltaCsrStats stats() const;
+  uint64_t ApproximateSizeBytes() const;
+
+ private:
+  // One direction of AddEdge/RemoveEdge; returns whether the slot
+  // changed.
+  bool AddHalf(int32_t row, int32_t col);
+  bool RemoveHalf(int32_t row, int32_t col);
+  // Binary search of the CSR body row.
+  bool CsrContains(int32_t row, int32_t col) const;
+  void MaybeMerge();
+
+  const DeltaCsrOptions options_;
+  // CSR body: cols_[row_ptr_[r] .. row_ptr_[r+1]) sorted ascending.
+  std::vector<size_t> row_ptr_{0};
+  std::vector<int32_t> cols_;
+  // Sorted per-row overlay.
+  std::vector<std::vector<int32_t>> add_;
+  std::vector<std::vector<int32_t>> del_;
+  size_t pending_ = 0;  // total overlay entries
+  size_t nnz_ = 0;      // effective directed edge slots
+  uint64_t delta_merges_ = 0;
+  uint64_t csr_rebuilds_ = 0;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_MATRIX_DELTA_CSR_H_

@@ -1,0 +1,459 @@
+#include "engines/matrix/matrix_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace graphbench {
+namespace {
+
+obs::Counter* SpmvRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("matrix.spmv_rows");
+  return c;
+}
+
+/// Fixed-size bitmap over dense ordinals: the SpMV frontier/visited
+/// vectors.
+class Bitmap {
+ public:
+  explicit Bitmap(size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  bool Test(int32_t i) const {
+    return (words_[size_t(i) >> 6] >> (size_t(i) & 63)) & 1;
+  }
+  void Set(int32_t i) { words_[size_t(i) >> 6] |= uint64_t{1} << (size_t(i) & 63); }
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Visits every set bit in ascending order (the row-order sweep that
+  /// makes the SpMV BFS cache-friendly).
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        w &= w - 1;
+        fn(int32_t(wi * 64 + size_t(bit)));
+      }
+    }
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace
+
+MatrixEngine::MatrixEngine(MatrixEngineOptions options)
+    : options_(options), knows_(options.csr) {}
+
+int32_t MatrixEngine::PersonOrd(int64_t person_id) const {
+  auto it = person_ord_.find(person_id);
+  return it == person_ord_.end() ? -1 : it->second;
+}
+
+int32_t MatrixEngine::InternPerson(const snb::Person& p) {
+  auto it = person_ord_.find(p.id);
+  if (it != person_ord_.end()) return it->second;
+  int32_t ord = int32_t(person_id_.size());
+  person_ord_.emplace(p.id, ord);
+  person_id_.push_back(p.id);
+  first_name_.push_back(p.first_name);
+  last_name_.push_back(p.last_name);
+  gender_.push_back(p.gender);
+  birthday_.push_back(p.birthday);
+  person_creation_.push_back(p.creation_date);
+  browser_.push_back(p.browser);
+  location_ip_.push_back(p.location_ip);
+  posts_by_creator_.emplace_back();
+  knows_.AddRow();
+  side_string_bytes_ += p.first_name.size() + p.last_name.size() +
+                        p.gender.size() + p.browser.size() +
+                        p.location_ip.size();
+  return ord;
+}
+
+void MatrixEngine::AppendPost(const snb::Post& p) {
+  int32_t ord = int32_t(post_id_.size());
+  post_ord_.emplace(p.id, ord);
+  post_id_.push_back(p.id);
+  post_content_.push_back(p.content);
+  post_creation_.push_back(p.creation_date);
+  replies_of_post_.emplace_back();
+  int32_t creator = PersonOrd(p.creator);
+  post_creator_.push_back(creator);
+  if (creator >= 0) posts_by_creator_[size_t(creator)].push_back(ord);
+  side_string_bytes_ += p.content.size() + p.browser.size();
+}
+
+void MatrixEngine::AppendComment(const snb::Comment& c) {
+  int32_t ord = int32_t(comment_id_.size());
+  comment_id_.push_back(c.id);
+  comment_content_.push_back(c.content);
+  comment_creation_.push_back(c.creation_date);
+  comment_creator_.push_back(c.creator);
+  if (c.reply_of_post >= 0) {
+    auto it = post_ord_.find(c.reply_of_post);
+    if (it != post_ord_.end()) {
+      replies_of_post_[size_t(it->second)].push_back(ord);
+    }
+  }
+  side_string_bytes_ += c.content.size();
+}
+
+Status MatrixEngine::Load(const snb::Dataset& data) {
+  std::unique_lock lock(mu_);
+  for (const snb::Person& p : data.persons) InternPerson(p);
+  // Bulk path: materialize the adjacency once and CSR-pack it in one
+  // Build, instead of n AddEdge overlay inserts followed by merges.
+  std::vector<std::vector<int32_t>> adjacency(person_id_.size());
+  for (const snb::Knows& k : data.knows) {
+    int32_t a = PersonOrd(k.person1);
+    int32_t b = PersonOrd(k.person2);
+    if (a < 0 || b < 0) {
+      return Status::Corruption("knows references unknown person");
+    }
+    adjacency[size_t(a)].push_back(b);
+    adjacency[size_t(b)].push_back(a);
+  }
+  knows_.Build(std::move(adjacency));
+  for (const snb::Post& p : data.posts) AppendPost(p);
+  for (const snb::Comment& c : data.comments) AppendComment(c);
+  forums_ = data.forums;
+  member_count_ = data.members.size();
+  like_count_ = data.likes.size();
+  return Status::OK();
+}
+
+QueryResult MatrixEngine::PointLookup(int64_t person_id) const {
+  obs::OpTimer op("column_lookup");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"p.firstName", "p.lastName",    "p.gender",
+               "p.birthday",  "p.browserUsed", "p.locationIP"};
+  int32_t ord = PersonOrd(person_id);
+  if (ord < 0) return r;
+  size_t i = size_t(ord);
+  r.rows.push_back({Value(first_name_[i]), Value(last_name_[i]),
+                    Value(gender_[i]), Value(birthday_[i]),
+                    Value(browser_[i]), Value(location_ip_[i])});
+  op.AddRows(1);
+  return r;
+}
+
+QueryResult MatrixEngine::OneHop(int64_t person_id) const {
+  obs::OpTimer op("spmv_gather");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"f.id", "f.firstName", "f.lastName"};
+  int32_t ord = PersonOrd(person_id);
+  if (ord < 0) return r;
+  knows_.ForEachInRow(ord, [&](int32_t f) {
+    size_t i = size_t(f);
+    r.rows.push_back(
+        {Value(person_id_[i]), Value(first_name_[i]), Value(last_name_[i])});
+  });
+  spmv_rows_.fetch_add(1, std::memory_order_relaxed);
+  SpmvRowsCounter()->Increment();
+  op.AddRows(r.rows.size());
+  return r;
+}
+
+QueryResult MatrixEngine::TwoHop(int64_t person_id) const {
+  obs::OpTimer op("masked_spgemm");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"ff.id"};
+  int32_t ord = PersonOrd(person_id);
+  if (ord < 0) return r;
+  // Masked SpGEMM row: (A · A_row)(ord) with the self bit masked out. The
+  // `seen` bitmap is both the DISTINCT and the mask — direct friends stay
+  // includable (they are reachable in two hops through a mutual friend),
+  // matching the reference semantics where only self is excluded.
+  Bitmap seen(size_t(knows_.rows()));
+  seen.Set(ord);
+  uint64_t gathered = 1;
+  knows_.ForEachInRow(ord, [&](int32_t f) {
+    ++gathered;
+    knows_.ForEachInRow(f, [&](int32_t ff) {
+      if (seen.Test(ff)) return;
+      seen.Set(ff);
+      r.rows.push_back({Value(person_id_[size_t(ff)])});
+    });
+  });
+  // A direct friend that is *not* reachable in two hops was masked by
+  // `seen` without ever being emitted — correct, since the mask seeded
+  // only self; friends enter `seen` exclusively via second-level gathers.
+  spmv_rows_.fetch_add(gathered, std::memory_order_relaxed);
+  SpmvRowsCounter()->Increment(gathered);
+  op.AddRows(r.rows.size());
+  return r;
+}
+
+int MatrixEngine::ShortestPathSpmvLocked(int32_t src, int32_t dst) const {
+  const size_t n = size_t(knows_.rows());
+  Bitmap visited(n);
+  Bitmap frontier(n);
+  Bitmap next(n);
+  visited.Set(src);
+  frontier.Set(src);
+  uint64_t rows_gathered = 0;
+  int depth = 0;
+  bool found = false;
+  while (!found && !frontier.Empty()) {
+    ++depth;
+    next.Clear();
+    // One SpMV step: y = A^T x over the frontier bitmap, masked by
+    // !visited. Rows stream in ascending order — the cache-friendly sweep
+    // the ablation measures against the pointer-chasing walk.
+    frontier.ForEachSet([&](int32_t row) {
+      ++rows_gathered;
+      knows_.ForEachInRow(row, [&](int32_t col) {
+        if (visited.Test(col)) return;
+        visited.Set(col);
+        next.Set(col);
+        if (col == dst) found = true;
+      });
+    });
+    std::swap(frontier, next);
+  }
+  spmv_rows_.fetch_add(rows_gathered, std::memory_order_relaxed);
+  SpmvRowsCounter()->Increment(rows_gathered);
+  return found ? depth : -1;
+}
+
+int MatrixEngine::ShortestPathPointerChasingLocked(int32_t src,
+                                                   int32_t dst) const {
+  const size_t n = size_t(knows_.rows());
+  std::vector<int32_t> dist(n, -1);
+  dist[size_t(src)] = 0;
+  std::deque<int32_t> queue{src};
+  while (!queue.empty()) {
+    int32_t v = queue.front();
+    queue.pop_front();
+    if (v == dst) return dist[size_t(v)];
+    int32_t next = dist[size_t(v)] + 1;
+    bool hit = false;
+    knows_.ForEachInRow(v, [&](int32_t nb) {
+      if (dist[size_t(nb)] >= 0) return;
+      dist[size_t(nb)] = next;
+      if (nb == dst) hit = true;
+      queue.push_back(nb);
+    });
+    if (hit) return next;
+  }
+  return -1;
+}
+
+int MatrixEngine::ShortestPathLen(int64_t from_person,
+                                  int64_t to_person) const {
+  obs::OpTimer op("spmv_bfs");
+  std::shared_lock lock(mu_);
+  int32_t src = PersonOrd(from_person);
+  int32_t dst = PersonOrd(to_person);
+  if (src < 0 || dst < 0) return -1;
+  if (src == dst) return 0;
+  return options_.bfs == MatrixBfsKind::kSpmv
+             ? ShortestPathSpmvLocked(src, dst)
+             : ShortestPathPointerChasingLocked(src, dst);
+}
+
+QueryResult MatrixEngine::RecentPosts(int64_t person_id,
+                                      int64_t limit) const {
+  obs::OpTimer op("column_sort");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"post.id", "post.content", "post.creationDate"};
+  int32_t ord = PersonOrd(person_id);
+  if (ord < 0 || limit <= 0) return r;
+  std::vector<int32_t> posts = posts_by_creator_[size_t(ord)];
+  std::stable_sort(posts.begin(), posts.end(), [this](int32_t a, int32_t b) {
+    return post_creation_[size_t(a)] > post_creation_[size_t(b)];
+  });
+  if (posts.size() > size_t(limit)) posts.resize(size_t(limit));
+  for (int32_t p : posts) {
+    size_t i = size_t(p);
+    r.rows.push_back({Value(post_id_[i]), Value(post_content_[i]),
+                      Value(post_creation_[i])});
+  }
+  op.AddRows(r.rows.size());
+  return r;
+}
+
+QueryResult MatrixEngine::FriendsWithName(int64_t person_id,
+                                          const std::string& first_name) const {
+  obs::OpTimer op("spmv_gather");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"f.id", "f.lastName"};
+  int32_t ord = PersonOrd(person_id);
+  if (ord < 0) return r;
+  std::vector<int32_t> matches;
+  knows_.ForEachInRow(ord, [&](int32_t f) {
+    if (first_name_[size_t(f)] == first_name) matches.push_back(f);
+  });
+  spmv_rows_.fetch_add(1, std::memory_order_relaxed);
+  SpmvRowsCounter()->Increment();
+  // ORDER BY f.id: ordinals are insertion order, not id order.
+  std::sort(matches.begin(), matches.end(), [this](int32_t a, int32_t b) {
+    return person_id_[size_t(a)] < person_id_[size_t(b)];
+  });
+  for (int32_t f : matches) {
+    r.rows.push_back({Value(person_id_[size_t(f)]),
+                      Value(last_name_[size_t(f)])});
+  }
+  op.AddRows(r.rows.size());
+  return r;
+}
+
+QueryResult MatrixEngine::RepliesOfPost(int64_t post_id) const {
+  obs::OpTimer op("column_sort");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"c.id", "c.content", "cr.id"};
+  auto it = post_ord_.find(post_id);
+  if (it == post_ord_.end()) return r;
+  std::vector<int32_t> replies = replies_of_post_[size_t(it->second)];
+  std::stable_sort(replies.begin(), replies.end(),
+                   [this](int32_t a, int32_t b) {
+                     return comment_creation_[size_t(a)] >
+                            comment_creation_[size_t(b)];
+                   });
+  for (int32_t c : replies) {
+    size_t i = size_t(c);
+    r.rows.push_back({Value(comment_id_[i]), Value(comment_content_[i]),
+                      Value(comment_creator_[i])});
+  }
+  op.AddRows(r.rows.size());
+  return r;
+}
+
+QueryResult MatrixEngine::TopPosters(int64_t limit) const {
+  obs::OpTimer op("column_aggregate");
+  std::shared_lock lock(mu_);
+  QueryResult r;
+  r.columns = {"p.id", "n"};
+  if (limit <= 0) return r;
+  // Aggregate straight off the posts_by_creator_ column: persons without
+  // posts never rank (the MATCH semantics of the reference query).
+  std::vector<int32_t> creators;
+  for (size_t i = 0; i < posts_by_creator_.size(); ++i) {
+    if (!posts_by_creator_[i].empty()) creators.push_back(int32_t(i));
+  }
+  auto rank = [this](int32_t a, int32_t b) {
+    size_t ca = posts_by_creator_[size_t(a)].size();
+    size_t cb = posts_by_creator_[size_t(b)].size();
+    if (ca != cb) return ca > cb;
+    return person_id_[size_t(a)] < person_id_[size_t(b)];
+  };
+  size_t k = std::min(size_t(limit), creators.size());
+  std::partial_sort(creators.begin(), creators.begin() + long(k),
+                    creators.end(), rank);
+  creators.resize(k);
+  for (int32_t c : creators) {
+    r.rows.push_back({Value(person_id_[size_t(c)]),
+                      Value(int64_t(posts_by_creator_[size_t(c)].size()))});
+  }
+  op.AddRows(r.rows.size());
+  return r;
+}
+
+Status MatrixEngine::Apply(const snb::UpdateOp& op, bool* knows_changed) {
+  obs::OpTimer timer("matrix_apply");
+  if (knows_changed != nullptr) *knows_changed = false;
+  std::unique_lock lock(mu_);
+  using K = snb::UpdateOp::Kind;
+  switch (op.kind) {
+    case K::kAddPerson:
+      InternPerson(op.person);
+      return Status::OK();
+    case K::kAddFriendship: {
+      int32_t a = PersonOrd(op.knows.person1);
+      int32_t b = PersonOrd(op.knows.person2);
+      // Unknown endpoints no-op, mirroring a MATCH that binds nothing.
+      if (a < 0 || b < 0) return Status::OK();
+      bool changed = knows_.AddEdge(a, b);
+      if (knows_changed != nullptr) *knows_changed = changed;
+      return Status::OK();
+    }
+    case K::kRemoveFriendship: {
+      int32_t a = PersonOrd(op.knows.person1);
+      int32_t b = PersonOrd(op.knows.person2);
+      if (a < 0 || b < 0) {
+        return Status::NotFound("unfriend references unknown person");
+      }
+      if (!knows_.RemoveEdge(a, b)) {
+        return Status::NotFound("no knows edge to remove");
+      }
+      if (knows_changed != nullptr) *knows_changed = true;
+      return Status::OK();
+    }
+    case K::kAddPost:
+      if (post_ord_.count(op.post.id)) {
+        return Status::AlreadyExists("duplicate post id");
+      }
+      AppendPost(op.post);
+      return Status::OK();
+    case K::kAddComment:
+      AppendComment(op.comment);
+      return Status::OK();
+    case K::kAddForum:
+      forums_.push_back(op.forum);
+      side_string_bytes_ += op.forum.title.size();
+      return Status::OK();
+    case K::kAddForumMember:
+      ++member_count_;
+      return Status::OK();
+    case K::kAddLikePost:
+    case K::kAddLikeComment:
+      ++like_count_;
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
+uint64_t MatrixEngine::SizeBytes() const {
+  std::shared_lock lock(mu_);
+  uint64_t bytes = knows_.ApproximateSizeBytes() + side_string_bytes_;
+  bytes += person_id_.capacity() * sizeof(int64_t) * 3;  // id/birthday/created
+  bytes += person_id_.capacity() * sizeof(std::string) * 5;
+  bytes += post_id_.capacity() * (sizeof(int64_t) * 2 + sizeof(int32_t) +
+                                  sizeof(std::string));
+  bytes += comment_id_.capacity() * (sizeof(int64_t) * 3 +
+                                     sizeof(std::string));
+  for (const auto& v : posts_by_creator_) {
+    bytes += v.capacity() * sizeof(int32_t) + sizeof(v);
+  }
+  for (const auto& v : replies_of_post_) {
+    bytes += v.capacity() * sizeof(int32_t) + sizeof(v);
+  }
+  bytes += (person_ord_.size() + post_ord_.size()) *
+           (sizeof(int64_t) + sizeof(int32_t) + sizeof(void*) * 2);
+  bytes += forums_.size() * sizeof(snb::Forum);
+  bytes += (member_count_ + like_count_) * sizeof(int64_t);
+  return bytes;
+}
+
+MatrixStats MatrixEngine::stats() const {
+  std::shared_lock lock(mu_);
+  DeltaCsrStats c = knows_.stats();
+  MatrixStats s;
+  s.spmv_rows = spmv_rows_.load(std::memory_order_relaxed);
+  s.delta_merges = c.delta_merges;
+  s.csr_rebuilds = c.csr_rebuilds;
+  s.pending_delta = c.pending_delta;
+  s.nnz = c.nnz;
+  return s;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,141 @@
+#ifndef GRAPHBENCH_ENGINES_MATRIX_MATRIX_ENGINE_H_
+#define GRAPHBENCH_ENGINES_MATRIX_MATRIX_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/matrix/delta_csr.h"
+#include "engines/relational/query_result.h"
+#include "snb/schema.h"
+#include "util/result.h"
+
+namespace graphbench {
+
+/// Which BFS the engine runs for ShortestPathLen — the axis of the
+/// bench_ablation_matrix algorithm comparison.
+enum class MatrixBfsKind : uint8_t {
+  /// Level-synchronous repeated SpMV: the frontier is a bitmap, each level
+  /// sweeps the frontier rows of the adjacency matrix in row order and
+  /// ORs unreached columns into the next frontier (the GraphBLAS idiom).
+  kSpmv,
+  /// Per-vertex FIFO walk (the native-graph style): pop one vertex, chase
+  /// its adjacency, push unseen neighbors. Same answers, no frontier
+  /// batching — the cache-behavior baseline the SpMV sweep is measured
+  /// against.
+  kPointerChasing,
+};
+
+struct MatrixEngineOptions {
+  DeltaCsrOptions csr;
+  MatrixBfsKind bfs = MatrixBfsKind::kSpmv;
+};
+
+/// Engine traffic, mirrored into the default obs registry as
+/// matrix.spmv_rows / matrix.delta_merges / matrix.csr_rebuilds.
+struct MatrixStats {
+  uint64_t spmv_rows = 0;  // adjacency rows gathered by reads
+  uint64_t delta_merges = 0;
+  uint64_t csr_rebuilds = 0;
+  size_t pending_delta = 0;
+  size_t nnz = 0;
+};
+
+/// The linear-algebra substrate (DESIGN.md §10): the KNOWS relation as a
+/// boolean delta-CSR adjacency matrix over dense person ordinals, with
+/// person/post/comment properties in columnar side tables that share the
+/// same ordinals. Graph reads are matrix operations — OneHop is one SpMV
+/// row gather, TwoHop a masked SpGEMM-style two-level gather, shortest
+/// path a repeated-SpMV BFS over bitmaps — and the property reads scan or
+/// index the columns directly. There is no query language: MatrixSut calls
+/// these methods straight, the RedisGraph/GraphBLAS design point.
+///
+/// Concurrency follows the repo's one-writer/many-readers discipline:
+/// queries take the shared lock, Load/Apply the exclusive lock; read-side
+/// stats are relaxed atomics.
+class MatrixEngine {
+ public:
+  explicit MatrixEngine(MatrixEngineOptions options = {});
+
+  Status Load(const snb::Dataset& data);
+
+  // --- Reads (columns match the Cypher reference SUT positionally) ------
+  QueryResult PointLookup(int64_t person_id) const;
+  QueryResult OneHop(int64_t person_id) const;
+  QueryResult TwoHop(int64_t person_id) const;
+  /// -1 when unreachable or either person is unknown.
+  int ShortestPathLen(int64_t from_person, int64_t to_person) const;
+  QueryResult RecentPosts(int64_t person_id, int64_t limit) const;
+  QueryResult FriendsWithName(int64_t person_id,
+                              const std::string& first_name) const;
+  QueryResult RepliesOfPost(int64_t post_id) const;
+  QueryResult TopPosters(int64_t limit) const;
+
+  /// Applies one update-stream op. `knows_changed` (may be null) reports
+  /// whether the adjacency matrix actually mutated — false for duplicate
+  /// friendship inserts the boolean matrix collapses — so the caller fires
+  /// landmark invalidation hooks only for real mutations.
+  Status Apply(const snb::UpdateOp& op, bool* knows_changed = nullptr);
+
+  uint64_t SizeBytes() const;
+  MatrixStats stats() const;
+
+ private:
+  // Dense ordinal of a person/post id, or -1 when unknown; mu_ held.
+  int32_t PersonOrd(int64_t person_id) const;
+  // Interns a person id, growing the matrix and every person column
+  // (missing property cells default-initialize); mu_ held exclusively.
+  int32_t InternPerson(const snb::Person& p);
+  void AppendPost(const snb::Post& p);
+  void AppendComment(const snb::Comment& c);
+  int ShortestPathSpmvLocked(int32_t src, int32_t dst) const;
+  int ShortestPathPointerChasingLocked(int32_t src, int32_t dst) const;
+
+  const MatrixEngineOptions options_;
+  mutable std::shared_mutex mu_;
+
+  DeltaCsrMatrix knows_;
+
+  // Person columns, indexed by matrix row ordinal.
+  std::unordered_map<int64_t, int32_t> person_ord_;
+  std::vector<int64_t> person_id_;
+  std::vector<std::string> first_name_;
+  std::vector<std::string> last_name_;
+  std::vector<std::string> gender_;
+  std::vector<int64_t> birthday_;
+  std::vector<int64_t> person_creation_;
+  std::vector<std::string> browser_;
+  std::vector<std::string> location_ip_;
+  std::vector<std::vector<int32_t>> posts_by_creator_;  // post ordinals
+
+  // Post columns, indexed by post ordinal.
+  std::unordered_map<int64_t, int32_t> post_ord_;
+  std::vector<int64_t> post_id_;
+  std::vector<std::string> post_content_;
+  std::vector<int64_t> post_creation_;
+  std::vector<int32_t> post_creator_;  // person ordinal, -1 unknown
+  std::vector<std::vector<int32_t>> replies_of_post_;  // comment ordinals
+
+  // Comment columns, indexed by comment ordinal.
+  std::vector<int64_t> comment_id_;
+  std::vector<std::string> comment_content_;
+  std::vector<int64_t> comment_creation_;
+  std::vector<int64_t> comment_creator_;  // person id (for the cr.id column)
+
+  // Entities no read query touches, kept only so Apply is total and
+  // SizeBytes honest: forums/members/likes as flat rows.
+  std::vector<snb::Forum> forums_;
+  uint64_t member_count_ = 0;
+  uint64_t like_count_ = 0;
+  uint64_t side_string_bytes_ = 0;  // content/name bytes across columns
+
+  // Read-side counter: bumped under the shared lock.
+  mutable std::atomic<uint64_t> spmv_rows_{0};
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_ENGINES_MATRIX_MATRIX_ENGINE_H_

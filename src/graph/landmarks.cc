@@ -79,21 +79,64 @@ void LandmarkIndex::BfsLocked(int32_t source,
 }
 
 void LandmarkIndex::BuildLocked() {
-  // Hubs: highest knows-degree first, person id as deterministic
-  // tie-break (the paper's generator hands every run the same hubs).
-  std::vector<int32_t> order(adj_.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
-  std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
-    if (adj_[a].size() != adj_[b].size())
-      return adj_[a].size() > adj_[b].size();
-    return ids_[a] < ids_[b];
-  });
-  size_t k = std::min<size_t>(
-      order.size(), static_cast<size_t>(std::max(options_.num_landmarks, 0)));
-  landmarks_.assign(order.begin(), order.begin() + k);
-  dist_.resize(landmarks_.size());
-  for (size_t i = 0; i < landmarks_.size(); ++i)
-    BfsLocked(landmarks_[i], &dist_[i]);
+  const size_t n = adj_.size();
+  const size_t k = std::min<size_t>(
+      n, static_cast<size_t>(std::max(options_.num_landmarks, 0)));
+  if (options_.hub_selection == HubSelection::kCoverage) {
+    // Farthest-point coverage: seed with the highest-degree person, then
+    // repeatedly take the person farthest from every hub chosen so far
+    // (unreachable counts as infinitely far, so each extra component gets
+    // a hub before any component gets its second). Each selection's BFS
+    // doubles as the hub's distance vector — same K-BFS cost as kDegree.
+    // All tie-breaks are deterministic: degree desc, then id asc.
+    landmarks_.clear();
+    dist_.clear();
+    std::vector<bool> chosen(n, false);
+    std::vector<int> mindist(n, kInfinity);
+    auto beats = [this, &mindist](int32_t a, int32_t b) {
+      // True when a is a strictly better next hub than b.
+      if (mindist[a] != mindist[b]) return mindist[a] > mindist[b];
+      if (adj_[a].size() != adj_[b].size())
+        return adj_[a].size() > adj_[b].size();
+      return ids_[a] < ids_[b];
+    };
+    int32_t next = -1;
+    for (size_t i = 0; i < n; ++i) {
+      int32_t c = static_cast<int32_t>(i);
+      if (next < 0 || beats(c, next)) next = c;
+    }
+    while (landmarks_.size() < k) {
+      chosen[next] = true;
+      landmarks_.push_back(next);
+      dist_.emplace_back();
+      BfsLocked(next, &dist_.back());
+      const std::vector<int32_t>& d = dist_.back();
+      for (size_t i = 0; i < n; ++i) {
+        if (d[i] != kUnreachable && d[i] < mindist[i]) mindist[i] = d[i];
+      }
+      next = -1;
+      for (size_t i = 0; i < n; ++i) {
+        int32_t c = static_cast<int32_t>(i);
+        if (chosen[i]) continue;
+        if (next < 0 || beats(c, next)) next = c;
+      }
+      if (next < 0) break;  // fewer persons than landmarks
+    }
+  } else {
+    // Hubs: highest knows-degree first, person id as deterministic
+    // tie-break (the paper's generator hands every run the same hubs).
+    std::vector<int32_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+    std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+      if (adj_[a].size() != adj_[b].size())
+        return adj_[a].size() > adj_[b].size();
+      return ids_[a] < ids_[b];
+    });
+    landmarks_.assign(order.begin(), order.begin() + k);
+    dist_.resize(landmarks_.size());
+    for (size_t i = 0; i < landmarks_.size(); ++i)
+      BfsLocked(landmarks_[i], &dist_[i]);
+  }
   built_ = true;
   built_epoch_ = epoch_;
   writes_since_build_ = 0;

@@ -10,6 +10,24 @@
 
 namespace graphbench {
 
+/// How Build picks its hub persons (DESIGN.md §9).
+enum class HubSelection : uint8_t {
+  /// The K highest-degree persons. Cheap (no extra BFS work) and strong
+  /// on hub-and-spoke cores, but the hubs cluster together, so pairs on
+  /// low-degree periphery chains keep loose bounds and fall through to
+  /// the pruned search.
+  kDegree,
+  /// Farthest-point coverage: the first hub is the highest-degree person;
+  /// each next hub is the person farthest (in hops) from every hub chosen
+  /// so far, with unreachable treated as infinitely far so secondary
+  /// components get a hub before any component gets a second one.
+  /// Ties break toward higher degree, then lower id. Costs the same K
+  /// BFS passes as kDegree (each selection BFS doubles as the hub's
+  /// distance vector) and spreads hubs across the graph, tightening
+  /// bounds on exactly the periphery pairs kDegree leaves loose.
+  kCoverage,
+};
+
 /// Tuning knobs for the landmark index (DESIGN.md §9).
 struct LandmarkOptions {
   /// Number of hub persons to precompute distance vectors from. More
@@ -22,6 +40,8 @@ struct LandmarkOptions {
   /// Full rebuild (with fresh hub selection) after this many knows writes
   /// since the last build, so hubs track the mutating degree distribution.
   uint64_t rebuild_churn_threshold = 50000;
+  /// Hub selection policy applied at every (re)build.
+  HubSelection hub_selection = HubSelection::kDegree;
 };
 
 /// Aggregated index traffic, mirrored into the default obs registry as

@@ -47,8 +47,10 @@ class CypherSut : public Sut {
   }
   std::string StatementText(std::string_view kind) const override;
 
-  void EnableLandmarks() override {
-    if (landmarks_ == nullptr) landmarks_ = std::make_unique<LandmarkIndex>();
+  void EnableLandmarks(const LandmarkOptions& options = {}) override {
+    if (landmarks_ == nullptr) {
+      landmarks_ = std::make_unique<LandmarkIndex>(options);
+    }
   }
   bool landmarks_enabled() const override { return landmarks_ != nullptr; }
   LandmarkStats landmark_stats() const override {

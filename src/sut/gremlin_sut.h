@@ -64,8 +64,10 @@ class GremlinSut : public Sut {
     return server_->plan_cache_stats();
   }
 
-  void EnableLandmarks() override {
-    if (landmarks_ == nullptr) landmarks_ = std::make_unique<LandmarkIndex>();
+  void EnableLandmarks(const LandmarkOptions& options = {}) override {
+    if (landmarks_ == nullptr) {
+      landmarks_ = std::make_unique<LandmarkIndex>(options);
+    }
   }
   bool landmarks_enabled() const override { return landmarks_ != nullptr; }
   LandmarkStats landmark_stats() const override {

@@ -1,0 +1,94 @@
+#include "sut/matrix_sut.h"
+
+#include <optional>
+#include <utility>
+
+namespace graphbench {
+
+MatrixSut::MatrixSut(MatrixEngineOptions options) : engine_(options) {}
+
+Status MatrixSut::Load(const snb::Dataset& data) {
+  GB_RETURN_IF_ERROR(engine_.Load(data));
+  if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
+  return Status::OK();
+}
+
+Result<QueryResult> MatrixSut::PointLookup(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.PointLookup(person_id);
+}
+
+Result<QueryResult> MatrixSut::OneHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.OneHop(person_id);
+}
+
+Result<QueryResult> MatrixSut::TwoHop(int64_t person_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.TwoHop(person_id);
+}
+
+Result<int> MatrixSut::ShortestPathLen(int64_t from_person,
+                                       int64_t to_person) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  if (landmarks_ != nullptr) {
+    if (std::optional<int> len =
+            landmarks_->ShortestPathLen(from_person, to_person)) {
+      return *len;
+    }
+  }
+  return engine_.ShortestPathLen(from_person, to_person);
+}
+
+Result<QueryResult> MatrixSut::RecentPosts(int64_t person_id, int64_t limit) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.RecentPosts(person_id, limit);
+}
+
+Result<QueryResult> MatrixSut::FriendsWithName(
+    int64_t person_id, const std::string& first_name) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.FriendsWithName(person_id, first_name);
+}
+
+Result<QueryResult> MatrixSut::RepliesOfPost(int64_t post_id) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.RepliesOfPost(post_id);
+}
+
+Result<QueryResult> MatrixSut::TopPosters(int64_t limit) {
+  obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
+  return engine_.TopPosters(limit);
+}
+
+Status MatrixSut::Apply(const snb::UpdateOp& op) {
+  obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
+  bool knows_changed = false;
+  Status st = engine_.Apply(op, &knows_changed);
+  if (!st.ok() || landmarks_ == nullptr) return st;
+  // The landmark mirror is dup-tolerant but the boolean matrix collapses
+  // duplicate friendships, so hooks fire only when the matrix actually
+  // mutated — otherwise a duplicated insert followed by one remove would
+  // leave a phantom parallel edge in the mirror.
+  using K = snb::UpdateOp::Kind;
+  switch (op.kind) {
+    case K::kAddPerson:
+      landmarks_->OnPersonAdded(op.person.id);
+      break;
+    case K::kAddFriendship:
+      if (knows_changed) {
+        landmarks_->OnEdgeAdded(op.knows.person1, op.knows.person2);
+      }
+      break;
+    case K::kRemoveFriendship:
+      if (knows_changed) {
+        landmarks_->OnEdgeRemoved(op.knows.person1, op.knows.person2);
+      }
+      break;
+    default:
+      break;
+  }
+  return st;
+}
+
+}  // namespace graphbench

@@ -1,0 +1,67 @@
+#ifndef GRAPHBENCH_SUT_MATRIX_SUT_H_
+#define GRAPHBENCH_SUT_MATRIX_SUT_H_
+
+#include <memory>
+#include <string>
+
+#include "engines/matrix/matrix_engine.h"
+#include "obs/metrics.h"
+#include "snb/schema.h"
+#include "sut/sut.h"
+
+namespace graphbench {
+
+/// Matrix (GraphBLAS): the ninth configuration — the graph as a sparse
+/// boolean adjacency matrix with queries as linear-algebra kernels, the
+/// RedisGraph design point the paper's taxonomy omits. There is no query
+/// language in front of the engine: each benchmark query maps directly to
+/// a matrix or column-table operation, which is what makes this column the
+/// raw-speed bar for the k-hop reads (ROADMAP: "Ninth SUT").
+class MatrixSut : public Sut {
+ public:
+  explicit MatrixSut(MatrixEngineOptions options = {});
+
+  std::string name() const override { return "Matrix (GraphBLAS)"; }
+  Status Load(const snb::Dataset& data) override;
+  Result<QueryResult> PointLookup(int64_t person_id) override;
+  Result<QueryResult> OneHop(int64_t person_id) override;
+  Result<QueryResult> TwoHop(int64_t person_id) override;
+  Result<int> ShortestPathLen(int64_t from_person,
+                              int64_t to_person) override;
+  Result<QueryResult> RecentPosts(int64_t person_id,
+                                  int64_t limit) override;
+  Result<QueryResult> FriendsWithName(int64_t person_id,
+                                      const std::string& first_name) override;
+  Result<QueryResult> RepliesOfPost(int64_t post_id) override;
+  Result<QueryResult> TopPosters(int64_t limit) override;
+  Status Apply(const snb::UpdateOp& op) override;
+  uint64_t SizeBytes() const override { return engine_.SizeBytes(); }
+
+  /// The engine has no statement texts to parse, so the plan cache is a
+  /// recorded no-op: the flag round-trips (the equivalence harness asserts
+  /// enable-state across every SUT) but no cache exists to hit or miss.
+  void EnablePlanCache() override { plan_cache_ = true; }
+  bool plan_cache_enabled() const override { return plan_cache_; }
+
+  void EnableLandmarks(const LandmarkOptions& options = {}) override {
+    if (landmarks_ == nullptr) {
+      landmarks_ = std::make_unique<LandmarkIndex>(options);
+    }
+  }
+  bool landmarks_enabled() const override { return landmarks_ != nullptr; }
+  LandmarkStats landmark_stats() const override {
+    return landmarks_ == nullptr ? LandmarkStats{} : landmarks_->stats();
+  }
+
+  MatrixStats matrix_stats() const { return engine_.stats(); }
+
+ private:
+  MatrixEngine engine_;
+  obs::SutProbe probe_{"matrix"};
+  bool plan_cache_ = false;
+  std::unique_ptr<LandmarkIndex> landmarks_;
+};
+
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_SUT_MATRIX_SUT_H_

@@ -2,6 +2,7 @@
 
 #include "sut/cypher_sut.h"
 #include "sut/gremlin_sut.h"
+#include "sut/matrix_sut.h"
 #include "sut/relational_sut.h"
 #include "sut/sparql_sut.h"
 #include "util/string_util.h"
@@ -26,20 +27,27 @@ std::unique_ptr<Sut> MakeSut(SutKind kind) {
       return std::make_unique<RelationalSut>(StorageMode::kColumnar);
     case SutKind::kVirtuosoSparql:
       return std::make_unique<SparqlSut>();
+    case SutKind::kMatrix:
+      return std::make_unique<MatrixSut>();
   }
   return nullptr;
 }
 
-std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache) {
+std::unique_ptr<Sut> MakeSut(SutKind kind, const SutOptions& options) {
   std::unique_ptr<Sut> sut = MakeSut(kind);
-  if (plan_cache && sut != nullptr) sut->EnablePlanCache();
+  if (sut == nullptr) return sut;
+  if (options.plan_cache) sut->EnablePlanCache();
+  if (options.landmarks) sut->EnableLandmarks(options.landmark_options);
   return sut;
 }
 
+std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache) {
+  return MakeSut(kind, SutOptions{.plan_cache = plan_cache});
+}
+
 std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache, bool landmarks) {
-  std::unique_ptr<Sut> sut = MakeSut(kind, plan_cache);
-  if (landmarks && sut != nullptr) sut->EnableLandmarks();
-  return sut;
+  return MakeSut(kind,
+                 SutOptions{.plan_cache = plan_cache, .landmarks = landmarks});
 }
 
 void SeedLandmarkIndex(const snb::Dataset& data, LandmarkIndex* index) {
@@ -49,9 +57,11 @@ void SeedLandmarkIndex(const snb::Dataset& data, LandmarkIndex* index) {
 }
 
 std::vector<SutKind> AllSutKinds() {
-  return {SutKind::kNeo4jCypher, SutKind::kNeo4jGremlin, SutKind::kTitanC,
-          SutKind::kTitanB,      SutKind::kSqlg,         SutKind::kPostgresSql,
-          SutKind::kVirtuosoSql, SutKind::kVirtuosoSparql};
+  return {SutKind::kNeo4jCypher, SutKind::kNeo4jGremlin,
+          SutKind::kTitanC,      SutKind::kTitanB,
+          SutKind::kSqlg,        SutKind::kPostgresSql,
+          SutKind::kVirtuosoSql, SutKind::kVirtuosoSparql,
+          SutKind::kMatrix};
 }
 
 const char* SutKindName(SutKind kind) {
@@ -64,6 +74,7 @@ const char* SutKindName(SutKind kind) {
     case SutKind::kPostgresSql: return "Postgres (SQL)";
     case SutKind::kVirtuosoSql: return "Virtuoso (SQL)";
     case SutKind::kVirtuosoSparql: return "Virtuoso (SPARQL)";
+    case SutKind::kMatrix: return "Matrix (GraphBLAS)";
   }
   return "unknown";
 }
@@ -78,6 +89,7 @@ const char* SutKindId(SutKind kind) {
     case SutKind::kPostgresSql: return "postgres";
     case SutKind::kVirtuosoSql: return "virtuoso";
     case SutKind::kVirtuosoSparql: return "sparql";
+    case SutKind::kMatrix: return "matrix";
   }
   return "unknown";
 }
@@ -96,6 +108,9 @@ Result<SutKind> ParseSutKind(std::string_view name) {
     return SutKind::kVirtuosoSparql;
   }
   if (EqualsIgnoreCase(name, "titan")) return SutKind::kTitanC;
+  if (EqualsIgnoreCase(name, "graphblas") || EqualsIgnoreCase(name, "linalg")) {
+    return SutKind::kMatrix;
+  }
   std::string known;
   for (SutKind kind : AllSutKinds()) {
     if (!known.empty()) known += "|";

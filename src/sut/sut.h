@@ -99,15 +99,20 @@ class Sut {
   /// Opts the SUT into the shared landmark index: call before Load, and
   /// ShortestPathLen answers through landmark-derived bounds that prune
   /// (often eliminate) the per-call BFS, with invalidation hooks on the
-  /// knows write path keeping answers exact. Default: off — every path
+  /// knows write path keeping answers exact. `options` tunes hub count,
+  /// selection policy, and repair budgets. Default: off — every path
   /// query re-runs its engine's BFS, the paper's methodology.
-  virtual void EnableLandmarks() {}
+  virtual void EnableLandmarks(const LandmarkOptions& options = {}) {
+    (void)options;
+  }
   virtual bool landmarks_enabled() const { return false; }
   /// Aggregated landmark-index traffic; zeros when disabled.
   virtual LandmarkStats landmark_stats() const { return {}; }
 };
 
-/// Factory identifiers matching the paper's eight configurations.
+/// Factory identifiers: the paper's eight configurations plus the matrix
+/// engine (the linear-algebra design point the paper omits, DESIGN.md
+/// §10).
 enum class SutKind {
   kNeo4jCypher,
   kNeo4jGremlin,
@@ -117,25 +122,42 @@ enum class SutKind {
   kPostgresSql,
   kVirtuosoSql,
   kVirtuosoSparql,
+  kMatrix,
 };
 
-/// Creates a fresh, empty SUT of the given kind.
+/// Everything a factory call can toggle on a fresh SUT before Load. One
+/// struct instead of a growing ladder of bool parameters: call sites name
+/// what they set, and new knobs don't multiply overloads.
+struct SutOptions {
+  /// Prepared-statement/plan-cache path (the --plan_cache flag).
+  bool plan_cache = false;
+  /// Shared landmark shortest-path index (the --landmarks flag).
+  bool landmarks = false;
+  /// Tuning for the landmark index; only read when `landmarks` is true.
+  LandmarkOptions landmark_options;
+};
+
+/// Creates a fresh SUT of the given kind with the selected opt-in read
+/// structures enabled before any Load. The canonical factory form.
+std::unique_ptr<Sut> MakeSut(SutKind kind, const SutOptions& options);
+
+/// Creates a fresh, empty SUT of the given kind (no opt-in structures).
 std::unique_ptr<Sut> MakeSut(SutKind kind);
 
-/// Creates a fresh SUT with the prepared-statement/plan-cache path
-/// enabled (or not) before any Load — the factory form behind the
-/// --plan_cache flag.
+/// Deprecated: use MakeSut(kind, SutOptions{.plan_cache = ...}). Thin shim
+/// kept for existing call sites.
 std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache);
 
-/// Factory form behind the --plan_cache/--landmarks flags: both opt-in
-/// read structures toggled before any Load.
+/// Deprecated: use MakeSut(kind, SutOptions{...}). Thin shim kept for
+/// existing call sites.
 std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache, bool landmarks);
 
 /// Creates a SUT selected by configuration name (see ParseSutKind for the
 /// accepted spellings). InvalidArgument for unknown names.
 Result<std::unique_ptr<Sut>> MakeSut(std::string_view name);
 
-/// All eight configurations in the paper's column order.
+/// All nine configurations in column order (the paper's eight, then the
+/// matrix extension).
 std::vector<SutKind> AllSutKinds();
 
 /// Seeds a landmark index from the SNB snapshot (persons + knows) and

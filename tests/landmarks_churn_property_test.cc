@@ -65,7 +65,7 @@ TEST_P(LandmarksChurnPropertyTest, ChurnKeepsLandmarkAnswersExact) {
   snb::Dataset data = snb::Generate(tiny);
 
   std::unique_ptr<Sut> sut =
-      MakeSut(GetParam(), /*plan_cache=*/false, /*landmarks=*/true);
+      MakeSut(GetParam(), SutOptions{.landmarks = true});
   ASSERT_TRUE(sut->landmarks_enabled()) << sut->name();
   Status loaded = sut->Load(data);
   ASSERT_TRUE(loaded.ok()) << sut->name() << ": " << loaded.ToString();

@@ -201,6 +201,93 @@ TEST(LandmarksTest, ParallelEdgeRemovalKeepsDistance) {
   EXPECT_EQ(index.ShortestPathLen(0, 2), std::optional<int>(-1));
 }
 
+// Hub-and-spoke core with long periphery chains: the worst case for
+// degree-picked hubs, the motivating case for coverage selection.
+// Vertices 0..4 form a clique (degree ≥ 4); three chains of 6 vertices
+// each hang off clique members 0, 1 and 2. With K=3 every degree-picked
+// hub sits inside the clique, so chain-tip pairs only get bounds routed
+// through the core; coverage's farthest-point sweep pushes hubs out to
+// the chain tips where the slack actually is.
+void SeedCliqueWithChains(LandmarkIndex* index) {
+  const int kClique = 5, kChainLen = 6, kChains = 3;
+  int n = kClique + kChains * kChainLen;  // 23 vertices
+  for (int i = 0; i < n; ++i) index->AddPerson(i);
+  for (int a = 0; a < kClique; ++a) {
+    for (int b = a + 1; b < kClique; ++b) index->AddEdge(a, b);
+  }
+  for (int c = 0; c < kChains; ++c) {
+    int prev = c;  // chain c anchors at clique vertex c
+    for (int j = 0; j < kChainLen; ++j) {
+      int v = kClique + c * kChainLen + j;
+      index->AddEdge(prev, v);
+      prev = v;
+    }
+  }
+  index->Build();
+}
+
+TEST(LandmarksTest, CoverageSelectionTightensPeripheryBounds) {
+  LandmarkIndex degree(LandmarkOptions{
+      .num_landmarks = 3, .hub_selection = HubSelection::kDegree});
+  LandmarkIndex coverage(LandmarkOptions{
+      .num_landmarks = 3, .hub_selection = HubSelection::kCoverage});
+  SeedCliqueWithChains(&degree);
+  SeedCliqueWithChains(&coverage);
+
+  // Coverage hubs must spread: after the first (degree) pick, at most
+  // two of the three can sit inside the 5-vertex clique.
+  std::vector<int64_t> hubs = coverage.landmark_ids();
+  ASSERT_EQ(hubs.size(), 3u);
+  int in_clique = 0;
+  for (int64_t h : hubs) in_clique += h < 5 ? 1 : 0;
+  EXPECT_LE(in_clique, 2) << "farthest-point picks must leave the core";
+
+  // Both selections stay exact (bounds sandwich, search fills the gap)…
+  int64_t tip_a = 5 + 6 - 1, tip_b = 5 + 2 * 6 - 1;  // tips of chains 0, 1
+  auto via_degree = degree.ShortestPathLen(tip_a, tip_b);
+  auto via_coverage = coverage.ShortestPathLen(tip_a, tip_b);
+  ASSERT_TRUE(via_degree.has_value());
+  EXPECT_EQ(via_degree, via_coverage);
+  EXPECT_EQ(*via_coverage, 13) << "6 up + core hop + 6 down";
+
+  // …but coverage's bounds are strictly tighter in aggregate over the
+  // all-pairs UB−LB slack, the quantity that decides hit-vs-search.
+  auto total_slack = [](const LandmarkIndex& index) {
+    int64_t slack = 0;
+    for (int64_t a = 0; a < 23; ++a) {
+      for (int64_t b = a + 1; b < 23; ++b) {
+        auto bounds = index.BoundsFor(a, b);
+        EXPECT_TRUE(bounds.has_value());
+        EXPECT_GE(bounds->upper, bounds->lower);
+        slack += bounds->upper - bounds->lower;
+      }
+    }
+    return slack;
+  };
+  EXPECT_LT(total_slack(coverage), total_slack(degree));
+}
+
+TEST(LandmarksTest, CoverageCoversSecondaryComponentFirst) {
+  // Big component (path of 8) + small component (path of 3): unreachable
+  // counts as infinitely far, so the small component must receive a hub
+  // before the big one gets its second.
+  LandmarkIndex index(LandmarkOptions{
+      .num_landmarks = 2, .hub_selection = HubSelection::kCoverage});
+  for (int i = 0; i < 11; ++i) index.AddPerson(i);
+  for (int i = 0; i + 1 < 8; ++i) index.AddEdge(i, i + 1);
+  index.AddEdge(8, 9);
+  index.AddEdge(9, 10);
+  index.Build();
+  std::vector<int64_t> hubs = index.landmark_ids();
+  ASSERT_EQ(hubs.size(), 2u);
+  bool small_has_hub = hubs[0] >= 8 || hubs[1] >= 8;
+  EXPECT_TRUE(small_has_hub);
+  // With a hub in each component, cross-component pairs are bound hits.
+  uint64_t searches_before = index.stats().pruned_searches;
+  EXPECT_EQ(index.ShortestPathLen(3, 9), std::optional<int>(-1));
+  EXPECT_EQ(index.stats().pruned_searches, searches_before);
+}
+
 TEST(LandmarksTest, RandomChurnMatchesOracle) {
   std::mt19937_64 rng(4242);
   const int64_t kN = 60;

@@ -42,7 +42,8 @@ class SutEquivalenceTest
  protected:
   void SetUp() override {
     auto [kind, plan_cache, landmarks] = GetParam();
-    sut_ = MakeSut(kind, plan_cache, landmarks);
+    sut_ = MakeSut(kind, SutOptions{.plan_cache = plan_cache,
+                                    .landmarks = landmarks});
     ASSERT_NE(sut_, nullptr);
     ASSERT_EQ(sut_->plan_cache_enabled(), plan_cache) << sut_->name();
     ASSERT_EQ(sut_->landmarks_enabled(), landmarks) << sut_->name();

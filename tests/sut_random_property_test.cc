@@ -6,14 +6,20 @@
 // interleaves the remaining update ops — plus synthesized unfriend ops —
 // with path queries. This catches distribution-dependent bugs the
 // fixed-dataset equivalence suite cannot, and (with landmarks enabled on
-// two of the four families) that the landmark index stays exact while
-// writes land between queries.
+// two of the five families) that the landmark index stays exact while
+// writes land between queries. The mixed phase also probes the two
+// content-heavy aggregates (TopPosters, RepliesOfPost) so the columnar
+// side tables — not just the adjacency structures — are exercised while
+// posts and comments stream in.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "snb/datagen.h"
 #include "sut/sut.h"
@@ -115,16 +121,20 @@ TEST_P(SutRandomPropertyTest, FamiliesAgreeWithReferenceMidStream) {
   options.update_window = shape.update_window;
   snb::Dataset data = snb::Generate(options);
 
-  // One SUT per data-modelling family (§1's four approaches).
+  // One SUT per data-modelling family (§1's four approaches) plus the
+  // linear-algebra engine.
   const SutKind kinds[] = {SutKind::kPostgresSql, SutKind::kNeo4jCypher,
-                           SutKind::kVirtuosoSparql, SutKind::kTitanC};
+                           SutKind::kVirtuosoSparql, SutKind::kTitanC,
+                           SutKind::kMatrix};
   std::vector<std::unique_ptr<Sut>> suts;
   for (SutKind kind : kinds) {
     // Two families run with the landmark index enabled so its answers are
     // cross-checked against the plain-BFS families and the reference.
+    // The matrix SUT stays landmark-free so its SpMV BFS itself is what
+    // gets cross-checked.
     const bool landmarks =
         kind == SutKind::kNeo4jCypher || kind == SutKind::kTitanC;
-    auto sut = MakeSut(kind, /*plan_cache=*/false, landmarks);
+    auto sut = MakeSut(kind, SutOptions{.landmarks = landmarks});
     ASSERT_TRUE(sut->Load(data).ok()) << sut->name();
     suts.push_back(std::move(sut));
   }
@@ -141,6 +151,39 @@ TEST_P(SutRandomPropertyTest, FamiliesAgreeWithReferenceMidStream) {
     }
   }
   ReferenceGraph ref(data, prefix);
+
+  // Content reference for the aggregate probes: per-creator post counts
+  // and per-post reply (comment id → creator) maps, from the snapshot
+  // plus the applied prefix.
+  std::map<int64_t, int64_t> post_counts;
+  std::map<int64_t, std::map<int64_t, int64_t>> post_replies;
+  std::vector<int64_t> post_ids;
+  auto note_post = [&](const snb::Post& p) {
+    ++post_counts[p.creator];
+    post_ids.push_back(p.id);
+  };
+  auto note_comment = [&](const snb::Comment& c) {
+    if (c.reply_of_post >= 0) post_replies[c.reply_of_post][c.id] = c.creator;
+  };
+  for (const auto& p : data.posts) note_post(p);
+  for (const auto& c : data.comments) note_comment(c);
+  for (size_t i = 0; i < prefix; ++i) {
+    const auto& op = data.update_stream[i];
+    if (op.kind == snb::UpdateOp::Kind::kAddPost) note_post(op.post);
+    if (op.kind == snb::UpdateOp::Kind::kAddComment) note_comment(op.comment);
+  }
+  // TopPosters reference ranking: count desc, id asc, persons with posts.
+  auto expected_top = [&post_counts](size_t limit) {
+    std::vector<std::pair<int64_t, int64_t>> ranked(post_counts.begin(),
+                                                    post_counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (ranked.size() > limit) ranked.resize(limit);
+    return ranked;
+  };
 
   // Random probes.
   std::vector<int64_t> ids(ref.persons().begin(), ref.persons().end());
@@ -191,6 +234,10 @@ TEST_P(SutRandomPropertyTest, FamiliesAgreeWithReferenceMidStream) {
       edges.emplace_back(op.knows.person1, op.knows.person2);
     } else if (op.kind == snb::UpdateOp::Kind::kAddPerson) {
       ref.AddPerson(op.person.id);
+    } else if (op.kind == snb::UpdateOp::Kind::kAddPost) {
+      note_post(op.post);
+    } else if (op.kind == snb::UpdateOp::Kind::kAddComment) {
+      note_comment(op.comment);
     }
 
     if (steps % 3 == 0 && !edges.empty()) {
@@ -222,6 +269,39 @@ TEST_P(SutRandomPropertyTest, FamiliesAgreeWithReferenceMidStream) {
         ASSERT_TRUE(one.ok()) << sut->name();
         EXPECT_EQ(IdColumn(*one), expect_one)
             << sut->name() << " mid-write 1-hop of " << a;
+      }
+    }
+
+    // Aggregate probe: exact TopPosters ranking and the reply set of a
+    // random post, while posts/comments are still streaming in.
+    if (steps % 5 == 0 && !post_ids.empty()) {
+      std::vector<std::pair<int64_t, int64_t>> want_top = expected_top(5);
+      int64_t post_id = post_ids[rng.Uniform(post_ids.size())];
+      std::set<std::pair<int64_t, int64_t>> want_replies;
+      if (auto it = post_replies.find(post_id); it != post_replies.end()) {
+        for (const auto& [cid, creator] : it->second) {
+          want_replies.emplace(cid, creator);
+        }
+      }
+      for (auto& sut : suts) {
+        auto top = sut->TopPosters(5);
+        ASSERT_TRUE(top.ok()) << sut->name();
+        ASSERT_EQ(top->rows.size(), want_top.size())
+            << sut->name() << " top-posters size (step " << steps << ")";
+        for (size_t r = 0; r < want_top.size(); ++r) {
+          EXPECT_EQ(top->rows[r][0].as_int(), want_top[r].first)
+              << sut->name() << " top-posters rank " << r;
+          EXPECT_EQ(top->rows[r][1].as_int(), want_top[r].second)
+              << sut->name() << " top-posters count at rank " << r;
+        }
+        auto replies = sut->RepliesOfPost(post_id);
+        ASSERT_TRUE(replies.ok()) << sut->name();
+        std::set<std::pair<int64_t, int64_t>> got;
+        for (const Row& row : replies->rows) {
+          got.emplace(row[0].as_int(), row[2].as_int());
+        }
+        EXPECT_EQ(got, want_replies)
+            << sut->name() << " replies of post " << post_id;
       }
     }
   }
