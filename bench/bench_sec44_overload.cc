@@ -105,7 +105,11 @@ std::unique_ptr<Sut> MakeOverloadSut(SutKind kind) {
 int main(int argc, char** argv) {
   using namespace graphbench;
   std::printf("=== §4.4: original complex mix under high concurrency ===\n");
-  snb::Dataset data = snb::Generate(snb::ScaleA());
+  snb::DatagenOptions scale = snb::ScaleA();
+  // Smoke mode for CI: --persons overrides the scale to a tiny graph.
+  const int64_t persons = bench::FlagInt(argc, argv, "persons", 0);
+  if (persons > 0) scale.num_persons = uint32_t(persons);
+  snb::Dataset data = snb::Generate(scale);
 
   DriverOptions options;
   options.num_readers = size_t(bench::FlagInt(argc, argv, "readers", 24));
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
                   Json::Number(options.replay_updates_per_second));
   report.SetParam("slowlog_threshold_us",
                   Json::Int(int64_t(options.slowlog_threshold_micros)));
+  report.SetParam("persons", Json::Int(int64_t(scale.num_persons)));
 
   mq::Broker broker;
   for (SutKind kind : AllSutKinds()) {

@@ -1,0 +1,251 @@
+#include "concurrency/epoch.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace graphbench {
+namespace concurrency {
+
+namespace {
+
+struct EpochMetrics {
+  obs::Gauge* current;
+  obs::Gauge* pinned_readers;
+  obs::Counter* retired_objects;
+  obs::Counter* reclaimed;
+
+  static EpochMetrics& Get() {
+    static EpochMetrics m{
+        obs::MetricsRegistry::Default().GetGauge("epoch.current"),
+        obs::MetricsRegistry::Default().GetGauge("epoch.pinned_readers"),
+        obs::MetricsRegistry::Default().GetCounter("epoch.retired_objects"),
+        obs::MetricsRegistry::Default().GetCounter("epoch.reclaimed"),
+    };
+    return m;
+  }
+};
+
+// Writer-side batch bookkeeping. The epoch may only advance while no
+// write batch is open; this freezes `write_epoch()` for the whole batch,
+// which is what makes in-place mutation of same-batch versions safe (a
+// version tagged current+1 cannot become visible until every open batch
+// has closed).
+std::mutex g_batch_mu;
+int g_open_batches = 0;
+thread_local int t_batch_depth = 0;
+
+}  // namespace
+
+struct EpochManager::ThreadState {
+  EpochManager* mgr = nullptr;
+  Slot* slot = nullptr;
+  bool overflow = false;  // sticky: no slot was free on first pin
+  uint64_t pinned_epoch = 0;
+  int pin_depth = 0;
+
+  ~ThreadState() {
+    if (slot != nullptr) {
+      slot->pinned.store(0, std::memory_order_seq_cst);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+EpochManager::EpochManager() = default;
+EpochManager::~EpochManager() = default;
+
+EpochManager& EpochManager::Global() {
+  // Leaked: must outlive every thread's ThreadState destructor.
+  static EpochManager* g = new EpochManager();
+  return *g;
+}
+
+EpochManager::ThreadState& EpochManager::LocalState() {
+  thread_local ThreadState ts;
+  return ts;
+}
+
+EpochManager::Slot* EpochManager::ClaimSlot() {
+  for (Slot& s : slots_) {
+    bool expected = false;
+    if (!s.claimed.load(std::memory_order_relaxed) &&
+        s.claimed.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void EpochManager::PinOverflow(uint64_t* out_epoch) {
+  std::lock_guard<std::mutex> lk(overflow_mu_);
+  for (;;) {
+    uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    auto it = overflow_pins_.insert(e);
+    if (epoch_.load(std::memory_order_seq_cst) == e) {
+      overflow_count_.fetch_add(1, std::memory_order_relaxed);
+      *out_epoch = e;
+      return;
+    }
+    overflow_pins_.erase(it);
+  }
+}
+
+void EpochManager::UnpinOverflow(uint64_t epoch) {
+  std::lock_guard<std::mutex> lk(overflow_mu_);
+  auto it = overflow_pins_.find(epoch);
+  if (it != overflow_pins_.end()) overflow_pins_.erase(it);
+  overflow_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::MinPinned() const {
+  uint64_t min = kWriterPin;
+  for (const Slot& s : slots_) {
+    uint64_t p = s.pinned.load(std::memory_order_seq_cst);
+    if (p != 0 && p < min) min = p;
+  }
+  if (overflow_count_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    if (!overflow_pins_.empty() && *overflow_pins_.begin() < min) {
+      min = *overflow_pins_.begin();
+    }
+  }
+  return min;
+}
+
+uint64_t EpochManager::pinned_readers() const {
+  uint64_t n = overflow_count_.load(std::memory_order_relaxed);
+  for (const Slot& s : slots_) {
+    if (s.pinned.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+void EpochManager::Retire(std::shared_ptr<const void> obj) {
+  // While a batch is open the epoch is frozen, so this is exactly the
+  // epoch at which the object was unlinked. A concurrent advance (other
+  // writer's commit) can only raise it, which merely delays reclamation.
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lk(retire_mu_);
+    retired_.emplace_back(e, std::move(obj));
+  }
+  retired_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  total_retired_.fetch_add(1, std::memory_order_relaxed);
+  EpochMetrics::Get().retired_objects->Increment();
+}
+
+void EpochManager::Advance() {
+  uint64_t e;
+  {
+    std::lock_guard<std::mutex> lk(g_batch_mu);
+    e = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+  EpochMetrics::Get().current->Set(int64_t(e));
+  Reclaim();
+}
+
+size_t EpochManager::Reclaim() {
+  if (retired_outstanding_.load(std::memory_order_relaxed) == 0) return 0;
+  // A version retired at epoch R is still the visible copy until the
+  // epoch moves past R, and still reachable by any reader pinned <= R —
+  // so free strictly below both. Epoch first, slots second: a racing
+  // reader that successfully pins e re-checked the epoch after storing
+  // its slot, so if our epoch load already saw > e the slot scan below
+  // is guaranteed to see that reader's pin.
+  uint64_t limit = epoch_.load(std::memory_order_seq_cst);
+  uint64_t min_pin = MinPinned();
+  if (min_pin < limit) limit = min_pin;
+
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> freed;
+  {
+    std::lock_guard<std::mutex> lk(retire_mu_);
+    auto split = std::partition(
+        retired_.begin(), retired_.end(),
+        [limit](const auto& e) { return e.first >= limit; });
+    freed.assign(std::make_move_iterator(split),
+                 std::make_move_iterator(retired_.end()));
+    retired_.erase(split, retired_.end());
+  }
+  if (freed.empty()) return 0;
+  retired_outstanding_.fetch_sub(freed.size(), std::memory_order_relaxed);
+  total_reclaimed_.fetch_add(freed.size(), std::memory_order_relaxed);
+  EpochMetrics::Get().reclaimed->Increment(freed.size());
+  size_t n = freed.size();
+  freed.clear();  // destructors run outside retire_mu_
+  return n;
+}
+
+EpochGuard::EpochGuard() {
+  EpochManager& mgr = EpochManager::Global();
+  EpochManager::ThreadState& ts = mgr.LocalState();
+  if (ts.pin_depth++ > 0) {
+    epoch_ = ts.pinned_epoch;
+    return;
+  }
+  if (ts.slot == nullptr && !ts.overflow) {
+    ts.slot = mgr.ClaimSlot();
+    if (ts.slot == nullptr) ts.overflow = true;
+  }
+  if (ts.slot != nullptr) {
+    // Store-then-recheck: once the re-check passes, any writer that
+    // advances past `e` must subsequently observe this slot's pin in
+    // its reclaim scan (both sides are seq_cst).
+    uint64_t e;
+    do {
+      e = mgr.epoch_.load(std::memory_order_seq_cst);
+      ts.slot->pinned.store(e, std::memory_order_seq_cst);
+    } while (mgr.epoch_.load(std::memory_order_seq_cst) != e);
+    epoch_ = e;
+  } else {
+    mgr.PinOverflow(&epoch_);
+  }
+  ts.pinned_epoch = epoch_;
+  EpochMetrics::Get().pinned_readers->Add(1);
+}
+
+EpochGuard::~EpochGuard() {
+  EpochManager& mgr = EpochManager::Global();
+  EpochManager::ThreadState& ts = mgr.LocalState();
+  if (--ts.pin_depth > 0) return;
+  if (ts.slot != nullptr) {
+    ts.slot->pinned.store(0, std::memory_order_seq_cst);
+  } else {
+    mgr.UnpinOverflow(ts.pinned_epoch);
+  }
+  EpochMetrics::Get().pinned_readers->Add(-1);
+  // The writer drains its own garbage on commit; the last reader out
+  // sweeps anything that was still pinned at that point.
+  if (mgr.retired_outstanding_.load(std::memory_order_relaxed) > 0) {
+    mgr.Reclaim();
+  }
+}
+
+bool WriteBatch::ThreadInBatch() { return t_batch_depth > 0; }
+
+WriteBatch::WriteBatch() {
+  ++t_batch_depth;
+  std::lock_guard<std::mutex> lk(g_batch_mu);
+  ++g_open_batches;
+}
+
+WriteBatch::~WriteBatch() {
+  --t_batch_depth;
+  uint64_t advanced_to = 0;
+  EpochManager& mgr = EpochManager::Global();
+  {
+    std::lock_guard<std::mutex> lk(g_batch_mu);
+    if (--g_open_batches == 0) {
+      advanced_to =
+          mgr.epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    }
+  }
+  if (advanced_to != 0) {
+    EpochMetrics::Get().current->Set(int64_t(advanced_to));
+    mgr.Reclaim();
+  }
+}
+
+}  // namespace concurrency
+}  // namespace graphbench

@@ -1,0 +1,175 @@
+#ifndef GRAPHBENCH_CONCURRENCY_EPOCH_H_
+#define GRAPHBENCH_CONCURRENCY_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace graphbench {
+namespace concurrency {
+
+/// Epoch-based reclamation for the benchmark's single-writer/many-reader
+/// topology (§4.3: readers must not serialize against the update stream).
+///
+/// Protocol:
+///   - The global epoch E only moves forward, and only when a write batch
+///     commits (`Advance`, via `WriteBatch`).
+///   - Writers tag every new version with `write_epoch() == E + 1`. Until
+///     the batch commits those versions are invisible to every reader, so
+///     a batch of any size becomes visible atomically ("all-or-none").
+///   - Readers pin the current epoch for the duration of a query
+///     (`EpochGuard`) and only observe versions with epoch <= pin.
+///   - Replaced versions are pushed onto a deferred-reclamation list
+///     (`Retire`). A retired object is destroyed once (a) the epoch has
+///     advanced past its retire epoch and (b) no reader pins an epoch
+///     <= its retire epoch. With one writer per structure this needs no
+///     hazard pointers: the writer is the only producer of garbage and
+///     drains the list on each commit; the last reader to unpin sweeps
+///     anything the writer left behind.
+class EpochManager {
+ public:
+  /// Fixed reader-slot array: one cache line per concurrently registered
+  /// thread. Threads beyond this fall back to a mutex-guarded overflow
+  /// set (correct, just slower).
+  static constexpr size_t kMaxReaderSlots = 256;
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The process-wide instance every engine shares. Sharing one epoch
+  /// across engines is what makes a multi-engine `Apply` commit as a unit.
+  static EpochManager& Global();
+
+  /// Last committed epoch. Readers pin this value.
+  uint64_t current() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Epoch for in-flight writes: becomes visible at the next Advance().
+  uint64_t write_epoch() const { return current() + 1; }
+
+  /// Sentinel pin that sees every version, including uncommitted ones.
+  /// Writer-side reads use this so a batch can read its own writes.
+  static constexpr uint64_t kWriterPin = ~uint64_t{0};
+
+  /// Defers destruction of `obj` until no reader can still hold a pin
+  /// that reaches it. Thread-safe (engines flush/merge concurrently).
+  void Retire(std::shared_ptr<const void> obj);
+
+  /// Convenience: retire a raw pointer, deleting it on reclamation.
+  template <typename T>
+  void RetireDelete(const T* p) {
+    if (p == nullptr) return;
+    Retire(std::shared_ptr<const void>(
+        p, [](const void* q) { delete static_cast<const T*>(q); }));
+  }
+
+  /// Commits the in-flight epoch (all versions tagged `write_epoch()`
+  /// become visible) and reclaims whatever garbage is now unreachable.
+  void Advance();
+
+  /// Destroys every retired object whose retire epoch is both behind the
+  /// current epoch and behind every pinned reader. Returns the number
+  /// reclaimed. Called by Advance() and by the last unpinning reader.
+  size_t Reclaim();
+
+  /// Number of currently pinned readers (gauge; approximate under churn).
+  uint64_t pinned_readers() const;
+
+  /// Retired objects not yet reclaimed.
+  uint64_t retired_outstanding() const {
+    return retired_outstanding_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_retired() const {
+    return total_retired_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_reclaimed() const {
+    return total_reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class EpochGuard;
+  friend class WriteBatch;
+
+  struct alignas(64) Slot {
+    /// 0 = idle, otherwise the pinned epoch.
+    std::atomic<uint64_t> pinned{0};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct ThreadState;
+  ThreadState& LocalState();
+
+  /// Smallest pinned epoch, or kWriterPin when no reader is pinned.
+  uint64_t MinPinned() const;
+
+  Slot* ClaimSlot();
+  void PinOverflow(uint64_t* out_epoch);
+  void UnpinOverflow(uint64_t epoch);
+
+  std::atomic<uint64_t> epoch_{1};
+  std::vector<Slot> slots_{kMaxReaderSlots};
+
+  mutable std::mutex overflow_mu_;
+  std::multiset<uint64_t> overflow_pins_;
+  std::atomic<uint64_t> overflow_count_{0};
+
+  std::mutex retire_mu_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> retired_;
+  std::atomic<uint64_t> retired_outstanding_{0};
+  std::atomic<uint64_t> total_retired_{0};
+  std::atomic<uint64_t> total_reclaimed_{0};
+};
+
+/// RAII reader pin on EpochManager::Global(). Re-entrant: nested guards on
+/// the same thread share the outermost pin, so an engine read called from
+/// an already-guarded SUT entry point keeps the caller's snapshot.
+class EpochGuard {
+ public:
+  EpochGuard();
+  ~EpochGuard();
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  /// The pinned epoch: versions with epoch <= this are visible.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  uint64_t epoch_;
+};
+
+/// RAII write-batch scope on EpochManager::Global(). The outermost scope
+/// on a thread commits (Advance) on destruction; nested scopes — an
+/// engine primitive called from a SUT `Apply` — are absorbed, so a whole
+/// SNB update op publishes atomically. Engine mutators open one of these
+/// so standalone (test/bench) use still commits per primitive.
+class WriteBatch {
+ public:
+  WriteBatch();
+  ~WriteBatch();
+
+  WriteBatch(const WriteBatch&) = delete;
+  WriteBatch& operator=(const WriteBatch&) = delete;
+
+  /// True when the calling thread is inside an open batch.
+  static bool ThreadInBatch();
+};
+
+/// The pin an engine read path should use: inside a write batch the caller
+/// IS the writer (engine writer mutexes serialize them), so it reads its
+/// own uncommitted versions; otherwise it reads the guard's snapshot.
+inline uint64_t ReadPin(const EpochGuard& guard) {
+  return WriteBatch::ThreadInBatch() ? EpochManager::kWriterPin
+                                     : guard.epoch();
+}
+
+}  // namespace concurrency
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_CONCURRENCY_EPOCH_H_

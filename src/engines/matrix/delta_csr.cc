@@ -1,6 +1,7 @@
 #include "engines/matrix/delta_csr.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "obs/metrics.h"
 
@@ -35,121 +36,199 @@ bool SortedErase(std::vector<int32_t>* v, int32_t col) {
   return true;
 }
 
+bool SortedContains(const std::vector<int32_t>& v, int32_t col) {
+  return std::binary_search(v.begin(), v.end(), col);
+}
+
 }  // namespace
 
 DeltaCsrMatrix::DeltaCsrMatrix(DeltaCsrOptions options) : options_(options) {}
 
+DeltaCsrMatrix::Totals DeltaCsrMatrix::WriterTotals() const {
+  const Totals* t = totals_.WriterLatest();
+  return t == nullptr ? Totals{} : *t;
+}
+
 void DeltaCsrMatrix::AddRow() {
-  row_ptr_.push_back(row_ptr_.back());
-  add_.emplace_back();
-  del_.emplace_back();
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
+  body_.Publish(mgr, [](Body& b) { b.row_ptr.push_back(b.row_ptr.back()); });
+  overlay_.Append(mgr, OverlayRow{});
 }
 
 void DeltaCsrMatrix::Build(std::vector<std::vector<int32_t>> adjacency) {
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
   const size_t n = adjacency.size();
-  row_ptr_.assign(n + 1, 0);
-  cols_.clear();
-  add_.assign(n, {});
-  del_.assign(n, {});
-  pending_ = 0;
+  Body body;
+  body.row_ptr.assign(n + 1, 0);
   for (size_t r = 0; r < n; ++r) {
     std::vector<int32_t>& row = adjacency[r];
     std::sort(row.begin(), row.end());
     row.erase(std::unique(row.begin(), row.end()), row.end());
-    cols_.insert(cols_.end(), row.begin(), row.end());
-    row_ptr_[r + 1] = cols_.size();
+    body.cols.insert(body.cols.end(), row.begin(), row.end());
+    body.row_ptr[r + 1] = body.cols.size();
   }
-  nnz_ = cols_.size();
-  ++csr_rebuilds_;
+  Totals t;
+  t.pending = 0;
+  t.nnz = body.cols.size();
+  body_.Store(mgr, std::move(body));
+  // Grow the overlay to n slots and clear any stale rows.
+  while (overlay_.size() < n) overlay_.Append(mgr, OverlayRow{});
+  for (size_t r = 0; r < n; ++r) {
+    const OverlayRow* o = overlay_.WriterLatest(r);
+    if (o != nullptr && (!o->add.empty() || !o->del.empty())) {
+      overlay_.Publish(mgr, r, [](OverlayRow& row) {
+        row.add.clear();
+        row.del.clear();
+      });
+    }
+  }
+  totals_.Store(mgr, t);
+  csr_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   CsrRebuildsCounter()->Increment();
 }
 
-bool DeltaCsrMatrix::CsrContains(int32_t row, int32_t col) const {
+bool DeltaCsrMatrix::CsrContains(const Body& b, int32_t row, int32_t col) {
   const size_t r = static_cast<size_t>(row);
-  return std::binary_search(cols_.begin() + row_ptr_[r],
-                            cols_.begin() + row_ptr_[r + 1], col);
+  return std::binary_search(b.cols.begin() + b.row_ptr[r],
+                            b.cols.begin() + b.row_ptr[r + 1], col);
 }
 
-bool DeltaCsrMatrix::Contains(int32_t row, int32_t col) const {
-  if (row < 0 || row >= rows() || col < 0 || col >= rows()) return false;
-  const size_t r = static_cast<size_t>(row);
-  if (std::binary_search(add_[r].begin(), add_[r].end(), col)) return true;
-  if (std::binary_search(del_[r].begin(), del_[r].end(), col)) return false;
-  return CsrContains(row, col);
+bool DeltaCsrMatrix::Contains(int32_t row, int32_t col, uint64_t pin) const {
+  const Body* b = body_.Read(pin);
+  if (b == nullptr) return false;
+  const int32_t n = static_cast<int32_t>(b->row_ptr.size() - 1);
+  if (row < 0 || row >= n || col < 0 || col >= n) return false;
+  const OverlayRow* o = overlay_.Read(static_cast<size_t>(row), pin);
+  if (o != nullptr) {
+    if (SortedContains(o->add, col)) return true;
+    if (SortedContains(o->del, col)) return false;
+  }
+  return CsrContains(*b, row, col);
 }
 
-size_t DeltaCsrMatrix::RowDegree(int32_t row) const {
+size_t DeltaCsrMatrix::RowDegree(int32_t row, uint64_t pin) const {
+  const Body* b = body_.Read(pin);
+  if (b == nullptr || row < 0 ||
+      static_cast<size_t>(row) + 1 >= b->row_ptr.size()) {
+    return 0;
+  }
   const size_t r = static_cast<size_t>(row);
-  return (row_ptr_[r + 1] - row_ptr_[r]) - del_[r].size() + add_[r].size();
+  size_t deg = b->row_ptr[r + 1] - b->row_ptr[r];
+  const OverlayRow* o = overlay_.Read(r, pin);
+  if (o != nullptr) deg = deg - o->del.size() + o->add.size();
+  return deg;
 }
 
-bool DeltaCsrMatrix::AddHalf(int32_t row, int32_t col) {
+bool DeltaCsrMatrix::AddHalf(concurrency::EpochManager& mgr, int32_t row,
+                             int32_t col) {
   const size_t r = static_cast<size_t>(row);
-  if (CsrContains(row, col)) {
+  const Body* b = body_.WriterLatest();
+  const OverlayRow* o = overlay_.WriterLatest(r);
+  if (b != nullptr && CsrContains(*b, row, col)) {
     // Present in the body: only a pending delete can hide it.
-    if (!SortedErase(&del_[r], col)) return false;
-    --pending_;
-    ++nnz_;
+    if (o == nullptr || !SortedContains(o->del, col)) return false;
+    overlay_.Publish(mgr, r,
+                     [col](OverlayRow& row) { SortedErase(&row.del, col); });
+    totals_.Publish(mgr, [](Totals& t) {
+      --t.pending;
+      ++t.nnz;
+    });
     return true;
   }
-  if (!SortedInsert(&add_[r], col)) return false;
-  ++pending_;
-  ++nnz_;
+  if (o != nullptr && SortedContains(o->add, col)) return false;
+  overlay_.Publish(mgr, r,
+                   [col](OverlayRow& row) { SortedInsert(&row.add, col); });
+  totals_.Publish(mgr, [](Totals& t) {
+    ++t.pending;
+    ++t.nnz;
+  });
   return true;
 }
 
-bool DeltaCsrMatrix::RemoveHalf(int32_t row, int32_t col) {
+bool DeltaCsrMatrix::RemoveHalf(concurrency::EpochManager& mgr, int32_t row,
+                                int32_t col) {
   const size_t r = static_cast<size_t>(row);
-  if (SortedErase(&add_[r], col)) {
-    --pending_;
-    --nnz_;
+  const Body* b = body_.WriterLatest();
+  const OverlayRow* o = overlay_.WriterLatest(r);
+  if (o != nullptr && SortedContains(o->add, col)) {
+    overlay_.Publish(mgr, r,
+                     [col](OverlayRow& row) { SortedErase(&row.add, col); });
+    totals_.Publish(mgr, [](Totals& t) {
+      --t.pending;
+      --t.nnz;
+    });
     return true;
   }
-  if (!CsrContains(row, col)) return false;
-  if (!SortedInsert(&del_[r], col)) return false;
-  ++pending_;
-  --nnz_;
+  if (b == nullptr || !CsrContains(*b, row, col)) return false;
+  if (o != nullptr && SortedContains(o->del, col)) return false;
+  overlay_.Publish(mgr, r,
+                   [col](OverlayRow& row) { SortedInsert(&row.del, col); });
+  totals_.Publish(mgr, [](Totals& t) {
+    ++t.pending;
+    --t.nnz;
+  });
   return true;
 }
 
 bool DeltaCsrMatrix::AddEdge(int32_t a, int32_t b) {
-  if (a < 0 || a >= rows() || b < 0 || b >= rows() || a == b) return false;
-  if (!AddHalf(a, b)) return false;
-  AddHalf(b, a);  // symmetric slot; invariants keep it in lockstep
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
+  const int32_t n = rows();
+  if (a < 0 || a >= n || b < 0 || b >= n || a == b) return false;
+  if (!AddHalf(mgr, a, b)) return false;
+  AddHalf(mgr, b, a);  // symmetric slot; invariants keep it in lockstep
   MaybeMerge();
   return true;
 }
 
 bool DeltaCsrMatrix::RemoveEdge(int32_t a, int32_t b) {
-  if (a < 0 || a >= rows() || b < 0 || b >= rows() || a == b) return false;
-  if (!RemoveHalf(a, b)) return false;
-  RemoveHalf(b, a);
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
+  const int32_t n = rows();
+  if (a < 0 || a >= n || b < 0 || b >= n || a == b) return false;
+  if (!RemoveHalf(mgr, a, b)) return false;
+  RemoveHalf(mgr, b, a);
   MaybeMerge();
   return true;
 }
 
 void DeltaCsrMatrix::MaybeMerge() {
-  if (pending_ >= options_.merge_threshold) MergeDelta();
+  if (WriterTotals().pending >= options_.merge_threshold) MergeDelta();
 }
 
 void DeltaCsrMatrix::MergeDelta() {
-  if (pending_ == 0) return;
-  const size_t n = add_.size();
-  std::vector<size_t> new_ptr(n + 1, 0);
-  std::vector<int32_t> new_cols;
-  new_cols.reserve(nnz_);
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
+  MergeDeltaLocked(mgr);
+}
+
+void DeltaCsrMatrix::MergeDeltaLocked(concurrency::EpochManager& mgr) {
+  const Totals t = WriterTotals();
+  if (t.pending == 0) return;
+  const Body* old = body_.WriterLatest();
+  static const Body kEmptyBody{};
+  if (old == nullptr) old = &kEmptyBody;
+  const size_t n = old->row_ptr.size() - 1;
+  Body body;
+  body.row_ptr.assign(n + 1, 0);
+  body.cols.reserve(t.nnz);
+  static const OverlayRow kEmptyRow{};
   for (size_t r = 0; r < n; ++r) {
-    const int32_t* it = cols_.data() + row_ptr_[r];
-    const int32_t* end = cols_.data() + row_ptr_[r + 1];
-    const std::vector<int32_t>& adds = add_[r];
-    const std::vector<int32_t>& dels = del_[r];
+    const int32_t* it = old->cols.data() + old->row_ptr[r];
+    const int32_t* end = old->cols.data() + old->row_ptr[r + 1];
+    const OverlayRow* o = overlay_.WriterLatest(r);
+    if (o == nullptr) o = &kEmptyRow;
+    const std::vector<int32_t>& adds = o->add;
+    const std::vector<int32_t>& dels = o->del;
     size_t ai = 0;
     size_t di = 0;
     // Three-way sorted merge: body minus deletes, interleaved with adds
     // (disjoint from the body by invariant), keeping columns ascending.
     while (it != end || ai < adds.size()) {
       if (it == end || (ai < adds.size() && adds[ai] < *it)) {
-        new_cols.push_back(adds[ai++]);
+        body.cols.push_back(adds[ai++]);
         continue;
       }
       while (di < dels.size() && dels[di] < *it) ++di;
@@ -157,37 +236,54 @@ void DeltaCsrMatrix::MergeDelta() {
         ++it;
         continue;
       }
-      new_cols.push_back(*it++);
+      body.cols.push_back(*it++);
     }
-    new_ptr[r + 1] = new_cols.size();
+    body.row_ptr[r + 1] = body.cols.size();
   }
-  row_ptr_ = std::move(new_ptr);
-  cols_ = std::move(new_cols);
+  body_.Store(mgr, std::move(body));
+  // Clear the folded-in overlay rows in the same batch: a reader pinned
+  // before the merge keeps the old body with its matching overlay, one
+  // pinned after sees the folded body with empty rows — the swap happens
+  // under the epoch, never under a reader lock.
   for (size_t r = 0; r < n; ++r) {
-    add_[r].clear();
-    del_[r].clear();
+    const OverlayRow* o = overlay_.WriterLatest(r);
+    if (o == nullptr || (o->add.empty() && o->del.empty())) continue;
+    overlay_.Publish(mgr, r, [](OverlayRow& row) {
+      row.add.clear();
+      row.del.clear();
+    });
   }
-  pending_ = 0;
-  ++delta_merges_;
+  totals_.Publish(mgr, [](Totals& tt) { tt.pending = 0; });
+  delta_merges_.fetch_add(1, std::memory_order_relaxed);
   DeltaMergesCounter()->Increment();
 }
 
-DeltaCsrStats DeltaCsrMatrix::stats() const {
+DeltaCsrStats DeltaCsrMatrix::stats(uint64_t pin) const {
   DeltaCsrStats s;
-  s.delta_merges = delta_merges_;
-  s.csr_rebuilds = csr_rebuilds_;
-  s.pending_delta = pending_;
-  s.nnz = nnz_;
+  s.delta_merges = delta_merges_.load(std::memory_order_relaxed);
+  s.csr_rebuilds = csr_rebuilds_.load(std::memory_order_relaxed);
+  const Totals* t = totals_.Read(pin);
+  if (t != nullptr) {
+    s.pending_delta = t->pending;
+    s.nnz = t->nnz;
+  }
   return s;
 }
 
-uint64_t DeltaCsrMatrix::ApproximateSizeBytes() const {
-  uint64_t bytes = row_ptr_.capacity() * sizeof(size_t) +
-                   cols_.capacity() * sizeof(int32_t);
-  for (size_t r = 0; r < add_.size(); ++r) {
+uint64_t DeltaCsrMatrix::ApproximateSizeBytes(uint64_t pin) const {
+  const Body* b = body_.Read(pin);
+  uint64_t bytes = 0;
+  if (b != nullptr) {
+    bytes += b->row_ptr.size() * sizeof(size_t) +
+             b->cols.size() * sizeof(int32_t);
+  }
+  const size_t n = b == nullptr ? 0 : b->row_ptr.size() - 1;
+  for (size_t r = 0; r < n; ++r) {
     bytes += sizeof(std::vector<int32_t>) * 2;
-    bytes += add_[r].capacity() * sizeof(int32_t);
-    bytes += del_[r].capacity() * sizeof(int32_t);
+    const OverlayRow* o = overlay_.Read(r, pin);
+    if (o == nullptr) continue;
+    bytes += o->add.size() * sizeof(int32_t);
+    bytes += o->del.size() * sizeof(int32_t);
   }
   return bytes;
 }

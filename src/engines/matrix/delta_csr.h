@@ -1,9 +1,13 @@
 #ifndef GRAPHBENCH_ENGINES_MATRIX_DELTA_CSR_H_
 #define GRAPHBENCH_ENGINES_MATRIX_DELTA_CSR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "concurrency/epoch.h"
+#include "concurrency/versioned.h"
 
 namespace graphbench {
 
@@ -38,16 +42,26 @@ struct DeltaCsrStats {
 /// (a,b) and (b,a) slots. Invariants per row r: add[r] is disjoint from
 /// the CSR row, del[r] is a subset of it, both stay sorted.
 ///
-/// NOT internally synchronized: MatrixEngine serializes access (one
-/// writer under an exclusive lock, readers under a shared lock).
+/// Concurrency: one writer at a time (MatrixEngine's mutex, or a single
+/// test thread); readers are lock-free. The CSR body and every overlay
+/// row are epoch-versioned, and a merge publishes the folded body and the
+/// cleared overlay rows in one batch — a reader pinned mid-merge keeps
+/// the pre-merge body *with* its matching overlay, so the overlay swap
+/// happens under the epoch instead of a mutex. Read methods take a `pin`
+/// (a guard epoch, defaulting to the writer's own all-seeing pin for
+/// single-threaded use).
 class DeltaCsrMatrix {
  public:
   explicit DeltaCsrMatrix(DeltaCsrOptions options = {});
 
-  int32_t rows() const { return static_cast<int32_t>(add_.size()); }
+  int32_t rows(
+      uint64_t pin = concurrency::EpochManager::kWriterPin) const {
+    const Body* b = body_.Read(pin);
+    return b == nullptr ? 0 : static_cast<int32_t>(b->row_ptr.size() - 1);
+  }
 
-  /// Appends one empty row/column (a new person). O(1): the CSR body
-  /// gains an empty row, the overlay an empty slot.
+  /// Appends one empty row/column (a new person). The CSR body gains an
+  /// empty row, the overlay an empty slot.
   void AddRow();
 
   /// Rebuilds the CSR body from an explicit adjacency (bulk load). Rows
@@ -64,27 +78,40 @@ class DeltaCsrMatrix {
 
   /// True when the effective matrix (CSR − deletes + inserts) has (row,
   /// col) set.
-  bool Contains(int32_t row, int32_t col) const;
+  bool Contains(int32_t row, int32_t col,
+                uint64_t pin = concurrency::EpochManager::kWriterPin) const;
 
   /// Effective out-degree of `row`.
-  size_t RowDegree(int32_t row) const;
+  size_t RowDegree(int32_t row,
+                   uint64_t pin =
+                       concurrency::EpochManager::kWriterPin) const;
 
   /// Visits every set column of `row` (CSR slots minus deletes, then the
   /// insert overlay), each exactly once. The CSR portion streams in
   /// ascending column order; overlay inserts follow, also ascending.
   template <typename Fn>
-  void ForEachInRow(int32_t row, Fn&& fn) const {
+  void ForEachInRow(int32_t row, Fn&& fn,
+                    uint64_t pin =
+                        concurrency::EpochManager::kWriterPin) const {
+    const Body* b = body_.Read(pin);
+    if (b == nullptr || row < 0 ||
+        static_cast<size_t>(row) + 1 >= b->row_ptr.size()) {
+      return;
+    }
     const size_t r = static_cast<size_t>(row);
-    const int32_t* it = cols_.data() + row_ptr_[r];
-    const int32_t* end = cols_.data() + row_ptr_[r + 1];
-    const std::vector<int32_t>& dels = del_[r];
+    const int32_t* it = b->cols.data() + b->row_ptr[r];
+    const int32_t* end = b->cols.data() + b->row_ptr[r + 1];
+    static const OverlayRow kEmpty{};
+    const OverlayRow* o = overlay_.Read(r, pin);
+    if (o == nullptr) o = &kEmpty;
+    const std::vector<int32_t>& dels = o->del;
     size_t di = 0;
     for (; it != end; ++it) {
       while (di < dels.size() && dels[di] < *it) ++di;
       if (di < dels.size() && dels[di] == *it) continue;
       fn(*it);
     }
-    for (int32_t c : add_[r]) fn(c);
+    for (int32_t c : o->add) fn(c);
   }
 
   /// Folds the overlay into the CSR body (also called automatically past
@@ -92,29 +119,44 @@ class DeltaCsrMatrix {
   /// pure-CSR configuration.
   void MergeDelta();
 
-  DeltaCsrStats stats() const;
-  uint64_t ApproximateSizeBytes() const;
+  DeltaCsrStats stats(
+      uint64_t pin = concurrency::EpochManager::kWriterPin) const;
+  uint64_t ApproximateSizeBytes(
+      uint64_t pin = concurrency::EpochManager::kWriterPin) const;
 
  private:
+  /// Immutable-between-merges CSR body:
+  /// cols[row_ptr[r] .. row_ptr[r+1]) sorted ascending.
+  struct Body {
+    std::vector<size_t> row_ptr{0};
+    std::vector<int32_t> cols;
+  };
+  /// Sorted per-row overlay.
+  struct OverlayRow {
+    std::vector<int32_t> add;
+    std::vector<int32_t> del;
+  };
+  struct Totals {
+    size_t pending = 0;  // total overlay entries
+    size_t nnz = 0;      // effective directed edge slots
+  };
+
   // One direction of AddEdge/RemoveEdge; returns whether the slot
-  // changed.
-  bool AddHalf(int32_t row, int32_t col);
-  bool RemoveHalf(int32_t row, int32_t col);
-  // Binary search of the CSR body row.
-  bool CsrContains(int32_t row, int32_t col) const;
+  // changed. Caller is the (sole) writer, inside a WriteBatch.
+  bool AddHalf(concurrency::EpochManager& mgr, int32_t row, int32_t col);
+  bool RemoveHalf(concurrency::EpochManager& mgr, int32_t row, int32_t col);
+  // Binary search of a CSR body row.
+  static bool CsrContains(const Body& b, int32_t row, int32_t col);
   void MaybeMerge();
+  void MergeDeltaLocked(concurrency::EpochManager& mgr);
+  Totals WriterTotals() const;
 
   const DeltaCsrOptions options_;
-  // CSR body: cols_[row_ptr_[r] .. row_ptr_[r+1]) sorted ascending.
-  std::vector<size_t> row_ptr_{0};
-  std::vector<int32_t> cols_;
-  // Sorted per-row overlay.
-  std::vector<std::vector<int32_t>> add_;
-  std::vector<std::vector<int32_t>> del_;
-  size_t pending_ = 0;  // total overlay entries
-  size_t nnz_ = 0;      // effective directed edge slots
-  uint64_t delta_merges_ = 0;
-  uint64_t csr_rebuilds_ = 0;
+  concurrency::VersionedCell<Body> body_;
+  concurrency::VersionedTable<OverlayRow> overlay_;
+  concurrency::VersionedCell<Totals> totals_;
+  std::atomic<uint64_t> delta_merges_{0};
+  std::atomic<uint64_t> csr_rebuilds_{0};
 };
 
 }  // namespace graphbench

@@ -57,69 +57,98 @@ class Bitmap {
 MatrixEngine::MatrixEngine(MatrixEngineOptions options)
     : options_(options), knows_(options.csr) {}
 
-int32_t MatrixEngine::PersonOrd(int64_t person_id) const {
-  auto it = person_ord_.find(person_id);
-  return it == person_ord_.end() ? -1 : it->second;
+int32_t MatrixEngine::PersonOrd(int64_t person_id, uint64_t pin) const {
+  const int32_t* ord = person_ord_.Find(person_id, pin);
+  return ord == nullptr ? -1 : *ord;
 }
 
-int32_t MatrixEngine::InternPerson(const snb::Person& p) {
-  auto it = person_ord_.find(p.id);
-  if (it != person_ord_.end()) return it->second;
+int32_t MatrixEngine::PostOrd(int64_t post_id, uint64_t pin) const {
+  const int32_t* ord = post_ord_.Find(post_id, pin);
+  return ord == nullptr ? -1 : *ord;
+}
+
+int32_t MatrixEngine::InternPerson(concurrency::EpochManager& mgr,
+                                   const snb::Person& p) {
+  const int32_t* existing =
+      person_ord_.Find(p.id, concurrency::EpochManager::kWriterPin);
+  if (existing != nullptr) return *existing;
   int32_t ord = int32_t(person_id_.size());
-  person_ord_.emplace(p.id, ord);
-  person_id_.push_back(p.id);
-  first_name_.push_back(p.first_name);
-  last_name_.push_back(p.last_name);
-  gender_.push_back(p.gender);
-  birthday_.push_back(p.birthday);
-  person_creation_.push_back(p.creation_date);
-  browser_.push_back(p.browser);
-  location_ip_.push_back(p.location_ip);
-  posts_by_creator_.emplace_back();
+  // Columns before the ordinal: a reader that resolves the ordinal has
+  // every cell of its row already published.
+  person_id_.PushBack(mgr, p.id);
+  first_name_.PushBack(mgr, p.first_name);
+  last_name_.PushBack(mgr, p.last_name);
+  gender_.PushBack(mgr, p.gender);
+  birthday_.PushBack(mgr, p.birthday);
+  person_creation_.PushBack(mgr, p.creation_date);
+  browser_.PushBack(mgr, p.browser);
+  location_ip_.PushBack(mgr, p.location_ip);
+  posts_by_creator_.Append(mgr, {});
   knows_.AddRow();
-  side_string_bytes_ += p.first_name.size() + p.last_name.size() +
-                        p.gender.size() + p.browser.size() +
-                        p.location_ip.size();
+  person_ord_.Insert(mgr, p.id, ord);
+  counts_.Publish(mgr, [&p](Counts& c) {
+    ++c.persons;
+    c.side_string_bytes += p.first_name.size() + p.last_name.size() +
+                           p.gender.size() + p.browser.size() +
+                           p.location_ip.size();
+  });
   return ord;
 }
 
-void MatrixEngine::AppendPost(const snb::Post& p) {
+void MatrixEngine::AppendPost(concurrency::EpochManager& mgr,
+                              const snb::Post& p) {
   int32_t ord = int32_t(post_id_.size());
-  post_ord_.emplace(p.id, ord);
-  post_id_.push_back(p.id);
-  post_content_.push_back(p.content);
-  post_creation_.push_back(p.creation_date);
-  replies_of_post_.emplace_back();
-  int32_t creator = PersonOrd(p.creator);
-  post_creator_.push_back(creator);
-  if (creator >= 0) posts_by_creator_[size_t(creator)].push_back(ord);
-  side_string_bytes_ += p.content.size() + p.browser.size();
+  post_id_.PushBack(mgr, p.id);
+  post_content_.PushBack(mgr, p.content);
+  post_creation_.PushBack(mgr, p.creation_date);
+  replies_of_post_.Append(mgr, {});
+  int32_t creator = PersonOrd(p.creator, concurrency::EpochManager::kWriterPin);
+  post_creator_.PushBack(mgr, creator);
+  if (creator >= 0) {
+    posts_by_creator_.Publish(mgr, size_t(creator), [ord](auto& posts) {
+      posts.push_back(ord);
+    });
+  }
+  post_ord_.Insert(mgr, p.id, ord);
+  counts_.Publish(mgr, [&p](Counts& c) {
+    ++c.posts;
+    c.side_string_bytes += p.content.size() + p.browser.size();
+  });
 }
 
-void MatrixEngine::AppendComment(const snb::Comment& c) {
+void MatrixEngine::AppendComment(concurrency::EpochManager& mgr,
+                                 const snb::Comment& c) {
   int32_t ord = int32_t(comment_id_.size());
-  comment_id_.push_back(c.id);
-  comment_content_.push_back(c.content);
-  comment_creation_.push_back(c.creation_date);
-  comment_creator_.push_back(c.creator);
+  comment_id_.PushBack(mgr, c.id);
+  comment_content_.PushBack(mgr, c.content);
+  comment_creation_.PushBack(mgr, c.creation_date);
+  comment_creator_.PushBack(mgr, c.creator);
   if (c.reply_of_post >= 0) {
-    auto it = post_ord_.find(c.reply_of_post);
-    if (it != post_ord_.end()) {
-      replies_of_post_[size_t(it->second)].push_back(ord);
+    int32_t post = PostOrd(c.reply_of_post,
+                           concurrency::EpochManager::kWriterPin);
+    if (post >= 0) {
+      replies_of_post_.Publish(mgr, size_t(post), [ord](auto& replies) {
+        replies.push_back(ord);
+      });
     }
   }
-  side_string_bytes_ += c.content.size();
+  counts_.Publish(mgr, [&c](Counts& cc) {
+    ++cc.comments;
+    cc.side_string_bytes += c.content.size();
+  });
 }
 
 Status MatrixEngine::Load(const snb::Dataset& data) {
-  std::unique_lock lock(mu_);
-  for (const snb::Person& p : data.persons) InternPerson(p);
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  for (const snb::Person& p : data.persons) InternPerson(mgr, p);
   // Bulk path: materialize the adjacency once and CSR-pack it in one
   // Build, instead of n AddEdge overlay inserts followed by merges.
   std::vector<std::vector<int32_t>> adjacency(person_id_.size());
   for (const snb::Knows& k : data.knows) {
-    int32_t a = PersonOrd(k.person1);
-    int32_t b = PersonOrd(k.person2);
+    int32_t a = PersonOrd(k.person1, concurrency::EpochManager::kWriterPin);
+    int32_t b = PersonOrd(k.person2, concurrency::EpochManager::kWriterPin);
     if (a < 0 || b < 0) {
       return Status::Corruption("knows references unknown person");
     }
@@ -127,21 +156,25 @@ Status MatrixEngine::Load(const snb::Dataset& data) {
     adjacency[size_t(b)].push_back(a);
   }
   knows_.Build(std::move(adjacency));
-  for (const snb::Post& p : data.posts) AppendPost(p);
-  for (const snb::Comment& c : data.comments) AppendComment(c);
+  for (const snb::Post& p : data.posts) AppendPost(mgr, p);
+  for (const snb::Comment& c : data.comments) AppendComment(mgr, c);
   forums_ = data.forums;
-  member_count_ = data.members.size();
-  like_count_ = data.likes.size();
+  counts_.Publish(mgr, [&data](Counts& c) {
+    c.forums = data.forums.size();
+    c.members = data.members.size();
+    c.likes = data.likes.size();
+  });
   return Status::OK();
 }
 
 QueryResult MatrixEngine::PointLookup(int64_t person_id) const {
   obs::OpTimer op("column_lookup");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"p.firstName", "p.lastName",    "p.gender",
                "p.birthday",  "p.browserUsed", "p.locationIP"};
-  int32_t ord = PersonOrd(person_id);
+  int32_t ord = PersonOrd(person_id, pin);
   if (ord < 0) return r;
   size_t i = size_t(ord);
   r.rows.push_back({Value(first_name_[i]), Value(last_name_[i]),
@@ -153,16 +186,17 @@ QueryResult MatrixEngine::PointLookup(int64_t person_id) const {
 
 QueryResult MatrixEngine::OneHop(int64_t person_id) const {
   obs::OpTimer op("spmv_gather");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"f.id", "f.firstName", "f.lastName"};
-  int32_t ord = PersonOrd(person_id);
+  int32_t ord = PersonOrd(person_id, pin);
   if (ord < 0) return r;
   knows_.ForEachInRow(ord, [&](int32_t f) {
     size_t i = size_t(f);
     r.rows.push_back(
         {Value(person_id_[i]), Value(first_name_[i]), Value(last_name_[i])});
-  });
+  }, pin);
   spmv_rows_.fetch_add(1, std::memory_order_relaxed);
   SpmvRowsCounter()->Increment();
   op.AddRows(r.rows.size());
@@ -171,16 +205,17 @@ QueryResult MatrixEngine::OneHop(int64_t person_id) const {
 
 QueryResult MatrixEngine::TwoHop(int64_t person_id) const {
   obs::OpTimer op("masked_spgemm");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"ff.id"};
-  int32_t ord = PersonOrd(person_id);
+  int32_t ord = PersonOrd(person_id, pin);
   if (ord < 0) return r;
   // Masked SpGEMM row: (A · A_row)(ord) with the self bit masked out. The
   // `seen` bitmap is both the DISTINCT and the mask — direct friends stay
   // includable (they are reachable in two hops through a mutual friend),
   // matching the reference semantics where only self is excluded.
-  Bitmap seen(size_t(knows_.rows()));
+  Bitmap seen(size_t(knows_.rows(pin)));
   seen.Set(ord);
   uint64_t gathered = 1;
   knows_.ForEachInRow(ord, [&](int32_t f) {
@@ -189,8 +224,8 @@ QueryResult MatrixEngine::TwoHop(int64_t person_id) const {
       if (seen.Test(ff)) return;
       seen.Set(ff);
       r.rows.push_back({Value(person_id_[size_t(ff)])});
-    });
-  });
+    }, pin);
+  }, pin);
   // A direct friend that is *not* reachable in two hops was masked by
   // `seen` without ever being emitted — correct, since the mask seeded
   // only self; friends enter `seen` exclusively via second-level gathers.
@@ -200,8 +235,9 @@ QueryResult MatrixEngine::TwoHop(int64_t person_id) const {
   return r;
 }
 
-int MatrixEngine::ShortestPathSpmvLocked(int32_t src, int32_t dst) const {
-  const size_t n = size_t(knows_.rows());
+int MatrixEngine::ShortestPathSpmv(int32_t src, int32_t dst,
+                                   uint64_t pin) const {
+  const size_t n = size_t(knows_.rows(pin));
   Bitmap visited(n);
   Bitmap frontier(n);
   Bitmap next(n);
@@ -223,7 +259,7 @@ int MatrixEngine::ShortestPathSpmvLocked(int32_t src, int32_t dst) const {
         visited.Set(col);
         next.Set(col);
         if (col == dst) found = true;
-      });
+      }, pin);
     });
     std::swap(frontier, next);
   }
@@ -232,9 +268,9 @@ int MatrixEngine::ShortestPathSpmvLocked(int32_t src, int32_t dst) const {
   return found ? depth : -1;
 }
 
-int MatrixEngine::ShortestPathPointerChasingLocked(int32_t src,
-                                                   int32_t dst) const {
-  const size_t n = size_t(knows_.rows());
+int MatrixEngine::ShortestPathPointerChasing(int32_t src, int32_t dst,
+                                             uint64_t pin) const {
+  const size_t n = size_t(knows_.rows(pin));
   std::vector<int32_t> dist(n, -1);
   dist[size_t(src)] = 0;
   std::deque<int32_t> queue{src};
@@ -249,7 +285,7 @@ int MatrixEngine::ShortestPathPointerChasingLocked(int32_t src,
       dist[size_t(nb)] = next;
       if (nb == dst) hit = true;
       queue.push_back(nb);
-    });
+    }, pin);
     if (hit) return next;
   }
   return -1;
@@ -258,25 +294,30 @@ int MatrixEngine::ShortestPathPointerChasingLocked(int32_t src,
 int MatrixEngine::ShortestPathLen(int64_t from_person,
                                   int64_t to_person) const {
   obs::OpTimer op("spmv_bfs");
-  std::shared_lock lock(mu_);
-  int32_t src = PersonOrd(from_person);
-  int32_t dst = PersonOrd(to_person);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
+  int32_t src = PersonOrd(from_person, pin);
+  int32_t dst = PersonOrd(to_person, pin);
   if (src < 0 || dst < 0) return -1;
   if (src == dst) return 0;
   return options_.bfs == MatrixBfsKind::kSpmv
-             ? ShortestPathSpmvLocked(src, dst)
-             : ShortestPathPointerChasingLocked(src, dst);
+             ? ShortestPathSpmv(src, dst, pin)
+             : ShortestPathPointerChasing(src, dst, pin);
 }
 
 QueryResult MatrixEngine::RecentPosts(int64_t person_id,
                                       int64_t limit) const {
   obs::OpTimer op("column_sort");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"post.id", "post.content", "post.creationDate"};
-  int32_t ord = PersonOrd(person_id);
+  int32_t ord = PersonOrd(person_id, pin);
   if (ord < 0 || limit <= 0) return r;
-  std::vector<int32_t> posts = posts_by_creator_[size_t(ord)];
+  const std::vector<int32_t>* by_creator =
+      posts_by_creator_.Read(size_t(ord), pin);
+  if (by_creator == nullptr) return r;
+  std::vector<int32_t> posts = *by_creator;
   std::stable_sort(posts.begin(), posts.end(), [this](int32_t a, int32_t b) {
     return post_creation_[size_t(a)] > post_creation_[size_t(b)];
   });
@@ -293,15 +334,16 @@ QueryResult MatrixEngine::RecentPosts(int64_t person_id,
 QueryResult MatrixEngine::FriendsWithName(int64_t person_id,
                                           const std::string& first_name) const {
   obs::OpTimer op("spmv_gather");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"f.id", "f.lastName"};
-  int32_t ord = PersonOrd(person_id);
+  int32_t ord = PersonOrd(person_id, pin);
   if (ord < 0) return r;
   std::vector<int32_t> matches;
   knows_.ForEachInRow(ord, [&](int32_t f) {
     if (first_name_[size_t(f)] == first_name) matches.push_back(f);
-  });
+  }, pin);
   spmv_rows_.fetch_add(1, std::memory_order_relaxed);
   SpmvRowsCounter()->Increment();
   // ORDER BY f.id: ordinals are insertion order, not id order.
@@ -318,12 +360,16 @@ QueryResult MatrixEngine::FriendsWithName(int64_t person_id,
 
 QueryResult MatrixEngine::RepliesOfPost(int64_t post_id) const {
   obs::OpTimer op("column_sort");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"c.id", "c.content", "cr.id"};
-  auto it = post_ord_.find(post_id);
-  if (it == post_ord_.end()) return r;
-  std::vector<int32_t> replies = replies_of_post_[size_t(it->second)];
+  int32_t ord = PostOrd(post_id, pin);
+  if (ord < 0) return r;
+  const std::vector<int32_t>* reply_row =
+      replies_of_post_.Read(size_t(ord), pin);
+  if (reply_row == nullptr) return r;
+  std::vector<int32_t> replies = *reply_row;
   std::stable_sort(replies.begin(), replies.end(),
                    [this](int32_t a, int32_t b) {
                      return comment_creation_[size_t(a)] >
@@ -340,29 +386,34 @@ QueryResult MatrixEngine::RepliesOfPost(int64_t post_id) const {
 
 QueryResult MatrixEngine::TopPosters(int64_t limit) const {
   obs::OpTimer op("column_aggregate");
-  std::shared_lock lock(mu_);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   QueryResult r;
   r.columns = {"p.id", "n"};
   if (limit <= 0) return r;
-  // Aggregate straight off the posts_by_creator_ column: persons without
-  // posts never rank (the MATCH semantics of the reference query).
-  std::vector<int32_t> creators;
-  for (size_t i = 0; i < posts_by_creator_.size(); ++i) {
-    if (!posts_by_creator_[i].empty()) creators.push_back(int32_t(i));
+  const Counts* counts = counts_.Read(pin);
+  const size_t persons = counts == nullptr ? 0 : counts->persons;
+  // Aggregate straight off the posts_by_creator_ rows of the pinned
+  // snapshot: persons without posts never rank (the MATCH semantics of
+  // the reference query).
+  std::vector<std::pair<int32_t, size_t>> creators;
+  for (size_t i = 0; i < persons; ++i) {
+    const std::vector<int32_t>* posts = posts_by_creator_.Read(i, pin);
+    if (posts != nullptr && !posts->empty()) {
+      creators.emplace_back(int32_t(i), posts->size());
+    }
   }
-  auto rank = [this](int32_t a, int32_t b) {
-    size_t ca = posts_by_creator_[size_t(a)].size();
-    size_t cb = posts_by_creator_[size_t(b)].size();
-    if (ca != cb) return ca > cb;
-    return person_id_[size_t(a)] < person_id_[size_t(b)];
+  auto rank = [this](const std::pair<int32_t, size_t>& a,
+                     const std::pair<int32_t, size_t>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return person_id_[size_t(a.first)] < person_id_[size_t(b.first)];
   };
   size_t k = std::min(size_t(limit), creators.size());
   std::partial_sort(creators.begin(), creators.begin() + long(k),
                     creators.end(), rank);
   creators.resize(k);
-  for (int32_t c : creators) {
-    r.rows.push_back({Value(person_id_[size_t(c)]),
-                      Value(int64_t(posts_by_creator_[size_t(c)].size()))});
+  for (const auto& [c, n] : creators) {
+    r.rows.push_back({Value(person_id_[size_t(c)]), Value(int64_t(n))});
   }
   op.AddRows(r.rows.size());
   return r;
@@ -371,15 +422,18 @@ QueryResult MatrixEngine::TopPosters(int64_t limit) const {
 Status MatrixEngine::Apply(const snb::UpdateOp& op, bool* knows_changed) {
   obs::OpTimer timer("matrix_apply");
   if (knows_changed != nullptr) *knows_changed = false;
-  std::unique_lock lock(mu_);
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  concurrency::WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const uint64_t wp = concurrency::EpochManager::kWriterPin;
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {
     case K::kAddPerson:
-      InternPerson(op.person);
+      InternPerson(mgr, op.person);
       return Status::OK();
     case K::kAddFriendship: {
-      int32_t a = PersonOrd(op.knows.person1);
-      int32_t b = PersonOrd(op.knows.person2);
+      int32_t a = PersonOrd(op.knows.person1, wp);
+      int32_t b = PersonOrd(op.knows.person2, wp);
       // Unknown endpoints no-op, mirroring a MATCH that binds nothing.
       if (a < 0 || b < 0) return Status::OK();
       bool changed = knows_.AddEdge(a, b);
@@ -387,8 +441,8 @@ Status MatrixEngine::Apply(const snb::UpdateOp& op, bool* knows_changed) {
       return Status::OK();
     }
     case K::kRemoveFriendship: {
-      int32_t a = PersonOrd(op.knows.person1);
-      int32_t b = PersonOrd(op.knows.person2);
+      int32_t a = PersonOrd(op.knows.person1, wp);
+      int32_t b = PersonOrd(op.knows.person2, wp);
       if (a < 0 || b < 0) {
         return Status::NotFound("unfriend references unknown person");
       }
@@ -399,54 +453,64 @@ Status MatrixEngine::Apply(const snb::UpdateOp& op, bool* knows_changed) {
       return Status::OK();
     }
     case K::kAddPost:
-      if (post_ord_.count(op.post.id)) {
+      if (PostOrd(op.post.id, wp) >= 0) {
         return Status::AlreadyExists("duplicate post id");
       }
-      AppendPost(op.post);
+      AppendPost(mgr, op.post);
       return Status::OK();
     case K::kAddComment:
-      AppendComment(op.comment);
+      AppendComment(mgr, op.comment);
       return Status::OK();
     case K::kAddForum:
       forums_.push_back(op.forum);
-      side_string_bytes_ += op.forum.title.size();
+      counts_.Publish(mgr, [&op](Counts& c) {
+        ++c.forums;
+        c.side_string_bytes += op.forum.title.size();
+      });
       return Status::OK();
     case K::kAddForumMember:
-      ++member_count_;
+      counts_.Publish(mgr, [](Counts& c) { ++c.members; });
       return Status::OK();
     case K::kAddLikePost:
     case K::kAddLikeComment:
-      ++like_count_;
+      counts_.Publish(mgr, [](Counts& c) { ++c.likes; });
       return Status::OK();
   }
   return Status::InvalidArgument("unknown update kind");
 }
 
 uint64_t MatrixEngine::SizeBytes() const {
-  std::shared_lock lock(mu_);
-  uint64_t bytes = knows_.ApproximateSizeBytes() + side_string_bytes_;
-  bytes += person_id_.capacity() * sizeof(int64_t) * 3;  // id/birthday/created
-  bytes += person_id_.capacity() * sizeof(std::string) * 5;
-  bytes += post_id_.capacity() * (sizeof(int64_t) * 2 + sizeof(int32_t) +
-                                  sizeof(std::string));
-  bytes += comment_id_.capacity() * (sizeof(int64_t) * 3 +
-                                     sizeof(std::string));
-  for (const auto& v : posts_by_creator_) {
-    bytes += v.capacity() * sizeof(int32_t) + sizeof(v);
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
+  const Counts* cp = counts_.Read(pin);
+  const Counts counts = cp == nullptr ? Counts{} : *cp;
+  uint64_t bytes = knows_.ApproximateSizeBytes(pin) + counts.side_string_bytes;
+  bytes += counts.persons * sizeof(int64_t) * 3;  // id/birthday/created
+  bytes += counts.persons * sizeof(std::string) * 5;
+  bytes += counts.posts * (sizeof(int64_t) * 2 + sizeof(int32_t) +
+                           sizeof(std::string));
+  bytes += counts.comments * (sizeof(int64_t) * 3 + sizeof(std::string));
+  for (size_t i = 0; i < counts.persons; ++i) {
+    const std::vector<int32_t>* v = posts_by_creator_.Read(i, pin);
+    bytes += sizeof(std::vector<int32_t>);
+    if (v != nullptr) bytes += v->size() * sizeof(int32_t);
   }
-  for (const auto& v : replies_of_post_) {
-    bytes += v.capacity() * sizeof(int32_t) + sizeof(v);
+  for (size_t i = 0; i < counts.posts; ++i) {
+    const std::vector<int32_t>* v = replies_of_post_.Read(i, pin);
+    bytes += sizeof(std::vector<int32_t>);
+    if (v != nullptr) bytes += v->size() * sizeof(int32_t);
   }
-  bytes += (person_ord_.size() + post_ord_.size()) *
+  bytes += (counts.persons + counts.posts) *
            (sizeof(int64_t) + sizeof(int32_t) + sizeof(void*) * 2);
-  bytes += forums_.size() * sizeof(snb::Forum);
-  bytes += (member_count_ + like_count_) * sizeof(int64_t);
+  bytes += counts.forums * sizeof(snb::Forum);
+  bytes += (counts.members + counts.likes) * sizeof(int64_t);
   return bytes;
 }
 
 MatrixStats MatrixEngine::stats() const {
-  std::shared_lock lock(mu_);
-  DeltaCsrStats c = knows_.stats();
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
+  DeltaCsrStats c = knows_.stats(pin);
   MatrixStats s;
   s.spmv_rows = spmv_rows_.load(std::memory_order_relaxed);
   s.delta_merges = c.delta_merges;

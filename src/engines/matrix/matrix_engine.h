@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "concurrency/epoch.h"
+#include "concurrency/versioned.h"
 #include "engines/matrix/delta_csr.h"
 #include "engines/relational/query_result.h"
 #include "snb/schema.h"
@@ -53,12 +54,17 @@ struct MatrixStats {
 /// index the columns directly. There is no query language: MatrixSut calls
 /// these methods straight, the RedisGraph/GraphBLAS design point.
 ///
-/// Concurrency follows the repo's one-writer/many-readers discipline:
-/// queries take the shared lock, Load/Apply the exclusive lock; read-side
-/// stats are relaxed atomics.
+/// Concurrency follows the repo's one-writer/lock-free-readers discipline:
+/// Load/Apply serialize on a plain mutex and publish inside a write batch;
+/// queries pin an epoch and read the matrix body, overlay rows, ordinal
+/// maps, and columnar counts of that snapshot — no reader lock, so a
+/// pending CSR merge or update burst never stalls a gather.
 class MatrixEngine {
  public:
   explicit MatrixEngine(MatrixEngineOptions options = {});
+
+  MatrixEngine(const MatrixEngine&) = delete;
+  MatrixEngine& operator=(const MatrixEngine&) = delete;
 
   Status Load(const snb::Dataset& data);
 
@@ -84,55 +90,72 @@ class MatrixEngine {
   MatrixStats stats() const;
 
  private:
-  // Dense ordinal of a person/post id, or -1 when unknown; mu_ held.
-  int32_t PersonOrd(int64_t person_id) const;
-  // Interns a person id, growing the matrix and every person column
-  // (missing property cells default-initialize); mu_ held exclusively.
-  int32_t InternPerson(const snb::Person& p);
-  void AppendPost(const snb::Post& p);
-  void AppendComment(const snb::Comment& c);
-  int ShortestPathSpmvLocked(int32_t src, int32_t dst) const;
-  int ShortestPathPointerChasingLocked(int32_t src, int32_t dst) const;
+  /// Epoch-versioned row counts: the bound every reader applies to the
+  /// append-only columns of its pinned snapshot.
+  struct Counts {
+    uint64_t persons = 0;
+    uint64_t posts = 0;
+    uint64_t comments = 0;
+    uint64_t forums = 0;
+    uint64_t members = 0;
+    uint64_t likes = 0;
+    uint64_t side_string_bytes = 0;  // content/name bytes across columns
+  };
+
+  // Dense ordinal of a person/post id visible at `pin`, or -1.
+  int32_t PersonOrd(int64_t person_id, uint64_t pin) const;
+  int32_t PostOrd(int64_t post_id, uint64_t pin) const;
+  // Interns a person id, growing the matrix and every person column;
+  // write_mu_ held, inside a batch.
+  int32_t InternPerson(concurrency::EpochManager& mgr, const snb::Person& p);
+  void AppendPost(concurrency::EpochManager& mgr, const snb::Post& p);
+  void AppendComment(concurrency::EpochManager& mgr, const snb::Comment& c);
+  int ShortestPathSpmv(int32_t src, int32_t dst, uint64_t pin) const;
+  int ShortestPathPointerChasing(int32_t src, int32_t dst,
+                                 uint64_t pin) const;
 
   const MatrixEngineOptions options_;
-  mutable std::shared_mutex mu_;
+  std::mutex write_mu_;  // serializes writers; readers never take it
 
   DeltaCsrMatrix knows_;
 
-  // Person columns, indexed by matrix row ordinal.
-  std::unordered_map<int64_t, int32_t> person_ord_;
-  std::vector<int64_t> person_id_;
-  std::vector<std::string> first_name_;
-  std::vector<std::string> last_name_;
-  std::vector<std::string> gender_;
-  std::vector<int64_t> birthday_;
-  std::vector<int64_t> person_creation_;
-  std::vector<std::string> browser_;
-  std::vector<std::string> location_ip_;
-  std::vector<std::vector<int32_t>> posts_by_creator_;  // post ordinals
+  // Person columns, indexed by matrix row ordinal. Appended inside the
+  // batch that inserts the ordinal, so a visible ordinal implies visible
+  // column cells.
+  concurrency::EpochHashMap<int64_t, int32_t> person_ord_;
+  concurrency::StableVec<int64_t> person_id_;
+  concurrency::StableVec<std::string> first_name_;
+  concurrency::StableVec<std::string> last_name_;
+  concurrency::StableVec<std::string> gender_;
+  concurrency::StableVec<int64_t> birthday_;
+  concurrency::StableVec<int64_t> person_creation_;
+  concurrency::StableVec<std::string> browser_;
+  concurrency::StableVec<std::string> location_ip_;
+  /// Post ordinals per creator; mutated by every post append, so
+  /// versioned per row.
+  concurrency::VersionedTable<std::vector<int32_t>> posts_by_creator_;
 
   // Post columns, indexed by post ordinal.
-  std::unordered_map<int64_t, int32_t> post_ord_;
-  std::vector<int64_t> post_id_;
-  std::vector<std::string> post_content_;
-  std::vector<int64_t> post_creation_;
-  std::vector<int32_t> post_creator_;  // person ordinal, -1 unknown
-  std::vector<std::vector<int32_t>> replies_of_post_;  // comment ordinals
+  concurrency::EpochHashMap<int64_t, int32_t> post_ord_;
+  concurrency::StableVec<int64_t> post_id_;
+  concurrency::StableVec<std::string> post_content_;
+  concurrency::StableVec<int64_t> post_creation_;
+  concurrency::StableVec<int32_t> post_creator_;  // person ordinal, -1
+  concurrency::VersionedTable<std::vector<int32_t>> replies_of_post_;
 
   // Comment columns, indexed by comment ordinal.
-  std::vector<int64_t> comment_id_;
-  std::vector<std::string> comment_content_;
-  std::vector<int64_t> comment_creation_;
-  std::vector<int64_t> comment_creator_;  // person id (for the cr.id column)
+  concurrency::StableVec<int64_t> comment_id_;
+  concurrency::StableVec<std::string> comment_content_;
+  concurrency::StableVec<int64_t> comment_creation_;
+  concurrency::StableVec<int64_t> comment_creator_;  // person id (cr.id)
 
   // Entities no read query touches, kept only so Apply is total and
-  // SizeBytes honest: forums/members/likes as flat rows.
+  // SizeBytes honest. The forum rows themselves are writer-only; their
+  // count is in counts_.
   std::vector<snb::Forum> forums_;
-  uint64_t member_count_ = 0;
-  uint64_t like_count_ = 0;
-  uint64_t side_string_bytes_ = 0;  // content/name bytes across columns
+  concurrency::VersionedCell<Counts> counts_;
 
-  // Read-side counter: bumped under the shared lock.
+  // Read-side counter: relaxed, bumped lock-free.
   mutable std::atomic<uint64_t> spmv_rows_{0};
 };
 

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "graph/value_codec.h"
 #include "storage/heap_table.h"  // ValueFootprint
@@ -13,20 +12,29 @@
 
 namespace graphbench {
 
+namespace {
+using concurrency::EpochGuard;
+using concurrency::EpochManager;
+using concurrency::ReadPin;
+using concurrency::WriteBatch;
+}  // namespace
+
 NativeGraph::NativeGraph(NativeGraphOptions options) : options_(options) {}
 
-uint32_t NativeGraph::InternLabel(std::string_view label) {
-  auto it = label_ids_.find(std::string(label));
-  if (it != label_ids_.end()) return it->second;
+uint32_t NativeGraph::InternLabel(EpochManager& mgr, std::string_view label) {
+  std::string key(label);
+  if (const uint32_t* id = label_ids_.Find(key, EpochManager::kWriterPin)) {
+    return *id;
+  }
   uint32_t id = uint32_t(label_names_.size());
-  label_names_.emplace_back(label);
-  label_ids_.emplace(std::string(label), id);
+  label_names_.PushBack(mgr, key);
+  label_ids_.Insert(mgr, key, id);
   return id;
 }
 
-int NativeGraph::LookupLabel(std::string_view label) const {
-  auto it = label_ids_.find(std::string(label));
-  return it == label_ids_.end() ? -1 : int(it->second);
+int NativeGraph::LookupLabel(std::string_view label, uint64_t pin) const {
+  const uint32_t* id = label_ids_.Find(std::string(label), pin);
+  return id == nullptr ? -1 : int(*id);
 }
 
 NativeGraph::AdjGroup& NativeGraph::GroupFor(VertexRec& rec,
@@ -38,23 +46,32 @@ NativeGraph::AdjGroup& NativeGraph::GroupFor(VertexRec& rec,
   return rec.adj.back();
 }
 
-void NativeGraph::SerializeRecentLocked(size_t from_vertex,
-                                        size_t from_edge,
-                                        std::string* out) const {
-  for (size_t v = from_vertex; v < vertices_.size(); ++v) {
+NativeGraph::Counts NativeGraph::WriterCounts() const {
+  const Counts* c = counts_.WriterLatest();
+  return c != nullptr ? *c : Counts{};
+}
+
+void NativeGraph::SerializeRange(size_t from_vertex, size_t from_edge,
+                                 uint64_t pin, std::string* out) const {
+  const Counts* c = counts_.Read(pin);
+  size_t end_v = c != nullptr ? c->vertices : 0;
+  size_t end_e = c != nullptr ? c->edges : 0;
+  for (size_t v = from_vertex; v < end_v; ++v) {
+    const VertexRec* rec = vertices_.Read(v, pin);
+    if (rec == nullptr) continue;
     out->push_back('V');
     valuecodec::EncodeValue(out, Value(int64_t(v)));
-    valuecodec::EncodeValue(out,
-                            Value(label_names_[vertices_[v].label]));
-    valuecodec::EncodePropertyMap(out, vertices_[v].props);
+    valuecodec::EncodeValue(out, Value(label_names_[rec->label]));
+    valuecodec::EncodePropertyMap(out, rec->props);
   }
-  for (size_t e = from_edge; e < edges_.size(); ++e) {
-    if (edges_[e].removed) continue;
+  for (size_t e = from_edge; e < end_e; ++e) {
+    const EdgeRec* rec = edges_.Read(e, pin);
+    if (rec == nullptr || rec->removed) continue;
     out->push_back('E');
-    valuecodec::EncodeValue(out, Value(label_names_[edges_[e].label]));
-    valuecodec::EncodeValue(out, Value(int64_t(edges_[e].src)));
-    valuecodec::EncodeValue(out, Value(int64_t(edges_[e].dst)));
-    valuecodec::EncodePropertyMap(out, edges_[e].props);
+    valuecodec::EncodeValue(out, Value(label_names_[rec->label]));
+    valuecodec::EncodeValue(out, Value(int64_t(rec->src)));
+    valuecodec::EncodeValue(out, Value(int64_t(rec->dst)));
+    valuecodec::EncodePropertyMap(out, rec->props);
   }
 }
 
@@ -64,15 +81,17 @@ void NativeGraph::MaybeCheckpointLocked() {
     return;
   }
   // Flush the dirty records: serialize everything written since the last
-  // checkpoint into the store's snapshot buffer while holding the latch
-  // exclusively — readers and the writer stall, producing the Figure 3
-  // throughput dips. A configurable floor models the fsync an in-memory
-  // analogue doesn't pay.
+  // checkpoint into the store's snapshot buffer. The writer stalls —
+  // producing the Figure 3 write-throughput dips — but unlike the old
+  // coarse-latch design, readers keep running against their pinned
+  // snapshots for the whole pause. A configurable floor models the fsync
+  // an in-memory analogue doesn't pay.
   Stopwatch checkpoint_clock;
-  SerializeRecentLocked(checkpointed_vertices_, checkpointed_edges_,
-                        &checkpoint_buffer_);
-  checkpointed_vertices_ = vertices_.size();
-  checkpointed_edges_ = edges_.size();
+  SerializeRange(checkpointed_vertices_, checkpointed_edges_,
+                 EpochManager::kWriterPin, &checkpoint_buffer_);
+  Counts c = WriterCounts();
+  checkpointed_vertices_ = c.vertices;
+  checkpointed_edges_ = c.edges;
   uint64_t target =
       std::min(writes_since_checkpoint_ *
                    options_.checkpoint_micros_per_dirty_write,
@@ -82,23 +101,28 @@ void NativeGraph::MaybeCheckpointLocked() {
     std::this_thread::sleep_for(std::chrono::microseconds(target - spent));
   }
   writes_since_checkpoint_ = 0;
-  ++checkpoints_;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status NativeGraph::SnapshotTo(std::string* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Pinned-snapshot serialization: consistent even while updates stream in.
+  EpochGuard guard;
   out->clear();
-  SerializeRecentLocked(0, 0, out);
+  SerializeRange(0, 0, ReadPin(guard), out);
   return Status::OK();
 }
 
 Status NativeGraph::RestoreFrom(std::string_view snapshot) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    if (!vertices_.empty() || !edges_.empty()) {
+    EpochGuard guard;
+    Counts c = WriterCounts();
+    if (c.vertices != 0 || c.edges != 0) {
       return Status::InvalidArgument("restore requires an empty store");
     }
   }
+  // One batch for the whole restore: the recovered store appears in a
+  // single epoch, and per-record versions collapse in place.
+  WriteBatch batch;
   std::string_view cursor = snapshot;
   while (!cursor.empty()) {
     char tag = cursor[0];
@@ -138,97 +162,127 @@ Status NativeGraph::RestoreFrom(std::string_view snapshot) {
 
 Result<VertexId> NativeGraph::AddVertex(std::string_view label,
                                         const PropertyMap& props) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  uint32_t label_id = InternLabel(label);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
+  uint32_t label_id = InternLabel(mgr, label);
   VertexId v = vertices_.size();
-  // Maintain any unique index declared on (label, key).
-  for (auto& [index_key, map] : indexes_) {
-    if (index_key.first != label_id) continue;
-    const Value& value = props.Get(index_key.second);
-    if (value.is_null()) continue;
-    auto [it, inserted] = map.emplace(value, v);
-    if (!inserted) {
-      return Status::AlreadyExists("unique index violation on " +
-                                   index_key.second);
+  // Maintain any unique index declared on (label, key): check every index
+  // first so a violation publishes nothing.
+  const std::vector<IndexHandle>* handles = indexes_.WriterLatest();
+  if (handles != nullptr) {
+    for (const IndexHandle& h : *handles) {
+      if (h.label != label_id) continue;
+      const Value& value = props.Get(h.key);
+      if (value.is_null()) continue;
+      if (h.map->Find(value, EpochManager::kWriterPin) != nullptr) {
+        return Status::AlreadyExists("unique index violation on " + h.key);
+      }
+    }
+    for (const IndexHandle& h : *handles) {
+      if (h.label != label_id) continue;
+      const Value& value = props.Get(h.key);
+      if (value.is_null()) continue;
+      h.map->Insert(mgr, value, v);
     }
   }
-  vertices_.push_back(VertexRec{label_id, props, {}});
-  bytes_ += 64;
+  vertices_.Append(mgr, VertexRec{label_id, props, {}});
+  uint64_t added = 64;
   for (const auto& [k, val] : props.entries()) {
-    bytes_ += k.size() + ValueFootprint(val);
+    added += k.size() + ValueFootprint(val);
   }
+  counts_.Publish(mgr, [added](Counts& c) {
+    ++c.vertices;
+    c.bytes += added;
+  });
   MaybeCheckpointLocked();
   return v;
 }
 
 Result<EdgeId> NativeGraph::AddEdge(std::string_view label, VertexId src,
                                     VertexId dst, const PropertyMap& props) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
   if (src >= vertices_.size() || dst >= vertices_.size()) {
     return Status::InvalidArgument("edge endpoint does not exist");
   }
-  uint32_t label_id = InternLabel(label);
+  uint32_t label_id = InternLabel(mgr, label);
   EdgeId e = edges_.size();
-  edges_.push_back(EdgeRec{label_id, src, dst, props});
+  edges_.Append(mgr, EdgeRec{label_id, src, dst, props, false});
   // Index-free adjacency: both endpoint records get a direct pointer.
-  GroupFor(vertices_[src], label_id).out.push_back(Neighbor{dst, e});
-  GroupFor(vertices_[dst], label_id).in.push_back(Neighbor{src, e});
-  bytes_ += 48 + 2 * sizeof(Neighbor);
+  // The mutated records are copy-on-write versions; concurrent readers
+  // keep traversing the adjacency of their pinned epoch.
+  vertices_.Publish(mgr, src, [&](VertexRec& rec) {
+    GroupFor(rec, label_id).out.push_back(Neighbor{dst, e});
+  });
+  vertices_.Publish(mgr, dst, [&](VertexRec& rec) {
+    GroupFor(rec, label_id).in.push_back(Neighbor{src, e});
+  });
+  uint64_t added = 48 + 2 * sizeof(Neighbor);
   for (const auto& [k, val] : props.entries()) {
-    bytes_ += k.size() + ValueFootprint(val);
+    added += k.size() + ValueFootprint(val);
   }
+  counts_.Publish(mgr, [added](Counts& c) {
+    ++c.edges;
+    c.bytes += added;
+  });
   MaybeCheckpointLocked();
   return e;
 }
 
 Status NativeGraph::GetVertex(VertexId v, std::string* label,
                               PropertyMap* props) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (v >= vertices_.size()) return Status::NotFound("vertex");
-  const VertexRec& rec = vertices_[v];
-  if (label != nullptr) *label = label_names_[rec.label];
-  if (props != nullptr) *props = rec.props;
+  EpochGuard guard;
+  const VertexRec* rec = vertices_.Read(v, ReadPin(guard));
+  if (rec == nullptr) return Status::NotFound("vertex");
+  if (label != nullptr) *label = label_names_[rec->label];
+  if (props != nullptr) *props = rec->props;
   return Status::OK();
 }
 
 Status NativeGraph::GetEdge(EdgeId e, std::string* label, VertexId* src,
                             VertexId* dst, PropertyMap* props) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (e >= edges_.size() || edges_[e].removed) {
-    return Status::NotFound("edge");
-  }
-  const EdgeRec& rec = edges_[e];
-  if (label != nullptr) *label = label_names_[rec.label];
-  if (src != nullptr) *src = rec.src;
-  if (dst != nullptr) *dst = rec.dst;
-  if (props != nullptr) *props = rec.props;
+  EpochGuard guard;
+  const EdgeRec* rec = edges_.Read(e, ReadPin(guard));
+  if (rec == nullptr || rec->removed) return Status::NotFound("edge");
+  if (label != nullptr) *label = label_names_[rec->label];
+  if (src != nullptr) *src = rec->src;
+  if (dst != nullptr) *dst = rec->dst;
+  if (props != nullptr) *props = rec->props;
   return Status::OK();
 }
 
 Result<Value> NativeGraph::VertexProperty(VertexId v,
                                           std::string_view key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (v >= vertices_.size()) return Status::NotFound("vertex");
-  return vertices_[v].props.Get(key);
+  EpochGuard guard;
+  const VertexRec* rec = vertices_.Read(v, ReadPin(guard));
+  if (rec == nullptr) return Status::NotFound("vertex");
+  return rec->props.Get(key);
 }
 
 Status NativeGraph::SetVertexProperty(VertexId v, std::string_view key,
                                       const Value& value) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
   if (v >= vertices_.size()) return Status::NotFound("vertex");
-  vertices_[v].props.Set(key, value);
+  vertices_.Publish(mgr, v,
+                    [&](VertexRec& rec) { rec.props.Set(key, value); });
   MaybeCheckpointLocked();
   return Status::OK();
 }
 
 Result<std::vector<Neighbor>> NativeGraph::Neighbors(
     VertexId v, std::string_view edge_label, Direction dir) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (v >= vertices_.size()) return Status::NotFound("vertex");
+  EpochGuard guard;
+  const uint64_t pin = ReadPin(guard);
+  const VertexRec* rec = vertices_.Read(v, pin);
+  if (rec == nullptr) return Status::NotFound("vertex");
   std::vector<Neighbor> out;
-  int wanted = edge_label.empty() ? -2 : LookupLabel(edge_label);
+  int wanted = edge_label.empty() ? -2 : LookupLabel(edge_label, pin);
   if (wanted == -1) return out;  // label never seen: no edges
-  for (const AdjGroup& g : vertices_[v].adj) {
+  for (const AdjGroup& g : rec->adj) {
     if (wanted != -2 && int(g.edge_label) != wanted) continue;
     if (dir == Direction::kOut || dir == Direction::kBoth) {
       out.insert(out.end(), g.out.begin(), g.out.end());
@@ -242,43 +296,60 @@ Result<std::vector<Neighbor>> NativeGraph::Neighbors(
 
 Status NativeGraph::CreateUniqueIndex(std::string_view label,
                                       std::string_view key) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  uint32_t label_id = InternLabel(label);
-  auto index_key = std::make_pair(label_id, std::string(key));
-  auto [it, inserted] = indexes_.try_emplace(index_key);
-  if (!inserted) return Status::OK();  // idempotent
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
+  uint32_t label_id = InternLabel(mgr, label);
+  const std::vector<IndexHandle>* handles = indexes_.WriterLatest();
+  if (handles != nullptr) {
+    for (const IndexHandle& h : *handles) {
+      if (h.label == label_id && h.key == key) {
+        return Status::OK();  // idempotent
+      }
+    }
+  }
+  // Back-fill off to the side; the handle is only published when the
+  // whole back-fill succeeds, so a duplicate leaves no trace.
+  auto map = std::make_unique<ValueIndex>();
   for (VertexId v = 0; v < vertices_.size(); ++v) {
-    const VertexRec& rec = vertices_[v];
-    if (rec.label != label_id) continue;
-    const Value& value = rec.props.Get(key);
+    const VertexRec* rec = vertices_.WriterLatest(v);
+    if (rec == nullptr || rec->label != label_id) continue;
+    const Value& value = rec->props.Get(key);
     if (value.is_null()) continue;
-    auto [pos, fresh] = it->second.emplace(value, v);
-    if (!fresh) {
-      indexes_.erase(it);
+    if (!map->Insert(mgr, value, v)) {
       return Status::AlreadyExists("existing duplicate blocks unique index");
     }
   }
+  index_storage_.push_back(std::move(map));
+  ValueIndex* published = index_storage_.back().get();
+  indexes_.Publish(mgr, [&](std::vector<IndexHandle>& hs) {
+    hs.push_back(IndexHandle{label_id, std::string(key), published});
+  });
   return Status::OK();
 }
 
 Result<VertexId> NativeGraph::FindVertex(std::string_view label,
                                          std::string_view key,
                                          const Value& value) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  int label_id = LookupLabel(label);
+  EpochGuard guard;
+  const uint64_t pin = ReadPin(guard);
+  int label_id = LookupLabel(label, pin);
   if (label_id < 0) return Status::NotFound("label");
-  auto it = indexes_.find(std::make_pair(uint32_t(label_id),
-                                         std::string(key)));
-  if (it != indexes_.end()) {
-    auto pos = it->second.find(value);
-    if (pos == it->second.end()) return Status::NotFound("vertex");
-    return pos->second;
+  const std::vector<IndexHandle>* handles = indexes_.Read(pin);
+  if (handles != nullptr) {
+    for (const IndexHandle& h : *handles) {
+      if (int(h.label) != label_id || h.key != key) continue;
+      const VertexId* found = h.map->Find(value, pin);
+      if (found == nullptr) return Status::NotFound("vertex");
+      return *found;
+    }
   }
   // No index: linear scan (the expensive path the paper's indexing rule
   // exists to avoid).
   for (VertexId v = 0; v < vertices_.size(); ++v) {
-    if (int(vertices_[v].label) == label_id &&
-        vertices_[v].props.Get(key) == value) {
+    const VertexRec* rec = vertices_.Read(v, pin);
+    if (rec != nullptr && int(rec->label) == label_id &&
+        rec->props.Get(key) == value) {
       return v;
     }
   }
@@ -287,38 +358,47 @@ Result<VertexId> NativeGraph::FindVertex(std::string_view label,
 
 std::vector<VertexId> NativeGraph::VerticesByLabel(
     std::string_view label) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  EpochGuard guard;
+  const uint64_t pin = ReadPin(guard);
   std::vector<VertexId> out;
-  int wanted = label.empty() ? -2 : LookupLabel(label);
+  int wanted = label.empty() ? -2 : LookupLabel(label, pin);
   if (wanted == -1) return out;
   for (VertexId v = 0; v < vertices_.size(); ++v) {
-    if (wanted == -2 || int(vertices_[v].label) == wanted) out.push_back(v);
+    const VertexRec* rec = vertices_.Read(v, pin);
+    if (rec == nullptr) continue;
+    if (wanted == -2 || int(rec->label) == wanted) out.push_back(v);
   }
   return out;
 }
 
 uint64_t NativeGraph::VertexCount() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return vertices_.size();
+  EpochGuard guard;
+  const Counts* c = counts_.Read(ReadPin(guard));
+  return c != nullptr ? c->vertices : 0;
 }
 
 uint64_t NativeGraph::EdgeCount() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return edges_.size() - removed_edges_;
+  EpochGuard guard;
+  const Counts* c = counts_.Read(ReadPin(guard));
+  return c != nullptr ? c->edges - c->removed_edges : 0;
 }
 
 Status NativeGraph::RemoveEdge(std::string_view label, VertexId src,
                                VertexId dst) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
   if (src >= vertices_.size() || dst >= vertices_.size()) {
     return Status::NotFound("vertex");
   }
-  int label_id = LookupLabel(label);
+  int label_id = LookupLabel(label, EpochManager::kWriterPin);
   if (label_id < 0) return Status::NotFound("edge");
   // Locate one live edge between the endpoints in either orientation.
+  const VertexRec* srec = vertices_.WriterLatest(src);
+  if (srec == nullptr) return Status::NotFound("vertex");
   EdgeId eid = 0;
   bool found = false;
-  for (const AdjGroup& g : vertices_[src].adj) {
+  for (const AdjGroup& g : srec->adj) {
     if (int(g.edge_label) != label_id) continue;
     for (const Neighbor& n : g.out) {
       if (n.vertex == dst) {
@@ -338,7 +418,10 @@ Status NativeGraph::RemoveEdge(std::string_view label, VertexId src,
     if (found) break;
   }
   if (!found) return Status::NotFound("edge");
-  EdgeRec& rec = edges_[eid];
+  const EdgeRec* erec = edges_.WriterLatest(eid);
+  const VertexId esrc = erec->src;
+  const VertexId edst = erec->dst;
+  const uint32_t elabel = erec->label;
   auto unlink = [eid](std::vector<Neighbor>& list) {
     for (auto it = list.begin(); it != list.end(); ++it) {
       if (it->edge == eid) {
@@ -347,32 +430,42 @@ Status NativeGraph::RemoveEdge(std::string_view label, VertexId src,
       }
     }
   };
-  unlink(GroupFor(vertices_[rec.src], rec.label).out);
-  unlink(GroupFor(vertices_[rec.dst], rec.label).in);
-  rec.removed = true;
-  ++removed_edges_;
-  bytes_ -= 48 + 2 * sizeof(Neighbor);
+  edges_.Publish(mgr, eid, [](EdgeRec& rec) { rec.removed = true; });
+  vertices_.Publish(mgr, esrc, [&](VertexRec& rec) {
+    unlink(GroupFor(rec, elabel).out);
+  });
+  vertices_.Publish(mgr, edst, [&](VertexRec& rec) {
+    unlink(GroupFor(rec, elabel).in);
+  });
+  counts_.Publish(mgr, [](Counts& c) {
+    ++c.removed_edges;
+    c.bytes -= 48 + 2 * sizeof(Neighbor);
+  });
   MaybeCheckpointLocked();
   return Status::OK();
 }
 
 uint64_t NativeGraph::ApproximateSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return bytes_;
+  EpochGuard guard;
+  const Counts* c = counts_.Read(ReadPin(guard));
+  return c != nullptr ? c->bytes : 0;
 }
 
 Result<int> NativeGraph::ShortestPathLength(
     VertexId a, VertexId b, std::string_view edge_label) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (a >= vertices_.size() || b >= vertices_.size()) {
+  EpochGuard guard;
+  const uint64_t pin = ReadPin(guard);
+  if (vertices_.Read(a, pin) == nullptr ||
+      vertices_.Read(b, pin) == nullptr) {
     return Status::NotFound("vertex");
   }
   if (a == b) return 0;
-  int wanted = LookupLabel(edge_label);
+  int wanted = LookupLabel(edge_label, pin);
   if (wanted < 0) return -1;
 
   // Bidirectional BFS over undirected adjacency, alternating expansion of
-  // the smaller frontier. Runs directly on the in-record adjacency lists.
+  // the smaller frontier. Runs directly on the in-record adjacency lists
+  // of the pinned epoch: the whole traversal sees one consistent graph.
   std::unordered_map<VertexId, int> dist_a{{a, 0}}, dist_b{{b, 0}};
   std::deque<VertexId> frontier_a{a}, frontier_b{b};
 
@@ -385,7 +478,9 @@ Result<int> NativeGraph::ShortestPathLength(
       VertexId v = frontier.front();
       frontier.pop_front();
       int d = dist[v];
-      for (const AdjGroup& g : vertices_[v].adj) {
+      const VertexRec* rec = vertices_.Read(v, pin);
+      if (rec == nullptr) continue;
+      for (const AdjGroup& g : rec->adj) {
         if (int(g.edge_label) != wanted) continue;
         for (const auto* side : {&g.out, &g.in}) {
           for (const Neighbor& n : *side) {

@@ -1,13 +1,15 @@
 #ifndef GRAPHBENCH_ENGINES_NATIVE_NATIVE_GRAPH_H_
 #define GRAPHBENCH_ENGINES_NATIVE_NATIVE_GRAPH_H_
 
-#include <map>
+#include <atomic>
+#include <deque>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "concurrency/epoch.h"
+#include "concurrency/versioned.h"
 #include "graph/property_graph.h"
 
 namespace graphbench {
@@ -18,7 +20,7 @@ struct NativeGraphOptions {
   /// checkpointing is what causes the sudden write-throughput drops the
   /// paper observes in Figure 3. The checkpoint is real work: the records
   /// written since the last checkpoint are serialized into the store's
-  /// snapshot buffer while the write latch is held exclusively.
+  /// snapshot buffer while the writer is stalled.
   uint64_t checkpoint_interval_writes = 20000;
   /// Floor on the stall per checkpointed write, modelling the fsync cost
   /// a memory-resident analogue doesn't pay. Applied on top of the real
@@ -33,6 +35,14 @@ struct NativeGraphOptions {
 /// adjacency"): expanding a vertex's neighbourhood dereferences in-record
 /// pointers and never consults an index, so traversal latency is
 /// independent of graph size — the property §4.2 credits Neo4j with.
+///
+/// Concurrency: single writer (serialized by a plain mutex), lock-free
+/// readers. Vertex and edge records live in epoch-versioned slot tables:
+/// a mutation installs a copy-on-write record tagged with the write
+/// epoch, readers pin an epoch and traverse the version visible at their
+/// pin. Readers therefore never block — not even during the checkpoint
+/// stall, which under the old coarse shared_mutex froze every read for up
+/// to `checkpoint_max_pause_micros`.
 class NativeGraph : public PropertyGraph {
  public:
   explicit NativeGraph(NativeGraphOptions options = {});
@@ -83,14 +93,17 @@ class NativeGraph : public PropertyGraph {
                                  std::string_view edge_label) const;
 
   /// Number of checkpoints taken so far (observable for tests/benchmarks).
-  uint64_t checkpoints_taken() const { return checkpoints_; }
+  uint64_t checkpoints_taken() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
 
   /// Serializes the whole store (labels, vertices with properties, edges)
-  /// into `out` — the store-file a restart would recover from.
+  /// into `out` — the store-file a restart would recover from. Reads a
+  /// pinned snapshot; safe (and consistent) while updates stream in.
   Status SnapshotTo(std::string* out) const;
 
-  /// Rebuilds this (empty) store from a snapshot, including unique
-  /// indexes. Fails on a non-empty store or corrupt input.
+  /// Rebuilds this (empty) store from a snapshot. Fails on a non-empty
+  /// store or corrupt input. The whole restore publishes as one epoch.
   Status RestoreFrom(std::string_view snapshot);
 
  private:
@@ -100,51 +113,70 @@ class NativeGraph : public PropertyGraph {
     std::vector<Neighbor> in;
   };
   struct VertexRec {
-    uint32_t label;
+    uint32_t label = 0;
     PropertyMap props;
     std::vector<AdjGroup> adj;  // sorted insertion order; few edge labels
   };
   struct EdgeRec {
-    uint32_t label;
-    VertexId src;
-    VertexId dst;
+    uint32_t label = 0;
+    VertexId src = 0;
+    VertexId dst = 0;
     PropertyMap props;
     bool removed = false;  // tombstone; record kept so edge ids stay dense
   };
+  /// Epoch-versioned aggregate counters: readers see the totals of their
+  /// pinned snapshot.
+  struct Counts {
+    uint64_t vertices = 0;
+    uint64_t edges = 0;
+    uint64_t removed_edges = 0;
+    uint64_t bytes = 0;
+  };
+  using ValueIndex =
+      concurrency::EpochHashMap<Value, VertexId, ValueHash>;
+  struct IndexHandle {
+    uint32_t label;
+    std::string key;
+    ValueIndex* map;  // owned by index_storage_
+  };
 
-  // Interns `label`, assigning the next id on first use. Caller holds mu_
-  // exclusively.
-  uint32_t InternLabel(std::string_view label);
-  // Returns the label id or -1 without interning (shared lock suffices).
-  int LookupLabel(std::string_view label) const;
-  AdjGroup& GroupFor(VertexRec& rec, uint32_t edge_label);
-  // Checkpoint bookkeeping; called with mu_ held exclusively.
+  // Interns `label`, assigning the next id on first use. Caller holds
+  // write_mu_.
+  uint32_t InternLabel(concurrency::EpochManager& mgr,
+                       std::string_view label);
+  // Returns the label id visible at `pin`, or -1.
+  int LookupLabel(std::string_view label, uint64_t pin) const;
+  static AdjGroup& GroupFor(VertexRec& rec, uint32_t edge_label);
+  Counts WriterCounts() const;
+  // Checkpoint bookkeeping; called with write_mu_ held.
   void MaybeCheckpointLocked();
 
-  // Serializes records [from_vertex, from_edge) into the snapshot tail;
-  // called by the checkpointer with mu_ held exclusively.
-  void SerializeRecentLocked(size_t from_vertex, size_t from_edge,
-                             std::string* out) const;
+  // Serializes records [from_vertex, from_edge) visible at `pin` into
+  // `out`.
+  void SerializeRange(size_t from_vertex, size_t from_edge, uint64_t pin,
+                      std::string* out) const;
 
   NativeGraphOptions options_;
-  mutable std::shared_mutex mu_;
-  std::vector<VertexRec> vertices_;
-  std::vector<EdgeRec> edges_;
-  // Incremental checkpoint state: everything before these marks has been
-  // serialized into checkpoint_buffer_.
+  std::mutex write_mu_;  // serializes writers; readers never take it
+
+  concurrency::VersionedTable<VertexRec> vertices_;
+  concurrency::VersionedTable<EdgeRec> edges_;
+  concurrency::VersionedCell<Counts> counts_;
+  concurrency::EpochHashMap<std::string, uint32_t> label_ids_;
+  concurrency::StableVec<std::string> label_names_;
+  // Unique indexes: the handle list is republished on schema changes;
+  // the per-index maps are insert-only and epoch-tagged.
+  concurrency::VersionedCell<std::vector<IndexHandle>> indexes_;
+  std::deque<std::unique_ptr<ValueIndex>> index_storage_;
+
+  // Incremental checkpoint state (writer-only, under write_mu_):
+  // everything before these marks has been serialized into
+  // checkpoint_buffer_.
   size_t checkpointed_vertices_ = 0;
   size_t checkpointed_edges_ = 0;
   std::string checkpoint_buffer_;
-  std::unordered_map<std::string, uint32_t> label_ids_;
-  std::vector<std::string> label_names_;
-  // (label_id, property key) -> value -> vertex. Unique indexes only.
-  std::map<std::pair<uint32_t, std::string>,
-           std::unordered_map<Value, VertexId, ValueHash>>
-      indexes_;
-  uint64_t bytes_ = 0;
-  uint64_t removed_edges_ = 0;
   uint64_t writes_since_checkpoint_ = 0;
-  uint64_t checkpoints_ = 0;
+  std::atomic<uint64_t> checkpoints_{0};
 };
 
 }  // namespace graphbench

@@ -1,5 +1,7 @@
 #include "engines/rdf/term_dictionary.h"
 
+#include "obs/lock_timer.h"
+
 #include <mutex>
 
 #include "graph/value_codec.h"
@@ -19,7 +21,7 @@ std::string TermDictionary::EncodeKey(const Term& term) {
 
 TermDictionary::TermId TermDictionary::InternTerm(Term term) {
   std::string key = EncodeKey(term);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = ids_.find(key);
   if (it != ids_.end()) return it->second;
   TermId id = terms_.size();
@@ -40,7 +42,7 @@ TermDictionary::TermId TermDictionary::InternLiteral(const Value& v) {
 std::optional<TermDictionary::TermId> TermDictionary::LookupIri(
     std::string_view iri) const {
   std::string key = EncodeKey(Term::Iri(iri));
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = ids_.find(key);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
@@ -49,25 +51,25 @@ std::optional<TermDictionary::TermId> TermDictionary::LookupIri(
 std::optional<TermDictionary::TermId> TermDictionary::LookupLiteral(
     const Value& v) const {
   std::string key = EncodeKey(Term::Literal(v));
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = ids_.find(key);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 Term TermDictionary::Decode(TermId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   if (id >= terms_.size()) return Term();
   return terms_[size_t(id)];
 }
 
 uint64_t TermDictionary::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return terms_.size();
 }
 
 uint64_t TermDictionary::ApproximateSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return bytes_;
 }
 

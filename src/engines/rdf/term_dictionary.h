@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <optional>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,7 +64,7 @@ class TermDictionary {
   static std::string EncodeKey(const Term& term);
   TermId InternTerm(Term term);
 
-  mutable std::shared_mutex mu_;
+  mutable obs::TimedSharedMutex mu_{"rdf.lock_wait_us"};
   std::unordered_map<std::string, TermId> ids_;
   std::vector<Term> terms_;
   uint64_t bytes_ = 0;

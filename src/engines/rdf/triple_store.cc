@@ -1,5 +1,7 @@
 #include "engines/rdf/triple_store.h"
 
+#include "obs/lock_timer.h"
+
 #include <algorithm>
 #include <mutex>
 
@@ -25,7 +27,7 @@ TripleStore::TripleStore(int num_indexes)
     : num_indexes_(std::clamp(num_indexes, 1, 4)) {}
 
 Status TripleStore::Insert(uint64_t s, uint64_t p, uint64_t o) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   auto [it, inserted] = spo_.insert({s, p, o});
   if (!inserted) return Status::AlreadyExists("triple");
   if (num_indexes_ >= 2) pos_.insert(Permute(kPosPerm, s, p, o));
@@ -35,7 +37,7 @@ Status TripleStore::Insert(uint64_t s, uint64_t p, uint64_t o) {
 }
 
 Status TripleStore::Remove(uint64_t s, uint64_t p, uint64_t o) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   if (spo_.erase({s, p, o}) == 0) return Status::NotFound("triple");
   if (num_indexes_ >= 2) pos_.erase(Permute(kPosPerm, s, p, o));
   if (num_indexes_ >= 3) osp_.erase(Permute(kOspPerm, s, p, o));
@@ -79,7 +81,7 @@ void TripleStore::ScanIndex(const std::set<Key>& index, const int perm[3],
 void TripleStore::Match(uint64_t s, uint64_t p, uint64_t o,
                         std::vector<Triple>* out) const {
   out->clear();
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   const bool bs = s != kWildcard, bp = p != kWildcard, bo = o != kWildcard;
   // Choose the index whose order puts the bound components first;
   // fall back to an SPO scan with residual filters when the matching
@@ -98,17 +100,17 @@ void TripleStore::Match(uint64_t s, uint64_t p, uint64_t o,
 }
 
 bool TripleStore::Contains(uint64_t s, uint64_t p, uint64_t o) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return spo_.count({s, p, o}) > 0;
 }
 
 uint64_t TripleStore::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return spo_.size();
 }
 
 uint64_t TripleStore::ApproximateSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   // Each std::set node: 3 u64 + tree overhead (~40 bytes).
   return spo_.size() * uint64_t(num_indexes_) * (24 + 40);
 }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <set>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <vector>
 
 #include "util/status.h"
@@ -58,7 +60,7 @@ class TripleStore {
                  uint64_t p, uint64_t o, std::vector<Triple>* out) const;
 
   int num_indexes_;
-  mutable std::shared_mutex mu_;
+  mutable obs::TimedSharedMutex mu_{"rdf.lock_wait_us"};
   std::set<Key> spo_;
   std::set<Key> pos_;
   std::set<Key> osp_;

@@ -1,5 +1,7 @@
 #include "engines/relational/database.h"
 
+#include "obs/lock_timer.h"
+
 #include <algorithm>
 #include <deque>
 #include <memory>
@@ -17,7 +19,7 @@ namespace graphbench {
 Database::Database(StorageMode mode) : mode_(mode) {}
 
 Status Database::CreateTable(const TableSchema& schema) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   if (tables_.count(schema.name())) {
     return Status::AlreadyExists("table " + schema.name());
   }
@@ -33,7 +35,7 @@ Status Database::CreateTable(const TableSchema& schema) {
 
 Status Database::CreateIndex(std::string_view table, std::string_view column,
                              bool unique) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   auto it = tables_.find(std::string(table));
   if (it == tables_.end()) return Status::NotFound("table");
   if (it->second->schema().ColumnIndex(column) < 0) {
@@ -58,7 +60,7 @@ Status Database::CreateIndex(std::string_view table, std::string_view column,
 Status Database::RegisterEdgeTable(std::string_view table,
                                    std::string_view src_col,
                                    std::string_view dst_col) {
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   auto it = tables_.find(std::string(table));
   if (it == tables_.end()) return Status::NotFound("table");
   auto meta = std::make_unique<EdgeMeta>();
@@ -83,20 +85,20 @@ Status Database::RegisterEdgeTable(std::string_view table,
 }
 
 Table* Database::GetTable(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   auto it = tables_.find(std::string(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 HashIndex* Database::GetIndex(std::string_view table,
                               std::string_view column) const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   auto it = indexes_.find(std::string(table) + "." + std::string(column));
   return it == indexes_.end() ? nullptr : it->second.get();
 }
 
 uint64_t Database::TotalSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   uint64_t total = 0;
   for (const auto& [name, table] : tables_) {
     total += table->ApproximateSizeBytes();
@@ -105,7 +107,7 @@ uint64_t Database::TotalSizeBytes() const {
     total += index->ApproximateSizeBytes();
   }
   for (const auto& [name, meta] : edge_tables_) {
-    std::shared_lock<std::shared_mutex> adj(meta->adj_mu);
+    std::shared_lock<obs::TimedSharedMutex> adj(meta->adj_mu);
     total += meta->adjacency.size() * 48;
     for (const auto& [k, v] : meta->adjacency) total += v.size() * 8;
   }
@@ -213,7 +215,7 @@ Result<std::vector<RowId>> Database::MatchRows(
 
 void Database::UnindexRow(const std::string& table_name, Table* table,
                           RowId id, const Row& row) {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   std::string prefix = table_name + ".";
   for (const auto& [key, index] : indexes_) {
     if (key.compare(0, prefix.size(), prefix) != 0) continue;
@@ -224,7 +226,7 @@ void Database::UnindexRow(const std::string& table_name, Table* table,
 
 Status Database::IndexRow(const std::string& table_name, Table* table,
                           RowId id, const Row& row) {
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   std::string prefix = table_name + ".";
   std::vector<HashIndex*> touched;
   std::vector<int> touched_cols;
@@ -247,7 +249,7 @@ Status Database::IndexRow(const std::string& table_name, Table* table,
 void Database::AdjacencyRemove(const std::string& table_name,
                                const Row& row) {
   if (mode_ != StorageMode::kColumnar) return;
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   auto it = edge_tables_.find(table_name);
   if (it == edge_tables_.end()) return;
   EdgeMeta* meta = it->second.get();
@@ -255,7 +257,7 @@ void Database::AdjacencyRemove(const std::string& table_name,
   int si = table->schema().ColumnIndex(meta->src_col);
   int di = table->schema().ColumnIndex(meta->dst_col);
   int64_t s = row[size_t(si)].as_int(), d = row[size_t(di)].as_int();
-  std::unique_lock<std::shared_mutex> adj(meta->adj_mu);
+  std::unique_lock<obs::TimedSharedMutex> adj(meta->adj_mu);
   auto erase_one = [meta](int64_t from, int64_t to) {
     auto list = meta->adjacency.find(from);
     if (list == meta->adjacency.end()) return;
@@ -268,14 +270,14 @@ void Database::AdjacencyRemove(const std::string& table_name,
 
 void Database::AdjacencyAdd(const std::string& table_name, const Row& row) {
   if (mode_ != StorageMode::kColumnar) return;
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
   auto it = edge_tables_.find(table_name);
   if (it == edge_tables_.end()) return;
   EdgeMeta* meta = it->second.get();
   Table* table = GetTable(table_name);
   int si = table->schema().ColumnIndex(meta->src_col);
   int di = table->schema().ColumnIndex(meta->dst_col);
-  std::unique_lock<std::shared_mutex> adj(meta->adj_mu);
+  std::unique_lock<obs::TimedSharedMutex> adj(meta->adj_mu);
   meta->adjacency[row[size_t(si)].as_int()].push_back(
       row[size_t(di)].as_int());
   meta->adjacency[row[size_t(di)].as_int()].push_back(
@@ -465,7 +467,7 @@ Result<RowId> Database::InsertRow(std::string_view table_name,
   // Maintain indexes; a unique violation rolls the row back.
   std::vector<HashIndex*> touched;
   {
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
     for (const auto& [key, index] : indexes_) {
       if (key.compare(0, prefix.size(), prefix) != 0) continue;
       std::string column = key.substr(prefix.size());
@@ -487,13 +489,13 @@ Result<RowId> Database::InsertRow(std::string_view table_name,
   // Maintain the columnar adjacency accelerator (Virtuoso's graph-aware
   // structures add write-path work; §4.3's row-vs-column write gap).
   if (mode_ == StorageMode::kColumnar) {
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
     auto it = edge_tables_.find(std::string(table_name));
     if (it != edge_tables_.end()) {
       EdgeMeta* meta = it->second.get();
       int si = table->schema().ColumnIndex(meta->src_col);
       int di = table->schema().ColumnIndex(meta->dst_col);
-      std::unique_lock<std::shared_mutex> adj(meta->adj_mu);
+      std::unique_lock<obs::TimedSharedMutex> adj(meta->adj_mu);
       meta->adjacency[row[size_t(si)].as_int()].push_back(
           row[size_t(di)].as_int());
       meta->adjacency[row[size_t(di)].as_int()].push_back(
@@ -510,7 +512,7 @@ Result<int> Database::ShortestPath(std::string_view edge_table,
   Table* table = GetTable(edge_table);
   if (table == nullptr) return Status::InvalidArgument("unknown edge table");
   if (mode_ == StorageMode::kColumnar) {
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(catalog_mu_);
     auto it = edge_tables_.find(std::string(edge_table));
     if (it != edge_tables_.end()) {
       EdgeMeta* meta = it->second.get();
@@ -572,7 +574,7 @@ Result<int> Database::ShortestPathVectorized(EdgeMeta* meta,
   }
   int64_t a = from.as_int(), b = to.as_int();
   if (a == b) return 0;
-  std::shared_lock<std::shared_mutex> lock(meta->adj_mu);
+  std::shared_lock<obs::TimedSharedMutex> lock(meta->adj_mu);
   const auto& adj = meta->adjacency;
   if (!adj.count(a) || !adj.count(b)) return -1;
 

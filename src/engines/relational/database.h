@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -136,7 +138,7 @@ class Database {
     // Columnar accelerator: app-id -> neighbour app-ids (undirected view),
     // maintained incrementally on INSERT. Guarded by adj_mu.
     std::unordered_map<int64_t, std::vector<int64_t>> adjacency;
-    mutable std::shared_mutex adj_mu;
+    mutable obs::TimedSharedMutex adj_mu{"relational.lock_wait_us"};
   };
 
   // Dispatches a parsed statement: the shared tail of both the string
@@ -156,7 +158,7 @@ class Database {
                                      const Value& to) const;
 
   StorageMode mode_;
-  mutable std::shared_mutex catalog_mu_;
+  mutable obs::TimedSharedMutex catalog_mu_{"relational.lock_wait_us"};
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   // "table.column" -> index
   std::unordered_map<std::string, std::unique_ptr<HashIndex>> indexes_;

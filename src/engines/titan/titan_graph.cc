@@ -1,5 +1,7 @@
 #include "engines/titan/titan_graph.h"
 
+#include "obs/lock_timer.h"
+
 #include <mutex>
 
 #include "graph/value_codec.h"
@@ -48,7 +50,7 @@ std::string TitanGraph::IndexKey(std::string_view label,
 
 Status TitanGraph::RegisterUniqueIndex(std::string_view label,
                                        std::string_view key) {
-  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(index_mu_);
   indexed_.emplace(std::string(label), std::string(key));
   return Status::OK();
 }
@@ -58,7 +60,7 @@ Result<GVertex> TitanGraph::AddVertex(std::string_view label,
   // Determine which unique index (if any) guards this label.
   std::string index_key;
   {
-    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(index_mu_);
     for (const auto& [ilabel, ikey] : indexed_) {
       if (ilabel == label && props.Has(ikey)) {
         index_key = IndexKey(label, ikey, props.Get(ikey));
@@ -147,7 +149,7 @@ Status TitanGraph::RemoveEdge(std::string_view label, GVertex from,
 Result<std::vector<GVertex>> TitanGraph::VerticesByProperty(
     std::string_view label, std::string_view key, const Value& value) {
   {
-    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(index_mu_);
     if (indexed_.count({std::string(label), std::string(key)})) {
       std::string vid_bytes;
       Status s = kv_->Get(IndexKey(label, key, value), &vid_bytes);

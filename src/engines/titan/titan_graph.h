@@ -5,6 +5,8 @@
 #include <memory>
 #include <set>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <string>
 #include <utility>
 
@@ -80,7 +82,7 @@ class TitanGraph : public GremlinGraph {
   std::atomic<uint64_t> next_edge_{0};
   std::atomic<uint64_t> vertex_count_{0};
   std::atomic<uint64_t> edge_count_{0};
-  mutable std::shared_mutex index_mu_;
+  mutable obs::TimedSharedMutex index_mu_{"titan.lock_wait_us"};
   std::set<std::pair<std::string, std::string>> indexed_;  // (label, key)
 };
 

@@ -4,12 +4,18 @@
 #include <deque>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace graphbench {
 namespace {
+
+using concurrency::EpochGuard;
+using concurrency::EpochManager;
+using concurrency::ReadPin;
+using concurrency::WriteBatch;
 
 constexpr int32_t kUnreachable = -1;
 constexpr int kInfinity = std::numeric_limits<int>::max() / 4;
@@ -35,30 +41,44 @@ obs::Counter* RebuildsCounter() {
 LandmarkIndex::LandmarkIndex(LandmarkOptions options)
     : options_(options) {}
 
-int32_t LandmarkIndex::InternLocked(int64_t person_id) {
-  auto it = id_to_idx_.find(person_id);
-  if (it != id_to_idx_.end()) return it->second;
+int32_t LandmarkIndex::InternLocked(EpochManager& mgr, int64_t person_id) {
+  if (const int32_t* idx =
+          id_to_idx_.Find(person_id, EpochManager::kWriterPin)) {
+    return *idx;
+  }
   int32_t idx = static_cast<int32_t>(ids_.size());
-  id_to_idx_.emplace(person_id, idx);
-  ids_.push_back(person_id);
-  adj_.emplace_back();
+  id_to_idx_.Insert(mgr, person_id, idx);
+  ids_.PushBack(mgr, person_id);
+  adj_.Append(mgr, {});
   // A vertex born after Build starts unreachable from every landmark;
   // the insert repair that adds its first edge settles its distances.
-  for (auto& d : dist_) d.push_back(kUnreachable);
+  for (size_t i = 0; i < num_landmarks_; ++i) {
+    dist_.Publish(mgr, i, [](std::vector<int32_t>& d) {
+      d.push_back(kUnreachable);
+    });
+  }
   return idx;
 }
 
+void LandmarkIndex::PublishMetaLocked(EpochManager& mgr) {
+  meta_.Store(mgr, Meta{epoch_, built_epoch_,
+                        static_cast<uint32_t>(num_landmarks_), built_});
+}
+
 void LandmarkIndex::AddPerson(int64_t person_id) {
-  std::unique_lock lock(mu_);
-  InternLocked(person_id);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  InternLocked(EpochManager::Global(), person_id);
 }
 
 void LandmarkIndex::AddEdge(int64_t a, int64_t b) {
-  std::unique_lock lock(mu_);
-  int32_t ia = InternLocked(a);
-  int32_t ib = InternLocked(b);
-  adj_[ia].push_back(ib);
-  adj_[ib].push_back(ia);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
+  int32_t ia = InternLocked(mgr, a);
+  int32_t ib = InternLocked(mgr, b);
+  adj_.Publish(mgr, ia, [ib](std::vector<int32_t>& l) { l.push_back(ib); });
+  adj_.Publish(mgr, ib, [ia](std::vector<int32_t>& l) { l.push_back(ia); });
 }
 
 void LandmarkIndex::BfsLocked(int32_t source,
@@ -70,7 +90,7 @@ void LandmarkIndex::BfsLocked(int32_t source,
     int32_t x = queue.front();
     queue.pop_front();
     int32_t next = (*dist)[x] + 1;
-    for (int32_t n : adj_[x]) {
+    for (int32_t n : *adj_.WriterLatest(x)) {
       if ((*dist)[n] != kUnreachable) continue;
       (*dist)[n] = next;
       queue.push_back(n);
@@ -78,10 +98,13 @@ void LandmarkIndex::BfsLocked(int32_t source,
   }
 }
 
-void LandmarkIndex::BuildLocked() {
+void LandmarkIndex::BuildLocked(EpochManager& mgr) {
   const size_t n = adj_.size();
   const size_t k = std::min<size_t>(
       n, static_cast<size_t>(std::max(options_.num_landmarks, 0)));
+  auto degree = [this](int32_t v) { return adj_.WriterLatest(v)->size(); };
+  std::vector<int32_t> lms;
+  std::vector<std::vector<int32_t>> dists;
   if (options_.hub_selection == HubSelection::kCoverage) {
     // Farthest-point coverage: seed with the highest-degree person, then
     // repeatedly take the person farthest from every hub chosen so far
@@ -89,15 +112,12 @@ void LandmarkIndex::BuildLocked() {
     // a hub before any component gets its second). Each selection's BFS
     // doubles as the hub's distance vector — same K-BFS cost as kDegree.
     // All tie-breaks are deterministic: degree desc, then id asc.
-    landmarks_.clear();
-    dist_.clear();
     std::vector<bool> chosen(n, false);
     std::vector<int> mindist(n, kInfinity);
-    auto beats = [this, &mindist](int32_t a, int32_t b) {
+    auto beats = [&](int32_t a, int32_t b) {
       // True when a is a strictly better next hub than b.
       if (mindist[a] != mindist[b]) return mindist[a] > mindist[b];
-      if (adj_[a].size() != adj_[b].size())
-        return adj_[a].size() > adj_[b].size();
+      if (degree(a) != degree(b)) return degree(a) > degree(b);
       return ids_[a] < ids_[b];
     };
     int32_t next = -1;
@@ -105,12 +125,12 @@ void LandmarkIndex::BuildLocked() {
       int32_t c = static_cast<int32_t>(i);
       if (next < 0 || beats(c, next)) next = c;
     }
-    while (landmarks_.size() < k) {
+    while (lms.size() < k) {
       chosen[next] = true;
-      landmarks_.push_back(next);
-      dist_.emplace_back();
-      BfsLocked(next, &dist_.back());
-      const std::vector<int32_t>& d = dist_.back();
+      lms.push_back(next);
+      dists.emplace_back();
+      BfsLocked(next, &dists.back());
+      const std::vector<int32_t>& d = dists.back();
       for (size_t i = 0; i < n; ++i) {
         if (d[i] != kUnreachable && d[i] < mindist[i]) mindist[i] = d[i];
       }
@@ -127,16 +147,21 @@ void LandmarkIndex::BuildLocked() {
     // tie-break (the paper's generator hands every run the same hubs).
     std::vector<int32_t> order(n);
     for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
-    std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
-      if (adj_[a].size() != adj_[b].size())
-        return adj_[a].size() > adj_[b].size();
+    std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      if (degree(a) != degree(b)) return degree(a) > degree(b);
       return ids_[a] < ids_[b];
     });
-    landmarks_.assign(order.begin(), order.begin() + k);
-    dist_.resize(landmarks_.size());
-    for (size_t i = 0; i < landmarks_.size(); ++i)
-      BfsLocked(landmarks_[i], &dist_[i]);
+    lms.assign(order.begin(), order.begin() + k);
+    dists.resize(lms.size());
+    for (size_t i = 0; i < lms.size(); ++i) BfsLocked(lms[i], &dists[i]);
   }
+  for (size_t i = 0; i < lms.size(); ++i) {
+    dist_.Publish(mgr, i, [&dists, i](std::vector<int32_t>& d) {
+      d = std::move(dists[i]);
+    });
+  }
+  landmarks_.Store(mgr, std::move(lms));
+  num_landmarks_ = dists.size();
   built_ = true;
   built_epoch_ = epoch_;
   writes_since_build_ = 0;
@@ -145,75 +170,99 @@ void LandmarkIndex::BuildLocked() {
 }
 
 void LandmarkIndex::Build() {
-  std::unique_lock lock(mu_);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
   ++epoch_;
-  BuildLocked();
+  BuildLocked(mgr);
+  PublishMetaLocked(mgr);
 }
 
-void LandmarkIndex::NoteWriteLocked(bool repaired) {
+void LandmarkIndex::NoteWriteLocked(EpochManager& mgr, bool repaired) {
   ++epoch_;
   ++writes_since_build_;
   if (!repaired || writes_since_build_ >= options_.rebuild_churn_threshold) {
-    BuildLocked();
+    BuildLocked(mgr);
   }
+  PublishMetaLocked(mgr);
 }
 
 void LandmarkIndex::OnPersonAdded(int64_t person_id) {
-  std::unique_lock lock(mu_);
-  InternLocked(person_id);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
+  InternLocked(mgr, person_id);
   ++epoch_;
+  PublishMetaLocked(mgr);
 }
 
-bool LandmarkIndex::RepairInsertLocked(int32_t a, int32_t b) {
+bool LandmarkIndex::RepairInsertLocked(EpochManager& mgr, int32_t a,
+                                       int32_t b) {
   // Unit-weight decrease propagation: the new edge can only lower
-  // distances, by relaxing across (a,b) and flooding outward.
+  // distances, by relaxing across (a,b) and flooding outward. Each
+  // touched landmark vector is repaired on its uncommitted copy-on-write
+  // version; untouched landmarks are not even cloned.
   size_t settled = 0;
   std::deque<int32_t> queue;
-  for (auto& dist : dist_) {
-    int da = dist[a] == kUnreachable ? kInfinity : dist[a];
-    int db = dist[b] == kUnreachable ? kInfinity : dist[b];
-    queue.clear();
-    if (db + 1 < da) {
-      dist[a] = db + 1;
-      queue.push_back(a);
-    } else if (da + 1 < db) {
-      dist[b] = da + 1;
-      queue.push_back(b);
-    }
-    while (!queue.empty()) {
-      int32_t x = queue.front();
-      queue.pop_front();
-      if (++settled > options_.repair_budget) return false;
-      int32_t next = dist[x] + 1;
-      for (int32_t n : adj_[x]) {
-        if (dist[n] != kUnreachable && dist[n] <= next) continue;
-        dist[n] = next;
-        queue.push_back(n);
+  for (size_t li = 0; li < num_landmarks_; ++li) {
+    const std::vector<int32_t>& cur = *dist_.WriterLatest(li);
+    int da = cur[a] == kUnreachable ? kInfinity : cur[a];
+    int db = cur[b] == kUnreachable ? kInfinity : cur[b];
+    if (db + 1 >= da && da + 1 >= db) continue;  // nothing to relax
+    bool ok = true;
+    dist_.Publish(mgr, li, [&](std::vector<int32_t>& dist) {
+      queue.clear();
+      if (db + 1 < da) {
+        dist[a] = db + 1;
+        queue.push_back(a);
+      } else {
+        dist[b] = da + 1;
+        queue.push_back(b);
       }
-    }
+      while (!queue.empty()) {
+        int32_t x = queue.front();
+        queue.pop_front();
+        if (++settled > options_.repair_budget) {
+          ok = false;
+          return;
+        }
+        int32_t next = dist[x] + 1;
+        for (int32_t n : *adj_.WriterLatest(x)) {
+          if (dist[n] != kUnreachable && dist[n] <= next) continue;
+          dist[n] = next;
+          queue.push_back(n);
+        }
+      }
+    });
+    if (!ok) return false;
   }
   return true;
 }
 
 void LandmarkIndex::OnEdgeAdded(int64_t a, int64_t b) {
-  std::unique_lock lock(mu_);
-  int32_t ia = InternLocked(a);
-  int32_t ib = InternLocked(b);
-  adj_[ia].push_back(ib);
-  adj_[ib].push_back(ia);
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
+  int32_t ia = InternLocked(mgr, a);
+  int32_t ib = InternLocked(mgr, b);
+  adj_.Publish(mgr, ia, [ib](std::vector<int32_t>& l) { l.push_back(ib); });
+  adj_.Publish(mgr, ib, [ia](std::vector<int32_t>& l) { l.push_back(ia); });
   if (!built_) {
     ++epoch_;
+    PublishMetaLocked(mgr);
     return;
   }
-  bool repaired = RepairInsertLocked(ia, ib);
+  bool repaired = RepairInsertLocked(mgr, ia, ib);
   if (repaired) repairs_.fetch_add(1, std::memory_order_relaxed);
-  NoteWriteLocked(repaired);
+  NoteWriteLocked(mgr, repaired);
 }
 
-bool LandmarkIndex::RepairRemoveLocked(int32_t a, int32_t b) {
+bool LandmarkIndex::RepairRemoveLocked(EpochManager& mgr, int32_t a,
+                                       int32_t b) {
   // A parallel knows edge keeps every distance intact.
-  for (int32_t n : adj_[a])
+  for (int32_t n : *adj_.WriterLatest(a)) {
     if (n == b) return true;
+  }
 
   size_t settled = 0;
   std::vector<int32_t> region;
@@ -221,9 +270,10 @@ bool LandmarkIndex::RepairRemoveLocked(int32_t a, int32_t b) {
   // tentative distance; lazy deletion.
   using Entry = std::pair<int32_t, int32_t>;  // (tentative dist, vertex)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
-  for (auto& dist : dist_) {
-    int32_t da = dist[a];
-    int32_t db = dist[b];
+  for (size_t li = 0; li < num_landmarks_; ++li) {
+    const std::vector<int32_t>& cur = *dist_.WriterLatest(li);
+    int32_t da = cur[a];
+    int32_t db = cur[b];
     // With the edge present both endpoints were in the same component,
     // so one-sided unreachability cannot arise; skip defensively.
     if (da == kUnreachable || db == kUnreachable) continue;
@@ -234,107 +284,134 @@ bool LandmarkIndex::RepairRemoveLocked(int32_t a, int32_t b) {
     int32_t w = diff == 1 ? a : b;  // farther endpoint
     // Still supported by another parent one level up? Nothing moved.
     bool supported = false;
-    for (int32_t n : adj_[w]) {
-      if (dist[n] != kUnreachable && dist[n] == dist[w] - 1) {
+    for (int32_t n : *adj_.WriterLatest(w)) {
+      if (cur[n] != kUnreachable && cur[n] == cur[w] - 1) {
         supported = true;
         break;
       }
     }
     if (supported) continue;
 
-    // Superset of every vertex whose distance may grow: the closure of
-    // strict BFS descendants of w. Vertices inside whose distance is in
-    // fact unchanged re-derive to the same value below.
-    region.clear();
-    region.push_back(w);
-    std::vector<int32_t> saved{dist[w]};
-    dist[w] = kUnreachable - 1;  // -2: "in region, not yet re-settled"
-    for (size_t head = 0; head < region.size(); ++head) {
-      if (region.size() > options_.repair_budget) {
-        for (size_t i = 0; i < region.size(); ++i) dist[region[i]] = saved[i];
-        return false;
+    // The repair mutates this landmark's uncommitted copy-on-write
+    // version, so the -2 "in region" sentinels below can never leak to a
+    // reader — even on the budget-overflow abort paths (the rebuild that
+    // follows replaces the vector within the same batch).
+    bool ok = true;
+    dist_.Publish(mgr, li, [&](std::vector<int32_t>& dist) {
+      // Superset of every vertex whose distance may grow: the closure of
+      // strict BFS descendants of w. Vertices inside whose distance is in
+      // fact unchanged re-derive to the same value below.
+      region.clear();
+      region.push_back(w);
+      std::vector<int32_t> saved{dist[w]};
+      dist[w] = kUnreachable - 1;  // -2: "in region, not yet re-settled"
+      for (size_t head = 0; head < region.size(); ++head) {
+        if (region.size() > options_.repair_budget) {
+          for (size_t i = 0; i < region.size(); ++i) {
+            dist[region[i]] = saved[i];
+          }
+          ok = false;
+          return;
+        }
+        int32_t x = region[head];
+        int32_t child_level = saved[head] + 1;
+        for (int32_t n : *adj_.WriterLatest(x)) {
+          if (dist[n] == kUnreachable || dist[n] != child_level) continue;
+          region.push_back(n);
+          saved.push_back(dist[n]);
+          dist[n] = kUnreachable - 1;
+        }
       }
-      int32_t x = region[head];
-      int32_t child_level = saved[head] + 1;
-      for (int32_t n : adj_[x]) {
-        if (dist[n] == kUnreachable || dist[n] != child_level) continue;
-        region.push_back(n);
-        saved.push_back(dist[n]);
-        dist[n] = kUnreachable - 1;
+      // Re-settle from the region boundary: any intact neighbor seeds a
+      // tentative distance; unreached region vertices are now
+      // disconnected.
+      while (!pq.empty()) pq.pop();
+      for (int32_t x : region) {
+        for (int32_t n : *adj_.WriterLatest(x)) {
+          if (dist[n] >= 0) pq.emplace(dist[n] + 1, x);
+        }
       }
-    }
-    // Re-settle from the region boundary: any intact neighbor seeds a
-    // tentative distance; unreached region vertices are now disconnected.
-    while (!pq.empty()) pq.pop();
-    for (int32_t x : region) {
-      for (int32_t n : adj_[x]) {
-        if (dist[n] >= 0) pq.emplace(dist[n] + 1, x);
+      while (!pq.empty()) {
+        auto [t, x] = pq.top();
+        pq.pop();
+        if (dist[x] >= 0) continue;  // already settled at <= t
+        dist[x] = t;
+        if (++settled > options_.repair_budget) {
+          ok = false;
+          return;
+        }
+        for (int32_t n : *adj_.WriterLatest(x)) {
+          if (dist[n] < 0 && dist[n] != kUnreachable) pq.emplace(t + 1, n);
+        }
       }
-    }
-    while (!pq.empty()) {
-      auto [t, x] = pq.top();
-      pq.pop();
-      if (dist[x] >= 0) continue;  // already settled at <= t
-      dist[x] = t;
-      if (++settled > options_.repair_budget) return false;
-      for (int32_t n : adj_[x]) {
-        if (dist[n] < 0 && dist[n] != kUnreachable) pq.emplace(t + 1, n);
+      for (int32_t x : region) {
+        if (dist[x] < 0) dist[x] = kUnreachable;
       }
-    }
-    for (int32_t x : region) {
-      if (dist[x] < 0) dist[x] = kUnreachable;
-    }
+    });
+    if (!ok) return false;
   }
   return true;
 }
 
 void LandmarkIndex::OnEdgeRemoved(int64_t a, int64_t b) {
-  std::unique_lock lock(mu_);
-  auto ita = id_to_idx_.find(a);
-  auto itb = id_to_idx_.find(b);
-  if (ita == id_to_idx_.end() || itb == id_to_idx_.end()) return;
-  int32_t ia = ita->second;
-  int32_t ib = itb->second;
+  WriteBatch batch;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  EpochManager& mgr = EpochManager::Global();
+  const int32_t* pa = id_to_idx_.Find(a, EpochManager::kWriterPin);
+  const int32_t* pb = id_to_idx_.Find(b, EpochManager::kWriterPin);
+  if (pa == nullptr || pb == nullptr) return;
+  int32_t ia = *pa;
+  int32_t ib = *pb;
   // Drop one occurrence from each side of the mirror.
-  auto erase_one = [this](int32_t from, int32_t to) {
-    auto& list = adj_[from];
+  const std::vector<int32_t>& cur = *adj_.WriterLatest(ia);
+  if (std::find(cur.begin(), cur.end(), ib) == cur.end()) {
+    return;  // edge was never mirrored
+  }
+  auto erase_one = [](std::vector<int32_t>& list, int32_t to) {
     auto it = std::find(list.begin(), list.end(), to);
-    if (it == list.end()) return false;
+    if (it == list.end()) return;
     *it = list.back();
     list.pop_back();
-    return true;
   };
-  if (!erase_one(ia, ib)) return;  // edge was never mirrored
-  erase_one(ib, ia);
+  adj_.Publish(mgr, ia, [&](std::vector<int32_t>& l) { erase_one(l, ib); });
+  adj_.Publish(mgr, ib, [&](std::vector<int32_t>& l) { erase_one(l, ia); });
   if (!built_) {
     ++epoch_;
+    PublishMetaLocked(mgr);
     return;
   }
-  bool repaired = RepairRemoveLocked(ia, ib);
+  bool repaired = RepairRemoveLocked(mgr, ia, ib);
   if (repaired) repairs_.fetch_add(1, std::memory_order_relaxed);
   // A landmark may sit on the removed edge's far side with its region
   // torn off mid-repair on budget overflow; NoteWriteLocked rebuilds.
-  NoteWriteLocked(repaired);
+  NoteWriteLocked(mgr, repaired);
 }
 
 std::optional<LandmarkIndex::Bounds> LandmarkIndex::BoundsFor(
     int64_t from, int64_t to) const {
-  std::shared_lock lock(mu_);
-  auto itf = id_to_idx_.find(from);
-  auto itt = id_to_idx_.find(to);
-  if (itf == id_to_idx_.end() || itt == id_to_idx_.end() || !built_)
+  EpochGuard guard;
+  const uint64_t pin = ReadPin(guard);
+  const Meta* m = meta_.Read(pin);
+  const int32_t* pf = id_to_idx_.Find(from, pin);
+  const int32_t* pt = id_to_idx_.Find(to, pin);
+  if (m == nullptr || !m->built || pf == nullptr || pt == nullptr) {
     return std::nullopt;
+  }
   Bounds out;
-  if (itf->second == itt->second) {
+  if (*pf == *pt) {
     out.lower = 0;
     out.upper = 0;
     return out;
   }
+  size_t f = size_t(*pf);
+  size_t t = size_t(*pt);
   int lb = 0;
   int ub = kInfinity;
-  for (const auto& dist : dist_) {
-    int32_t df = dist[itf->second];
-    int32_t dt = dist[itt->second];
+  for (uint32_t i = 0; i < m->num_landmarks; ++i) {
+    const std::vector<int32_t>* dist = dist_.Read(i, pin);
+    if (dist == nullptr || f >= dist->size() || t >= dist->size()) continue;
+    int32_t df = (*dist)[f];
+    int32_t dt = (*dist)[t];
     if ((df == kUnreachable) != (dt == kUnreachable)) {
       out.disconnected = true;
       out.upper = -1;
@@ -352,26 +429,39 @@ std::optional<LandmarkIndex::Bounds> LandmarkIndex::BoundsFor(
 
 std::optional<int> LandmarkIndex::ShortestPathLen(int64_t from,
                                                   int64_t to) const {
-  std::shared_lock lock(mu_);
-  auto itf = id_to_idx_.find(from);
-  auto itt = id_to_idx_.find(to);
-  if (itf == id_to_idx_.end() || itt == id_to_idx_.end() || !built_) {
+  EpochGuard guard;
+  const uint64_t pin = ReadPin(guard);
+  const Meta* m = meta_.Read(pin);
+  const int32_t* pf = id_to_idx_.Find(from, pin);
+  const int32_t* pt = id_to_idx_.Find(to, pin);
+  if (m == nullptr || !m->built || pf == nullptr || pt == nullptr) {
     fallbacks_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  int32_t src = itf->second;
-  int32_t dst = itt->second;
+  int32_t src = *pf;
+  int32_t dst = *pt;
   if (src == dst) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     HitsCounter()->Increment();
     return 0;
   }
 
+  // Resolve the hub snapshot of the pinned epoch once; the whole query —
+  // bounds and pruned search — sees one consistent index state.
+  std::vector<const std::vector<int32_t>*> dists;
+  dists.reserve(m->num_landmarks);
+  for (uint32_t i = 0; i < m->num_landmarks; ++i) {
+    const std::vector<int32_t>* d = dist_.Read(i, pin);
+    if (d != nullptr && size_t(src) < d->size() && size_t(dst) < d->size()) {
+      dists.push_back(d);
+    }
+  }
+
   int lb = 0;
   int ub = kInfinity;
-  for (size_t i = 0; i < dist_.size(); ++i) {
-    int32_t df = dist_[i][src];
-    int32_t dt = dist_[i][dst];
+  for (const auto* dist : dists) {
+    int32_t df = (*dist)[src];
+    int32_t dt = (*dist)[dst];
     if ((df == kUnreachable) != (dt == kUnreachable)) {
       // One endpoint in this landmark's component, the other not:
       // different components, no path.
@@ -410,7 +500,9 @@ std::optional<int> LandmarkIndex::ShortestPathLen(int64_t from,
     int32_t far_end = forward ? dst : src;
     next.clear();
     for (int32_t x : frontier) {
-      for (int32_t n : adj_[x]) {
+      const std::vector<int32_t>* row = adj_.Read(x, pin);
+      if (row == nullptr) continue;
+      for (int32_t n : *row) {
         if (!seen.emplace(n, depth).second) continue;
         auto met = other.find(n);
         if (met != other.end()) best = std::min(best, depth + met->second);
@@ -419,9 +511,10 @@ std::optional<int> LandmarkIndex::ShortestPathLen(int64_t from,
           // than the best answer so far: depth(n) + LB(n, far end) is a
           // lower bound on every path through n.
           int est = depth;
-          for (const auto& dist : dist_) {
-            int32_t dn = dist[n];
-            int32_t de = dist[far_end];
+          for (const auto* dist : dists) {
+            if (size_t(n) >= dist->size()) continue;
+            int32_t dn = (*dist)[n];
+            int32_t de = (*dist)[far_end];
             if (dn == kUnreachable || de == kUnreachable) continue;
             est = std::max(est, depth + (dn > de ? dn - de : de - dn));
           }
@@ -445,20 +538,24 @@ std::optional<int> LandmarkIndex::ShortestPathLen(int64_t from,
 }
 
 uint64_t LandmarkIndex::epoch() const {
-  std::shared_lock lock(mu_);
-  return epoch_;
+  EpochGuard guard;
+  const Meta* m = meta_.Read(ReadPin(guard));
+  return m != nullptr ? m->epoch : 0;
 }
 
 uint64_t LandmarkIndex::built_epoch() const {
-  std::shared_lock lock(mu_);
-  return built_epoch_;
+  EpochGuard guard;
+  const Meta* m = meta_.Read(ReadPin(guard));
+  return m != nullptr ? m->built_epoch : 0;
 }
 
 std::vector<int64_t> LandmarkIndex::landmark_ids() const {
-  std::shared_lock lock(mu_);
+  EpochGuard guard;
+  const std::vector<int32_t>* lms = landmarks_.Read(ReadPin(guard));
   std::vector<int64_t> out;
-  out.reserve(landmarks_.size());
-  for (int32_t idx : landmarks_) out.push_back(ids_[idx]);
+  if (lms == nullptr) return out;
+  out.reserve(lms->size());
+  for (int32_t idx : *lms) out.push_back(ids_[idx]);
   return out;
 }
 

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
-#include <unordered_map>
 #include <vector>
+
+#include "concurrency/epoch.h"
+#include "concurrency/versioned.h"
 
 namespace graphbench {
 
@@ -80,8 +82,11 @@ struct LandmarkStats {
 /// mutation, edge inserts run a bounded unit-distance decrease propagation
 /// and edge deletes a bounded Even–Shiloach-style increase propagation
 /// (per landmark); past the repair budget or the churn threshold the index
-/// rebuilds from scratch. One writer may mutate while any number of
-/// readers query (shared_mutex, same discipline as the native store).
+/// rebuilds from scratch. One writer mutates at a time (plain mutex);
+/// readers never lock: adjacency rows and per-landmark distance vectors
+/// are epoch-versioned, so ShortestPathLen traverses the consistent hub
+/// snapshot of its pinned epoch — mid-repair sentinel states are plain
+/// impossible to observe.
 class LandmarkIndex {
  public:
   explicit LandmarkIndex(LandmarkOptions options = {});
@@ -124,36 +129,58 @@ class LandmarkIndex {
   LandmarkStats stats() const;
 
  private:
-  // Dense index of a person id, creating it on first use (mu_ held
-  // exclusively).
-  int32_t InternLocked(int64_t person_id);
-  // BFS from `source` filling `dist` (-1 unreachable); mu_ held.
+  /// Reader-visible scalar state, republished as a unit with whatever
+  /// rows the same batch touched.
+  struct Meta {
+    uint64_t epoch = 0;
+    uint64_t built_epoch = 0;
+    uint32_t num_landmarks = 0;
+    bool built = false;
+  };
+
+  // Dense index of a person id, creating it on first use (write_mu_
+  // held).
+  int32_t InternLocked(concurrency::EpochManager& mgr, int64_t person_id);
+  // BFS from `source` over the writer-latest adjacency, filling `dist`
+  // (-1 unreachable); write_mu_ held.
   void BfsLocked(int32_t source, std::vector<int32_t>* dist) const;
-  // Hub selection + full BFS per hub; mu_ held exclusively.
-  void BuildLocked();
+  // Hub selection + full BFS per hub; write_mu_ held.
+  void BuildLocked(concurrency::EpochManager& mgr);
   // Bounded decrease propagation after inserting edge (a,b); returns
   // false when the repair budget is exhausted (caller rebuilds).
-  bool RepairInsertLocked(int32_t a, int32_t b);
+  bool RepairInsertLocked(concurrency::EpochManager& mgr, int32_t a,
+                          int32_t b);
   // Bounded increase propagation after removing edge (a,b); returns
   // false when the repair budget is exhausted (caller rebuilds).
-  bool RepairRemoveLocked(int32_t a, int32_t b);
-  // Bookkeeping shared by both write hooks; mu_ held exclusively.
-  void NoteWriteLocked(bool repaired);
+  bool RepairRemoveLocked(concurrency::EpochManager& mgr, int32_t a,
+                          int32_t b);
+  // Bookkeeping shared by both write hooks; write_mu_ held.
+  void NoteWriteLocked(concurrency::EpochManager& mgr, bool repaired);
+  void PublishMetaLocked(concurrency::EpochManager& mgr);
 
   const LandmarkOptions options_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<int64_t, int32_t> id_to_idx_;
-  std::vector<int64_t> ids_;
-  std::vector<std::vector<int32_t>> adj_;       // undirected, dup-tolerant
-  std::vector<int32_t> landmarks_;              // dense indexes of hubs
-  std::vector<std::vector<int32_t>> dist_;      // [landmark][vertex]
+  std::mutex write_mu_;  // serializes writers; readers never take it
+
+  concurrency::EpochHashMap<int64_t, int32_t> id_to_idx_;
+  concurrency::StableVec<int64_t> ids_;
+  /// Undirected, dup-tolerant adjacency mirror; one versioned row per
+  /// person.
+  concurrency::VersionedTable<std::vector<int32_t>> adj_;
+  /// Dense indexes of the hubs.
+  concurrency::VersionedCell<std::vector<int32_t>> landmarks_;
+  /// One versioned distance vector per hub slot; readers bound the slot
+  /// count by their pinned Meta.
+  concurrency::VersionedTable<std::vector<int32_t>> dist_;
+  concurrency::VersionedCell<Meta> meta_;
+
+  // Writer-side mirrors of Meta (under write_mu_).
   uint64_t epoch_ = 0;
   uint64_t built_epoch_ = 0;
   uint64_t writes_since_build_ = 0;
   bool built_ = false;
+  size_t num_landmarks_ = 0;
 
-  // Stats are relaxed atomics so readers can bump them under the shared
-  // lock.
+  // Stats are relaxed atomics so lock-free readers can bump them.
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> pruned_searches_{0};
   mutable std::atomic<uint64_t> prunes_{0};

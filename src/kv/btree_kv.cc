@@ -1,5 +1,7 @@
 #include "kv/btree_kv.h"
 
+#include "obs/lock_timer.h"
+
 #include <algorithm>
 #include <cassert>
 #include <mutex>
@@ -22,7 +24,7 @@ class BTreeKv::Iter : public KvIterator {
   // Snapshot iterator: copies the live key/value pairs under the shared
   // latch at construction so iteration never observes partial splits.
   explicit Iter(const BTreeKv* tree) {
-    std::shared_lock<std::shared_mutex> lock(tree->latch_);
+    std::shared_lock<obs::TimedSharedMutex> lock(tree->latch_);
     for (const Node* n = tree->first_leaf_; n != nullptr; n = n->next) {
       for (size_t i = 0; i < n->keys.size(); ++i) {
         entries_.emplace_back(n->keys[i], n->values[i]);
@@ -73,7 +75,7 @@ BTreeKv::Node* BTreeKv::FindLeaf(std::string_view key) const {
 }
 
 Status BTreeKv::Put(std::string_view key, std::string_view value) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  std::unique_lock<obs::TimedSharedMutex> lock(latch_);
   Node* leaf = FindLeaf(key);
   auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
   size_t idx = size_t(it - leaf->keys.begin());
@@ -138,7 +140,7 @@ void BTreeKv::SplitUpward(Node* node) {
 }
 
 Status BTreeKv::Get(std::string_view key, std::string* value) const {
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  std::shared_lock<obs::TimedSharedMutex> lock(latch_);
   Node* leaf = FindLeaf(key);
   auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
   if (it == leaf->keys.end() || *it != key) {
@@ -149,7 +151,7 @@ Status BTreeKv::Get(std::string_view key, std::string* value) const {
 }
 
 Status BTreeKv::Delete(std::string_view key) {
-  std::unique_lock<std::shared_mutex> lock(latch_);
+  std::unique_lock<obs::TimedSharedMutex> lock(latch_);
   Node* leaf = FindLeaf(key);
   auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
   if (it == leaf->keys.end() || *it != key) {
@@ -173,7 +175,7 @@ Status BTreeKv::ScanPrefix(
     std::string_view prefix,
     std::vector<std::pair<std::string, std::string>>* out) const {
   out->clear();
-  std::shared_lock<std::shared_mutex> lock(latch_);
+  std::shared_lock<obs::TimedSharedMutex> lock(latch_);
   Node* leaf = FindLeaf(prefix);
   auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), prefix);
   size_t idx = size_t(it - leaf->keys.begin());

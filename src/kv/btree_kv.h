@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <string>
 #include <vector>
 
@@ -51,7 +53,7 @@ class BTreeKv : public KvStore {
   void SplitUpward(Node* node);
   void FreeSubtree(Node* node);
 
-  mutable std::shared_mutex latch_;
+  mutable obs::TimedSharedMutex latch_{"btree.lock_wait_us"};
   size_t fanout_;
   Node* root_;
   Node* first_leaf_;

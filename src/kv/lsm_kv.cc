@@ -1,26 +1,157 @@
 #include "kv/lsm_kv.h"
 
 #include <algorithm>
-#include <set>
+#include <map>
 
 namespace graphbench {
+
+namespace {
+
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MemTable
+
+MemTable::MemTable() { head_.height = kMaxHeight; }
+
+int MemTable::RandomHeight() {
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  int h = 1;
+  uint64_t r = rng_state_;
+  while (h < kMaxHeight && (r & 3) == 0) {
+    ++h;
+    r >>= 2;
+  }
+  return h;
+}
+
+MemTable::Node* MemTable::FindPredecessors(
+    std::string_view key, std::array<Node*, kMaxHeight>* preds) const {
+  Node* x = &head_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    Node* nxt;
+    while ((nxt = x->next[l].load(std::memory_order_acquire)) != nullptr &&
+           nxt->key < key) {
+      x = nxt;
+    }
+    (*preds)[l] = x;
+  }
+  Node* cand = x->next[0].load(std::memory_order_acquire);
+  return (cand != nullptr && cand->key == key) ? cand : nullptr;
+}
+
+void MemTable::Put(concurrency::EpochManager& mgr, std::string_view key,
+                   std::string_view value, bool tombstone) {
+  std::array<Node*, kMaxHeight> preds;
+  Node* eq = FindPredecessors(key, &preds);
+  const uint64_t we = mgr.write_epoch();
+  if (eq != nullptr) {
+    const ValueVersion* head = eq->chain.load(std::memory_order_relaxed);
+    if (head != nullptr && head->epoch == we) {
+      // Same still-open batch: the version is not yet visible to anyone
+      // but this writer, so overwrite in place.
+      auto* h = const_cast<ValueVersion*>(head);
+      h->value.assign(value);
+      h->tombstone = tombstone;
+      eq->chain.store(head, std::memory_order_release);
+    } else {
+      version_arena_.push_back(
+          ValueVersion{std::string(value), tombstone, we, head});
+      eq->chain.store(&version_arena_.back(), std::memory_order_release);
+    }
+    bytes_.fetch_add(value.size() + 24, std::memory_order_relaxed);
+    return;
+  }
+  node_arena_.emplace_back();
+  Node& n = node_arena_.back();
+  n.key.assign(key);
+  n.height = RandomHeight();
+  version_arena_.push_back(
+      ValueVersion{std::string(value), tombstone, we, nullptr});
+  n.chain.store(&version_arena_.back(), std::memory_order_relaxed);
+  for (int l = 0; l < n.height; ++l) {
+    n.next[l].store(preds[l]->next[l].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  // Publish bottom-up: once a level's predecessor points here, the node
+  // (key, chain, lower links) is complete.
+  for (int l = 0; l < n.height; ++l) {
+    preds[l]->next[l].store(&n, std::memory_order_release);
+  }
+  bytes_.fetch_add(key.size() + value.size() + 64,
+                   std::memory_order_relaxed);
+}
+
+const MemTable::ValueVersion* MemTable::Find(std::string_view key,
+                                             uint64_t pin) const {
+  const Node* x = &head_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    const Node* nxt;
+    while ((nxt = x->next[l].load(std::memory_order_acquire)) != nullptr &&
+           nxt->key < key) {
+      x = nxt;
+    }
+  }
+  const Node* cand = x->next[0].load(std::memory_order_acquire);
+  if (cand == nullptr || cand->key != key) return nullptr;
+  const ValueVersion* v = cand->chain.load(std::memory_order_acquire);
+  while (v != nullptr && v->epoch > pin) v = v->older;
+  return v;
+}
+
+const MemTable::Node* MemTable::Seek(std::string_view target) const {
+  const Node* x = &head_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    const Node* nxt;
+    while ((nxt = x->next[l].load(std::memory_order_acquire)) != nullptr &&
+           nxt->key < target) {
+      x = nxt;
+    }
+  }
+  return x->next[0].load(std::memory_order_acquire);
+}
+
+const MemTable::Node* MemTable::First() const {
+  return head_.next[0].load(std::memory_order_acquire);
+}
+
+// --------------------------------------------------------------- SortedRun
 
 SortedRun::SortedRun(std::vector<Entry> entries)
     : entries_(std::move(entries)) {
   for (const Entry& e : entries_) {
-    size_bytes_ += e.key.size() + e.value.size() + 24;
+    size_bytes_ += e.key.size() + e.value.size() + 32;
   }
 }
 
-const SortedRun::Entry* SortedRun::Find(std::string_view key) const {
+const SortedRun::Entry* SortedRun::Find(std::string_view key,
+                                        uint64_t pin) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const Entry& e, std::string_view k) { return e.key < k; });
-  if (it == entries_.end() || it->key != key) return nullptr;
-  return &*it;
+  // Entries for one key are newest-epoch first.
+  for (; it != entries_.end() && it->key == key; ++it) {
+    if (it->epoch <= pin) return &*it;
+  }
+  return nullptr;
 }
 
-LsmKv::LsmKv(LsmOptions options) : options_(options) {}
+// ------------------------------------------------------------------- LsmKv
+
+LsmKv::LsmKv(LsmOptions options) : options_(options) {
+  for (Shard& shard : shards_) {
+    shard.mem_owned = std::make_shared<MemTable>();
+    shard.mem.store(shard.mem_owned.get(), std::memory_order_release);
+  }
+  runs_owned_ = std::make_shared<RunsVec>();
+  runs_.store(runs_owned_.get(), std::memory_order_release);
+}
 
 Status LsmKv::Put(std::string_view key, std::string_view value) {
   return WriteInternal(key, value, /*tombstone=*/false);
@@ -32,76 +163,106 @@ Status LsmKv::Delete(std::string_view key) {
 
 Status LsmKv::WriteInternal(std::string_view key, std::string_view value,
                             bool tombstone) {
+  concurrency::WriteBatch batch;
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
   Shard& shard = shards_[ShardOf(key)];
   bool need_flush = false;
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    auto [it, inserted] = shard.memtable.try_emplace(std::string(key));
-    if (!inserted) shard.bytes -= it->second.value.size();
-    else shard.bytes += key.size() + 24;
-    it->second.value.assign(value);
-    it->second.tombstone = tombstone;
-    shard.bytes += value.size();
-    need_flush = shard.bytes >= options_.memtable_bytes;
+    std::lock_guard<std::mutex> lock(shard.write_mu);
+    shard.mem_owned->Put(mgr, key, value, tombstone);
+    need_flush = shard.mem_owned->bytes() >= options_.memtable_bytes;
   }
   if (need_flush) FlushShard(&shard);
   return Status::OK();
 }
 
 void LsmKv::FlushShard(Shard* shard) {
-  // Drain the shard under its own latch, then publish the run. The write
-  // stall is confined to this shard plus the brief runs_ append.
+  concurrency::WriteBatch batch;
+  concurrency::EpochManager& mgr = concurrency::EpochManager::Global();
+  std::lock_guard<std::mutex> lock(shard->write_mu);
+  if (shard->mem_owned->empty()) return;
+  // Every version is carried into the run (keys ascending, epochs
+  // descending within a key) so pinned readers keep their snapshot
+  // across the flush.
   std::vector<SortedRun::Entry> entries;
-  {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
-    if (shard->memtable.empty()) return;
-    entries.reserve(shard->memtable.size());
-    for (auto& [k, v] : shard->memtable) {
-      entries.push_back({k, std::move(v.value), v.tombstone});
+  for (const MemTable::Node* n = shard->mem_owned->First(); n != nullptr;
+       n = MemTable::NextNode(n)) {
+    for (const MemTable::ValueVersion* v =
+             n->chain.load(std::memory_order_acquire);
+         v != nullptr; v = v->older) {
+      entries.push_back({n->key, v->value, v->tombstone, v->epoch});
     }
-    shard->memtable.clear();
-    shard->bytes = 0;
   }
-  std::unique_lock<std::shared_mutex> lock(runs_mu_);
-  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
-  MaybeCompactLocked();
+  auto run = std::make_shared<const SortedRun>(std::move(entries));
+  {
+    std::lock_guard<std::mutex> rlock(runs_write_mu_);
+    auto next = std::make_shared<RunsVec>(*runs_owned_);
+    next->push_back(std::move(run));
+    std::shared_ptr<RunsVec> old = std::move(runs_owned_);
+    runs_owned_ = std::move(next);
+    // Publish order matters: the run list containing the flushed data
+    // must be visible before the emptied memtable, and readers load the
+    // memtable pointer first.
+    runs_.store(runs_owned_.get(), std::memory_order_release);
+    mgr.Retire(std::static_pointer_cast<const void>(std::move(old)));
+    MaybeCompactLocked(mgr);
+  }
+  std::shared_ptr<MemTable> old_mem = std::move(shard->mem_owned);
+  shard->mem_owned = std::make_shared<MemTable>();
+  shard->mem.store(shard->mem_owned.get(), std::memory_order_release);
+  mgr.Retire(std::static_pointer_cast<const void>(std::move(old_mem)));
 }
 
-void LsmKv::MaybeCompactLocked() {
-  if (runs_.size() < options_.max_runs) return;
-  // Full merge of all runs, newest entry per key wins; tombstones of the
-  // bottom level are dropped (nothing older can resurface).
-  std::map<std::string, MemValue> merged;
-  for (const auto& run : runs_) {  // oldest first; later runs overwrite
-    for (const auto& e : run->entries()) {
-      merged[e.key] = MemValue{e.value, e.tombstone};
+void LsmKv::MaybeCompactLocked(concurrency::EpochManager& mgr) {
+  if (runs_owned_->size() < options_.max_runs) return;
+  // Full merge, newest version per key wins; history is collapsed and
+  // bottom-level tombstones are dropped (nothing older can resurface).
+  struct Best {
+    std::string value;
+    bool tombstone;
+    uint64_t epoch;
+  };
+  std::map<std::string, Best> merged;
+  for (const auto& run : *runs_owned_) {  // oldest first
+    for (const SortedRun::Entry& e : run->entries()) {
+      auto [it, inserted] =
+          merged.try_emplace(e.key, Best{e.value, e.tombstone, e.epoch});
+      if (!inserted && e.epoch >= it->second.epoch) {
+        it->second = Best{e.value, e.tombstone, e.epoch};
+      }
     }
   }
   std::vector<SortedRun::Entry> entries;
   entries.reserve(merged.size());
-  for (auto& [k, v] : merged) {
-    if (v.tombstone) continue;
-    entries.push_back({k, std::move(v.value), false});
+  for (auto& [k, b] : merged) {
+    if (b.tombstone) continue;
+    entries.push_back({k, std::move(b.value), false, b.epoch});
   }
-  runs_.clear();
-  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
-  ++compactions_;
+  auto next = std::make_shared<RunsVec>();
+  next->push_back(std::make_shared<const SortedRun>(std::move(entries)));
+  std::shared_ptr<RunsVec> old = std::move(runs_owned_);
+  runs_owned_ = std::move(next);
+  runs_.store(runs_owned_.get(), std::memory_order_release);
+  mgr.Retire(std::static_pointer_cast<const void>(std::move(old)));
+  compactions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status LsmKv::Get(std::string_view key, std::string* value) const {
+  concurrency::EpochGuard guard;
+  const uint64_t pin = concurrency::ReadPin(guard);
   const Shard& shard = shards_[ShardOf(key)];
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    auto it = shard.memtable.find(std::string(key));
-    if (it != shard.memtable.end()) {
-      if (it->second.tombstone) return Status::NotFound("deleted");
-      value->assign(it->second.value);
-      return Status::OK();
-    }
+  // Memtable before runs: the flush publishes the new run list before
+  // the fresh memtable, so a reader that misses here cannot also miss
+  // the flushed entries.
+  const MemTable* mem = shard.mem.load(std::memory_order_acquire);
+  if (const MemTable::ValueVersion* v = mem->Find(key, pin)) {
+    if (v->tombstone) return Status::NotFound("deleted");
+    value->assign(v->value);
+    return Status::OK();
   }
-  std::shared_lock<std::shared_mutex> lock(runs_mu_);
-  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-    const SortedRun::Entry* e = (*run)->Find(key);
+  const RunsVec* runs = runs_.load(std::memory_order_acquire);
+  for (auto run = runs->rbegin(); run != runs->rend(); ++run) {
+    const SortedRun::Entry* e = (*run)->Find(key, pin);
     if (e != nullptr) {
       if (e->tombstone) return Status::NotFound("deleted");
       value->assign(e->value);
@@ -111,27 +272,61 @@ Status LsmKv::Get(std::string_view key, std::string* value) const {
   return Status::NotFound("key not in lsm");
 }
 
+void LsmKv::CollectVisible(
+    std::string_view prefix, uint64_t pin,
+    std::vector<std::pair<std::string, std::string>>* live) const {
+  struct Best {
+    std::string value;
+    bool tombstone;
+    uint64_t epoch;
+  };
+  std::map<std::string, Best> merged;
+  // Capture memtables before the run list (see Get for the ordering
+  // argument; a retired memtable stays readable under our caller's pin).
+  std::array<const MemTable*, kShards> mems;
+  for (size_t i = 0; i < kShards; ++i) {
+    mems[i] = shards_[i].mem.load(std::memory_order_acquire);
+  }
+  const RunsVec* runs = runs_.load(std::memory_order_acquire);
+  auto apply = [&merged](const std::string& key, const std::string& val,
+                         bool tombstone, uint64_t epoch) {
+    auto [it, inserted] = merged.try_emplace(key, Best{val, tombstone, epoch});
+    if (!inserted && epoch >= it->second.epoch) {
+      it->second = Best{val, tombstone, epoch};
+    }
+  };
+  for (const auto& run : *runs) {  // oldest first
+    const auto& entries = run->entries();
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), prefix,
+        [](const SortedRun::Entry& e, std::string_view p) {
+          return e.key < p;
+        });
+    for (; it != entries.end() && HasPrefix(it->key, prefix); ++it) {
+      if (it->epoch <= pin) apply(it->key, it->value, it->tombstone, it->epoch);
+    }
+  }
+  for (const MemTable* mem : mems) {
+    for (const MemTable::Node* n = mem->Seek(prefix);
+         n != nullptr && HasPrefix(n->key, prefix);
+         n = MemTable::NextNode(n)) {
+      const MemTable::ValueVersion* v =
+          n->chain.load(std::memory_order_acquire);
+      while (v != nullptr && v->epoch > pin) v = v->older;
+      if (v != nullptr) apply(n->key, v->value, v->tombstone, v->epoch);
+    }
+  }
+  live->clear();
+  for (auto& [key, b] : merged) {
+    if (!b.tombstone) live->emplace_back(key, std::move(b.value));
+  }
+}
+
 class LsmKv::Iter : public KvIterator {
  public:
   explicit Iter(const LsmKv* lsm) {
-    // Snapshot merge at construction: runs then shard memtables (newest
-    // wins).
-    std::map<std::string, MemValue> merged;
-    {
-      std::shared_lock<std::shared_mutex> lock(lsm->runs_mu_);
-      for (const auto& run : lsm->runs_) {
-        for (const auto& e : run->entries()) {
-          merged[e.key] = MemValue{e.value, e.tombstone};
-        }
-      }
-    }
-    for (const Shard& shard : lsm->shards_) {
-      std::shared_lock<std::shared_mutex> lock(shard.mu);
-      for (const auto& [k, v] : shard.memtable) merged[k] = v;
-    }
-    for (auto& [k, v] : merged) {
-      if (!v.tombstone) entries_.emplace_back(k, std::move(v.value));
-    }
+    concurrency::EpochGuard guard;
+    lsm->CollectVisible("", concurrency::ReadPin(guard), &entries_);
   }
 
   void SeekToFirst() override { pos_ = 0; }
@@ -159,78 +354,36 @@ std::unique_ptr<KvIterator> LsmKv::NewIterator() const {
 Status LsmKv::ScanPrefix(
     std::string_view prefix,
     std::vector<std::pair<std::string, std::string>>* out) const {
-  out->clear();
-  // Merge the prefix range of every run and every shard memtable; newer
-  // sources overwrite older ones.
-  std::map<std::string, MemValue> merged;
-  {
-    std::shared_lock<std::shared_mutex> lock(runs_mu_);
-    for (const auto& run : runs_) {  // oldest first
-      const auto& entries = run->entries();
-      auto it = std::lower_bound(
-          entries.begin(), entries.end(), prefix,
-          [](const SortedRun::Entry& e, std::string_view p) {
-            return e.key < p;
-          });
-      for (; it != entries.end(); ++it) {
-        if (it->key.compare(0, prefix.size(), prefix) != 0) break;
-        merged[it->key] = MemValue{it->value, it->tombstone};
-      }
-    }
-  }
-  for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    for (auto it = shard.memtable.lower_bound(std::string(prefix));
-         it != shard.memtable.end(); ++it) {
-      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-      merged[it->first] = it->second;
-    }
-  }
-  for (const auto& [key, mv] : merged) {
-    if (!mv.tombstone) out->emplace_back(key, mv.value);
-  }
+  concurrency::EpochGuard guard;
+  CollectVisible(prefix, concurrency::ReadPin(guard), out);
   return Status::OK();
 }
 
 uint64_t LsmKv::Count() const {
-  // Exact live count requires a merge; acceptable for stats reporting.
-  std::set<std::string> live;
-  std::set<std::string> dead;
-  for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    for (const auto& [k, v] : shard.memtable) {
-      (v.tombstone ? dead : live).insert(k);
-    }
-  }
-  std::shared_lock<std::shared_mutex> lock(runs_mu_);
-  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
-    for (const auto& e : (*run)->entries()) {
-      if (live.count(e.key) || dead.count(e.key)) continue;
-      (e.tombstone ? dead : live).insert(e.key);
-    }
-  }
+  concurrency::EpochGuard guard;
+  std::vector<std::pair<std::string, std::string>> live;
+  CollectVisible("", concurrency::ReadPin(guard), &live);
   return live.size();
 }
 
 uint64_t LsmKv::ApproximateSizeBytes() const {
+  concurrency::EpochGuard guard;
   uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    total += shard.bytes;
+    total += shard.mem.load(std::memory_order_acquire)->bytes();
   }
-  std::shared_lock<std::shared_mutex> lock(runs_mu_);
-  for (const auto& run : runs_) total += run->size_bytes();
+  const RunsVec* runs = runs_.load(std::memory_order_acquire);
+  for (const auto& run : *runs) total += run->size_bytes();
   return total;
 }
 
 size_t LsmKv::num_runs() const {
-  std::shared_lock<std::shared_mutex> lock(runs_mu_);
-  return runs_.size();
+  concurrency::EpochGuard guard;
+  return runs_.load(std::memory_order_acquire)->size();
 }
 
 uint64_t LsmKv::compactions_run() const {
-  std::shared_lock<std::shared_mutex> lock(runs_mu_);
-  return compactions_;
+  return compactions_.load(std::memory_order_relaxed);
 }
 
 void LsmKv::Flush() {

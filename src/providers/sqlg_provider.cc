@@ -1,5 +1,7 @@
 #include "providers/sqlg_provider.h"
 
+#include "obs/lock_timer.h"
+
 #include <mutex>
 
 #include "util/string_util.h"
@@ -17,7 +19,7 @@ Status SqlgProvider::RegisterVertexLabel(std::string_view label,
   if (db_->GetIndex(table, "id") == nullptr) {
     return Status::InvalidArgument("vertex table needs an id index");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   vertex_labels_.push_back(
       VertexMeta{std::string(label), std::string(table)});
   return Status::OK();
@@ -31,7 +33,7 @@ Status SqlgProvider::RegisterEdgeLabel(std::string_view label,
                                        std::string_view dst_label,
                                        bool embedded) {
   if (db_->GetTable(table) == nullptr) return Status::NotFound("table");
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   edge_labels_[std::string(label)] =
       EdgeMeta{std::string(table),     std::string(src_col),
                std::string(dst_col),   std::string(src_label),
@@ -48,7 +50,7 @@ int SqlgProvider::LabelOrdinal(std::string_view label) const {
 
 Result<GVertex> SqlgProvider::AddVertex(std::string_view label,
                                         const PropertyMap& props) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   int ord = LabelOrdinal(label);
   if (ord < 0) return Status::InvalidArgument("unregistered vertex label");
   const VertexMeta& meta = vertex_labels_[size_t(ord)];
@@ -83,7 +85,7 @@ Result<GVertex> SqlgProvider::AddVertex(std::string_view label,
 
 Status SqlgProvider::AddEdge(std::string_view label, GVertex from,
                              GVertex to, const PropertyMap& props) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = edge_labels_.find(std::string(label));
   if (it == edge_labels_.end()) {
     return Status::InvalidArgument("unregistered edge label");
@@ -116,7 +118,7 @@ Status SqlgProvider::AddEdge(std::string_view label, GVertex from,
 
 Status SqlgProvider::RemoveEdge(std::string_view label, GVertex from,
                                 GVertex to) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = edge_labels_.find(std::string(label));
   if (it == edge_labels_.end()) {
     return Status::InvalidArgument("unregistered edge label");
@@ -141,7 +143,7 @@ Status SqlgProvider::RemoveEdge(std::string_view label, GVertex from,
 
 Result<std::vector<GVertex>> SqlgProvider::VerticesByProperty(
     std::string_view label, std::string_view key, const Value& value) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   int ord = LabelOrdinal(label);
   if (ord < 0) return Status::InvalidArgument("unregistered vertex label");
   const VertexMeta& meta = vertex_labels_[size_t(ord)];
@@ -164,7 +166,7 @@ Result<std::vector<GVertex>> SqlgProvider::VerticesByProperty(
 
 Result<std::vector<GVertex>> SqlgProvider::AllVertices(
     std::string_view label) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   std::vector<GVertex> out;
   for (size_t ord = 0; ord < vertex_labels_.size(); ++ord) {
     if (!label.empty() && vertex_labels_[ord].label != label) continue;
@@ -178,7 +180,7 @@ Result<std::vector<GVertex>> SqlgProvider::AllVertices(
 
 Result<std::vector<GVertex>> SqlgProvider::Adjacent(
     GVertex v, std::string_view edge_label, Direction dir) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = edge_labels_.find(std::string(edge_label));
   if (it == edge_labels_.end()) {
     return Status::InvalidArgument("unregistered edge label");
@@ -238,7 +240,7 @@ Result<std::string> SqlgProvider::Label(GVertex v) {
 }
 
 uint64_t SqlgProvider::VertexCount() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& meta : vertex_labels_) {
     total += db_->GetTable(meta.table)->row_count();
@@ -247,7 +249,7 @@ uint64_t SqlgProvider::VertexCount() const {
 }
 
 uint64_t SqlgProvider::EdgeCount() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [label, meta] : edge_labels_) {
     if (meta.embedded) continue;  // rows counted as vertices already

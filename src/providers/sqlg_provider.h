@@ -2,6 +2,8 @@
 #define GRAPHBENCH_PROVIDERS_SQLG_PROVIDER_H_
 
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -84,7 +86,7 @@ class SqlgProvider : public GremlinGraph {
 
   int LabelOrdinal(std::string_view label) const;
 
-  mutable std::shared_mutex mu_;
+  mutable obs::TimedSharedMutex mu_{"sqlg.lock_wait_us"};
   Database* db_;
   std::vector<VertexMeta> vertex_labels_;
   std::unordered_map<std::string, EdgeMeta> edge_labels_;

@@ -1,5 +1,7 @@
 #include "storage/column_table.h"
 
+#include "obs/lock_timer.h"
+
 #include <mutex>
 #include <unordered_set>
 
@@ -60,7 +62,7 @@ Result<RowId> ColumnTable::Insert(const Row& row) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    schema_.name());
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   RowId id = live_.size();
   delta_.push_back(row);
   live_.push_back(true);
@@ -71,7 +73,7 @@ Result<RowId> ColumnTable::Insert(const Row& row) {
 }
 
 Status ColumnTable::Get(RowId id, Row* row) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   if (id >= live_.size() || !live_[size_t(id)]) {
     return Status::NotFound("row");
   }
@@ -84,7 +86,7 @@ Status ColumnTable::Get(RowId id, Row* row) const {
 }
 
 Status ColumnTable::GetColumn(RowId id, size_t column, Value* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   if (id >= live_.size() || !live_[size_t(id)]) {
     return Status::NotFound("row");
   }
@@ -97,7 +99,7 @@ Status ColumnTable::Update(RowId id, const Row& row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   if (id >= live_.size() || !live_[size_t(id)]) {
     return Status::NotFound("row");
   }
@@ -114,7 +116,7 @@ Status ColumnTable::Update(RowId id, const Row& row) {
 }
 
 Status ColumnTable::Delete(RowId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   if (id >= live_.size() || !live_[size_t(id)]) {
     return Status::NotFound("row");
   }
@@ -128,7 +130,7 @@ Status ColumnTable::Delete(RowId id) {
 
 void ColumnTable::ScanColumn(size_t column, std::vector<Value>* values,
                              std::vector<RowId>* row_ids) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   values->clear();
   row_ids->clear();
   for (size_t i = 0; i < live_.size(); ++i) {
@@ -152,7 +154,7 @@ class ColumnTable::Iter : public TableScanIterator {
 
  private:
   void Advance(RowId from) {
-    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(table_->mu_);
     for (RowId id = from; id < table_->live_.size(); ++id) {
       if (table_->live_[size_t(id)]) {
         pos_ = id;
@@ -173,17 +175,17 @@ std::unique_ptr<TableScanIterator> ColumnTable::NewScanIterator() const {
 }
 
 uint64_t ColumnTable::row_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return live_rows_;
 }
 
 uint64_t ColumnTable::ApproximateSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return bytes_;
 }
 
 uint64_t ColumnTable::merges() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return merges_;
 }
 

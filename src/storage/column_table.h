@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <vector>
 
 #include "storage/table.h"
@@ -55,7 +57,7 @@ class ColumnTable : public Table {
   // Value at `id` across merged columns + delta; caller holds mu_.
   const Value& ValueAtLocked(size_t column, size_t id) const;
 
-  mutable std::shared_mutex mu_;
+  mutable obs::TimedSharedMutex mu_{"storage.lock_wait_us"};
   std::vector<std::vector<Value>> columns_;  // merged, columnar region
   std::vector<Row> delta_;                   // write-optimized region
   std::vector<bool> live_;                   // covers merged + delta

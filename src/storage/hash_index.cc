@@ -1,12 +1,14 @@
 #include "storage/hash_index.h"
 
+#include "obs/lock_timer.h"
+
 #include <algorithm>
 #include <mutex>
 
 namespace graphbench {
 
 Status HashIndex::Insert(const Value& key, RowId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   auto& ids = map_[key];
   if (unique_ && !ids.empty()) {
     return Status::AlreadyExists("duplicate key in unique index " + name_);
@@ -17,7 +19,7 @@ Status HashIndex::Insert(const Value& key, RowId id) {
 }
 
 Status HashIndex::Remove(const Value& key, RowId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return Status::NotFound("index key");
   auto& ids = it->second;
@@ -30,14 +32,14 @@ Status HashIndex::Remove(const Value& key, RowId id) {
 }
 
 std::vector<RowId> HashIndex::Lookup(const Value& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) return {};
   return it->second;
 }
 
 Result<RowId> HashIndex::LookupUnique(const Value& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end() || it->second.empty()) {
     return Status::NotFound("key not in index " + name_);
@@ -46,17 +48,17 @@ Result<RowId> HashIndex::LookupUnique(const Value& key) const {
 }
 
 bool HashIndex::Contains(const Value& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return map_.find(key) != map_.end();
 }
 
 uint64_t HashIndex::entry_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return entries_;
 }
 
 uint64_t HashIndex::ApproximateSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   // Bucket + key + id-vector overhead estimate per entry.
   return entries_ * 56 + map_.bucket_count() * 8;
 }

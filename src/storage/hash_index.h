@@ -2,6 +2,8 @@
 #define GRAPHBENCH_STORAGE_HASH_INDEX_H_
 
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,7 +43,7 @@ class HashIndex {
  private:
   std::string name_;
   bool unique_;
-  mutable std::shared_mutex mu_;
+  mutable obs::TimedSharedMutex mu_{"storage.lock_wait_us"};
   std::unordered_map<Value, std::vector<RowId>, ValueHash> map_;
   uint64_t entries_ = 0;
 };

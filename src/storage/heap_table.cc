@@ -1,5 +1,7 @@
 #include "storage/heap_table.h"
 
+#include "obs/lock_timer.h"
+
 #include <mutex>
 
 namespace graphbench {
@@ -17,7 +19,7 @@ Result<RowId> HeapTable::Insert(const Row& row) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    schema_.name());
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   if (pages_.empty() || pages_.back()->rows.size() >= kRowsPerPage) {
     pages_.push_back(std::make_unique<Page>());
     pages_.back()->rows.reserve(kRowsPerPage);
@@ -42,7 +44,7 @@ const Row* HeapTable::Locate(RowId id) const {
 }
 
 Status HeapTable::Get(RowId id, Row* row) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   const Row* r = Locate(id);
   if (r == nullptr) return Status::NotFound("row");
   *row = *r;
@@ -50,7 +52,7 @@ Status HeapTable::Get(RowId id, Row* row) const {
 }
 
 Status HeapTable::GetColumn(RowId id, size_t column, Value* out) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   const Row* r = Locate(id);
   if (r == nullptr) return Status::NotFound("row");
   if (column >= r->size()) return Status::InvalidArgument("column index");
@@ -62,7 +64,7 @@ Status HeapTable::Update(RowId id, const Row& row) {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   size_t page_idx = size_t(id / kRowsPerPage);
   size_t slot = size_t(id % kRowsPerPage);
   if (page_idx >= pages_.size()) return Status::NotFound("row");
@@ -77,7 +79,7 @@ Status HeapTable::Update(RowId id, const Row& row) {
 }
 
 Status HeapTable::Delete(RowId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<obs::TimedSharedMutex> lock(mu_);
   size_t page_idx = size_t(id / kRowsPerPage);
   size_t slot = size_t(id % kRowsPerPage);
   if (page_idx >= pages_.size()) return Status::NotFound("row");
@@ -106,14 +108,14 @@ class HeapTable::Iter : public TableScanIterator {
   RowId row_id() const override { return pos_; }
 
   void GetRow(Row* row) const override {
-    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(table_->mu_);
     const Row* r = table_->Locate(pos_);
     if (r != nullptr) *row = *r;
   }
 
  private:
   void Advance(RowId from) {
-    std::shared_lock<std::shared_mutex> lock(table_->mu_);
+    std::shared_lock<obs::TimedSharedMutex> lock(table_->mu_);
     uint64_t limit = table_->pages_.empty()
                          ? 0
                          : (table_->pages_.size() - 1) * kRowsPerPage +
@@ -138,12 +140,12 @@ std::unique_ptr<TableScanIterator> HeapTable::NewScanIterator() const {
 }
 
 uint64_t HeapTable::row_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return live_rows_;
 }
 
 uint64_t HeapTable::ApproximateSizeBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<obs::TimedSharedMutex> lock(mu_);
   return bytes_;
 }
 

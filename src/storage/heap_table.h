@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <shared_mutex>
+
+#include "obs/lock_timer.h"
 #include <vector>
 
 #include "storage/table.h"
@@ -38,7 +40,7 @@ class HeapTable : public Table {
   // Returns the slot or nullptr when id is out of range / deleted.
   const Row* Locate(RowId id) const;
 
-  mutable std::shared_mutex mu_;
+  mutable obs::TimedSharedMutex mu_{"storage.lock_wait_us"};
   std::vector<std::unique_ptr<Page>> pages_;
   uint64_t live_rows_ = 0;
   uint64_t bytes_ = 0;

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "concurrency/epoch.h"
+
 namespace graphbench {
 
 namespace {
@@ -184,6 +186,7 @@ CypherSut::CypherSut(NativeGraphOptions options)
     : graph_(options), engine_(&graph_) {}
 
 Status CypherSut::Load(const snb::Dataset& data) {
+  concurrency::WriteBatch batch;
   GB_RETURN_IF_ERROR(LoadSnbIntoNativeGraph(data, &graph_));
   if (engine_.plan_cache_enabled()) {
     GB_RETURN_IF_ERROR(PrepareStatements());
@@ -224,6 +227,7 @@ std::string CypherSut::StatementText(std::string_view kind) const {
 }
 
 Result<QueryResult> CypherSut::PointLookup(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.point_lookup.valid()) {
     return engine_.Execute(prepared_.point_lookup,
@@ -233,6 +237,7 @@ Result<QueryResult> CypherSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> CypherSut::OneHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.one_hop.valid()) {
     return engine_.Execute(prepared_.one_hop, {{"id", Value(person_id)}});
@@ -241,6 +246,7 @@ Result<QueryResult> CypherSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> CypherSut::TwoHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.two_hop.valid()) {
     return engine_.Execute(prepared_.two_hop, {{"id", Value(person_id)}});
@@ -250,6 +256,7 @@ Result<QueryResult> CypherSut::TwoHop(int64_t person_id) {
 
 Result<int> CypherSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (landmarks_ != nullptr) {
     if (std::optional<int> len =
@@ -270,6 +277,7 @@ Result<int> CypherSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> CypherSut::RecentPosts(int64_t person_id,
                                            int64_t limit) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.recent_posts.valid()) {
     return engine_.Execute(
@@ -283,6 +291,7 @@ Result<QueryResult> CypherSut::RecentPosts(int64_t person_id,
 
 Result<QueryResult> CypherSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
+  concurrency::EpochGuard guard;
   if (prepared_.friends_with_name.valid()) {
     return engine_.Execute(
         prepared_.friends_with_name,
@@ -294,6 +303,7 @@ Result<QueryResult> CypherSut::FriendsWithName(
 }
 
 Result<QueryResult> CypherSut::RepliesOfPost(int64_t post_id) {
+  concurrency::EpochGuard guard;
   if (prepared_.replies_of_post.valid()) {
     return engine_.Execute(prepared_.replies_of_post,
                            {{"id", Value(post_id)}});
@@ -302,6 +312,7 @@ Result<QueryResult> CypherSut::RepliesOfPost(int64_t post_id) {
 }
 
 Result<QueryResult> CypherSut::TopPosters(int64_t limit) {
+  concurrency::EpochGuard guard;
   if (prepared_.top_posters.valid()) {
     return engine_.Execute(prepared_.top_posters,
                            {{"limit", Value(limit)}});
@@ -311,6 +322,7 @@ Result<QueryResult> CypherSut::TopPosters(int64_t limit) {
 }
 
 Status CypherSut::Apply(const snb::UpdateOp& op) {
+  concurrency::WriteBatch batch;
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {

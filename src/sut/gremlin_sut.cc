@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "concurrency/epoch.h"
 #include "engines/native/native_graph.h"
 #include "engines/titan/titan_graph.h"
 #include "obs/profiler.h"
@@ -239,6 +240,7 @@ Status GremlinSut::LoadEdges(const snb::Dataset& data, size_t shard,
 }
 
 Status GremlinSut::Load(const snb::Dataset& data) {
+  concurrency::WriteBatch batch;
   GB_RETURN_IF_ERROR(LoadVertices(data, 0, 1));
   GB_RETURN_IF_ERROR(LoadEdges(data, 0, 1));
   if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
@@ -280,6 +282,7 @@ QueryResult GremlinSut::Reshape(std::vector<Value> flat, size_t width,
 }
 
 Result<QueryResult> GremlinSut::PointLookup(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   // buildTraversal / materializeResult are client-side work the server's
   // step profiler cannot see. Both run strictly outside Submit, so they
@@ -300,6 +303,7 @@ Result<QueryResult> GremlinSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> GremlinSut::OneHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   obs::OpTimer build_op("buildTraversal");
   Traversal t;
@@ -316,6 +320,7 @@ Result<QueryResult> GremlinSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   obs::OpTimer build_op("buildTraversal");
   Traversal t;
@@ -336,6 +341,7 @@ Result<QueryResult> GremlinSut::TwoHop(int64_t person_id) {
 
 Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
                                         int64_t to_person) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (landmarks_ != nullptr) {
     if (std::optional<int> len =
@@ -355,6 +361,7 @@ Result<int> GremlinSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> GremlinSut::RecentPosts(int64_t person_id,
                                             int64_t limit) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   obs::OpTimer build_op("buildTraversal");
   Traversal t;
@@ -374,6 +381,7 @@ Result<QueryResult> GremlinSut::RecentPosts(int64_t person_id,
 
 Result<QueryResult> GremlinSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
+  concurrency::EpochGuard guard;
   Traversal t;
   t.V().HasIndexed("Person", "id", Value(person_id))
       .Both("knows")
@@ -385,6 +393,7 @@ Result<QueryResult> GremlinSut::FriendsWithName(
 }
 
 Result<QueryResult> GremlinSut::RepliesOfPost(int64_t post_id) {
+  concurrency::EpochGuard guard;
   Traversal t;
   t.V().HasIndexed("Post", "id", Value(post_id))
       .In("replyOfPost")
@@ -395,6 +404,7 @@ Result<QueryResult> GremlinSut::RepliesOfPost(int64_t post_id) {
 }
 
 Result<QueryResult> GremlinSut::TopPosters(int64_t limit) {
+  concurrency::EpochGuard guard;
   Traversal t;
   t.V("Post").Out("postHasCreator").GroupCount("id", limit);
   GB_ASSIGN_OR_RETURN(std::vector<Value> flat, server_->Submit(t));
@@ -402,6 +412,11 @@ Result<QueryResult> GremlinSut::TopPosters(int64_t limit) {
 }
 
 Status GremlinSut::Apply(const snb::UpdateOp& op) {
+  // No outer WriteBatch here: Submit hands each traversal to a Gremlin
+  // Server worker thread, and a batch pinned to *this* thread would hide
+  // the worker's own (already committed) mutations from the follow-up
+  // traversals of multi-step updates. Each worker-side engine mutation
+  // opens and commits its own batch instead.
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   auto submit = [this](const Traversal& t) {

@@ -51,7 +51,7 @@ class GremlinSut : public Sut {
 
   /// Turns on the Gremlin Server's bytecode→traversal cache by recreating
   /// the server with a non-zero cache capacity. Call before Load (the
-  /// factory form MakeSut(kind, plan_cache) does); recreating the server
+  /// factory form MakeSut(kind, SutOptions) does); recreating the server
   /// drops any in-flight requests, so never call it mid-workload.
   void EnablePlanCache() override {
     options_.plan_cache_capacity = lang::kDefaultPlanCacheCapacity;

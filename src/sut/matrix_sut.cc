@@ -3,33 +3,40 @@
 #include <optional>
 #include <utility>
 
+#include "concurrency/epoch.h"
+
 namespace graphbench {
 
 MatrixSut::MatrixSut(MatrixEngineOptions options) : engine_(options) {}
 
 Status MatrixSut::Load(const snb::Dataset& data) {
+  concurrency::WriteBatch batch;
   GB_RETURN_IF_ERROR(engine_.Load(data));
   if (landmarks_ != nullptr) SeedLandmarkIndex(data, landmarks_.get());
   return Status::OK();
 }
 
 Result<QueryResult> MatrixSut::PointLookup(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.PointLookup(person_id);
 }
 
 Result<QueryResult> MatrixSut::OneHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.OneHop(person_id);
 }
 
 Result<QueryResult> MatrixSut::TwoHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.TwoHop(person_id);
 }
 
 Result<int> MatrixSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (landmarks_ != nullptr) {
     if (std::optional<int> len =
@@ -41,27 +48,32 @@ Result<int> MatrixSut::ShortestPathLen(int64_t from_person,
 }
 
 Result<QueryResult> MatrixSut::RecentPosts(int64_t person_id, int64_t limit) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.RecentPosts(person_id, limit);
 }
 
 Result<QueryResult> MatrixSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.FriendsWithName(person_id, first_name);
 }
 
 Result<QueryResult> MatrixSut::RepliesOfPost(int64_t post_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.RepliesOfPost(post_id);
 }
 
 Result<QueryResult> MatrixSut::TopPosters(int64_t limit) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   return engine_.TopPosters(limit);
 }
 
 Status MatrixSut::Apply(const snb::UpdateOp& op) {
+  concurrency::WriteBatch batch;
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   bool knows_changed = false;
   Status st = engine_.Apply(op, &knows_changed);

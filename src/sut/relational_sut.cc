@@ -1,5 +1,7 @@
 #include "sut/relational_sut.h"
 
+#include "concurrency/epoch.h"
+
 namespace graphbench {
 
 namespace {
@@ -157,6 +159,7 @@ Status RelationalSut::CreateSnbSchema(Database* db) {
 }
 
 Status RelationalSut::Load(const snb::Dataset& data) {
+  concurrency::WriteBatch batch;
   GB_RETURN_IF_ERROR(CreateSnbSchema(&db_));
   // Bulk load through the storage API (the vendor bulk loader path).
   for (const auto& p : data.persons) {
@@ -300,6 +303,7 @@ std::string RelationalSut::StatementText(std::string_view kind) const {
 }
 
 Result<QueryResult> RelationalSut::PointLookup(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.point_lookup.valid()) {
     return db_.Execute(prepared_.point_lookup, {Value(person_id)});
@@ -308,6 +312,7 @@ Result<QueryResult> RelationalSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> RelationalSut::OneHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.one_hop.valid()) {
     return db_.Execute(prepared_.one_hop, {Value(person_id)});
@@ -316,6 +321,7 @@ Result<QueryResult> RelationalSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> RelationalSut::TwoHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.two_hop.valid()) {
     return db_.Execute(prepared_.two_hop,
@@ -326,6 +332,7 @@ Result<QueryResult> RelationalSut::TwoHop(int64_t person_id) {
 
 Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
                                            int64_t to_person) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (landmarks_ != nullptr) {
     if (std::optional<int> len =
@@ -346,6 +353,7 @@ Result<int> RelationalSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> RelationalSut::RecentPosts(int64_t person_id,
                                                int64_t limit) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.recent_posts.valid()) {
     // LIMIT ? binds as the second parameter: one plan, any limit.
@@ -358,6 +366,7 @@ Result<QueryResult> RelationalSut::RecentPosts(int64_t person_id,
 
 Result<QueryResult> RelationalSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
+  concurrency::EpochGuard guard;
   if (prepared_.friends_with_name.valid()) {
     return db_.Execute(prepared_.friends_with_name,
                        {Value(person_id), Value(first_name)});
@@ -367,6 +376,7 @@ Result<QueryResult> RelationalSut::FriendsWithName(
 }
 
 Result<QueryResult> RelationalSut::RepliesOfPost(int64_t post_id) {
+  concurrency::EpochGuard guard;
   if (prepared_.replies_of_post.valid()) {
     return db_.Execute(prepared_.replies_of_post, {Value(post_id)});
   }
@@ -374,6 +384,7 @@ Result<QueryResult> RelationalSut::RepliesOfPost(int64_t post_id) {
 }
 
 Result<QueryResult> RelationalSut::TopPosters(int64_t limit) {
+  concurrency::EpochGuard guard;
   if (prepared_.top_posters.valid()) {
     return db_.Execute(prepared_.top_posters, {Value(limit)});
   }
@@ -381,6 +392,7 @@ Result<QueryResult> RelationalSut::TopPosters(int64_t limit) {
 }
 
 Status RelationalSut::Apply(const snb::UpdateOp& op) {
+  concurrency::WriteBatch batch;
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   // One statement text per update kind; the prepared set covers them all,

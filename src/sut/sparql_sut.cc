@@ -1,5 +1,6 @@
 #include "sut/sparql_sut.h"
 
+#include "concurrency/epoch.h"
 #include "util/string_util.h"
 
 namespace graphbench {
@@ -162,6 +163,7 @@ Status SparqlSut::AddLikeTriples(const snb::Like& l) {
 }
 
 Status SparqlSut::Load(const snb::Dataset& data) {
+  concurrency::WriteBatch batch;
   for (const auto& pl : data.places) {
     Term s = Term::Iri(PlaceIri(pl.id));
     GB_RETURN_IF_ERROR(
@@ -240,6 +242,7 @@ std::string SparqlSut::StatementText(std::string_view kind) const {
 }
 
 Result<QueryResult> SparqlSut::PointLookup(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.point_lookup.valid()) {
     return engine_.Execute(prepared_.point_lookup,
@@ -254,6 +257,7 @@ Result<QueryResult> SparqlSut::PointLookup(int64_t person_id) {
 }
 
 Result<QueryResult> SparqlSut::OneHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.one_hop.valid()) {
     return engine_.Execute(prepared_.one_hop,
@@ -267,6 +271,7 @@ Result<QueryResult> SparqlSut::OneHop(int64_t person_id) {
 }
 
 Result<QueryResult> SparqlSut::TwoHop(int64_t person_id) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.two_hop.valid()) {
     return engine_.Execute(prepared_.two_hop,
@@ -281,6 +286,7 @@ Result<QueryResult> SparqlSut::TwoHop(int64_t person_id) {
 
 Result<int> SparqlSut::ShortestPathLen(int64_t from_person,
                                        int64_t to_person) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (landmarks_ != nullptr) {
     if (std::optional<int> len =
@@ -305,6 +311,7 @@ Result<int> SparqlSut::ShortestPathLen(int64_t from_person,
 
 Result<QueryResult> SparqlSut::RecentPosts(int64_t person_id,
                                            int64_t limit) {
+  concurrency::EpochGuard guard;
   obs::ScopedTimer timer(probe_.read_micros(), probe_.reads());
   if (prepared_.recent_posts.valid()) {
     return engine_.Execute(
@@ -322,6 +329,7 @@ Result<QueryResult> SparqlSut::RecentPosts(int64_t person_id,
 
 Result<QueryResult> SparqlSut::FriendsWithName(
     int64_t person_id, const std::string& first_name) {
+  concurrency::EpochGuard guard;
   if (prepared_.friends_with_name.valid()) {
     return engine_.Execute(prepared_.friends_with_name,
                            {{"person_id", Value(person_id)},
@@ -335,6 +343,7 @@ Result<QueryResult> SparqlSut::FriendsWithName(
 }
 
 Result<QueryResult> SparqlSut::RepliesOfPost(int64_t post_id) {
+  concurrency::EpochGuard guard;
   if (prepared_.replies_of_post.valid()) {
     return engine_.Execute(prepared_.replies_of_post,
                            {{"post_id", Value(post_id)}});
@@ -348,6 +357,7 @@ Result<QueryResult> SparqlSut::RepliesOfPost(int64_t post_id) {
 }
 
 Result<QueryResult> SparqlSut::TopPosters(int64_t limit) {
+  concurrency::EpochGuard guard;
   if (prepared_.top_posters.valid()) {
     return engine_.Execute(prepared_.top_posters,
                            {{"limit", Value(limit)}});
@@ -360,6 +370,7 @@ Result<QueryResult> SparqlSut::TopPosters(int64_t limit) {
 }
 
 Status SparqlSut::Apply(const snb::UpdateOp& op) {
+  concurrency::WriteBatch batch;
   obs::ScopedTimer timer(probe_.write_micros(), probe_.writes());
   using K = snb::UpdateOp::Kind;
   switch (op.kind) {

@@ -41,15 +41,6 @@ std::unique_ptr<Sut> MakeSut(SutKind kind, const SutOptions& options) {
   return sut;
 }
 
-std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache) {
-  return MakeSut(kind, SutOptions{.plan_cache = plan_cache});
-}
-
-std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache, bool landmarks) {
-  return MakeSut(kind,
-                 SutOptions{.plan_cache = plan_cache, .landmarks = landmarks});
-}
-
 void SeedLandmarkIndex(const snb::Dataset& data, LandmarkIndex* index) {
   for (const snb::Person& p : data.persons) index->AddPerson(p.id);
   for (const snb::Knows& k : data.knows) index->AddEdge(k.person1, k.person2);

@@ -144,14 +144,6 @@ std::unique_ptr<Sut> MakeSut(SutKind kind, const SutOptions& options);
 /// Creates a fresh, empty SUT of the given kind (no opt-in structures).
 std::unique_ptr<Sut> MakeSut(SutKind kind);
 
-/// Deprecated: use MakeSut(kind, SutOptions{.plan_cache = ...}). Thin shim
-/// kept for existing call sites.
-std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache);
-
-/// Deprecated: use MakeSut(kind, SutOptions{...}). Thin shim kept for
-/// existing call sites.
-std::unique_ptr<Sut> MakeSut(SutKind kind, bool plan_cache, bool landmarks);
-
 /// Creates a SUT selected by configuration name (see ParseSutKind for the
 /// accepted spellings). InvalidArgument for unknown names.
 Result<std::unique_ptr<Sut>> MakeSut(std::string_view name);
