@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "driver/driver.h"
 #include "snb/datagen.h"
+#include "storage/durability.h"
 #include "sut/cypher_sut.h"
 #include "sut/sut.h"
 
@@ -19,19 +20,25 @@ namespace graphbench {
 namespace {
 
 std::unique_ptr<Sut> MakeFig3Sut(SutKind kind, bool plan_cache,
-                                 bool landmarks) {
+                                 bool landmarks,
+                                 const storage::DurabilityOptions& durability) {
   std::unique_ptr<Sut> sut;
   if (kind == SutKind::kNeo4jCypher) {
     // Aggressive checkpointing so the §4.3 write dips land inside the
-    // measurement window at this scale.
+    // measurement window at this scale. With --durable the dip is a real
+    // journal-sync + store-append + fsync instead of the simulated floor.
     NativeGraphOptions options;
     options.checkpoint_interval_writes = 1500;
     options.checkpoint_micros_per_dirty_write = 40;
     options.checkpoint_max_pause_micros = 80000;
+    options.durability = durability;
     sut = std::make_unique<CypherSut>(options);
   } else {
-    sut = MakeSut(kind);
+    SutOptions options;
+    options.durability = durability;
+    sut = MakeSut(kind, options);
   }
+  if (sut == nullptr) return sut;
   if (plan_cache) sut->EnablePlanCache();
   if (landmarks) sut->EnableLandmarks();
   return sut;
@@ -71,6 +78,20 @@ int main(int argc, char** argv) {
       uint64_t(bench::FlagInt(argc, argv, "slowlog_threshold_us", 0));
   bool plan_cache = bench::FlagBool(argc, argv, "plan_cache", false);
   bool landmarks = bench::FlagBool(argc, argv, "landmarks", false);
+  storage::DurabilityOptions durability;
+  durability.enabled = bench::FlagBool(argc, argv, "durable", false);
+  durability.dir =
+      bench::FlagValue(argc, argv, "durable_dir", "fig3_durable");
+  durability.fsync_on_commit =
+      bench::FlagBool(argc, argv, "fsync_on_commit", false);
+  if (durability.enabled) {
+    Status dir_ok =
+        storage::ResolveFileSystem(durability)->CreateDir(durability.dir);
+    if (!dir_ok.ok()) {
+      std::fprintf(stderr, "--durable_dir: %s\n", dir_ok.ToString().c_str());
+      return 2;
+    }
+  }
   std::printf("readers=%zu, window=%lldms (paper: 32 readers on 32 cores; "
               "single-core container measures contention shape)\n\n",
               options.num_readers, (long long)options.run_millis);
@@ -89,6 +110,9 @@ int main(int argc, char** argv) {
                   Json::Int(int64_t(options.slowlog_threshold_micros)));
   report.SetParam("plan_cache", Json::Int(plan_cache ? 1 : 0));
   report.SetParam("landmarks", Json::Int(landmarks ? 1 : 0));
+  report.SetParam("durable", Json::Int(durability.enabled ? 1 : 0));
+  report.SetParam("fsync_on_commit",
+                  Json::Int(durability.fsync_on_commit ? 1 : 0));
 
   struct Timeline {
     std::string name;
@@ -98,7 +122,13 @@ int main(int argc, char** argv) {
 
   mq::Broker broker;
   for (SutKind kind : AllSutKinds()) {
-    std::unique_ptr<Sut> sut = MakeFig3Sut(kind, plan_cache, landmarks);
+    std::unique_ptr<Sut> sut =
+        MakeFig3Sut(kind, plan_cache, landmarks, durability);
+    if (sut == nullptr) {
+      table.AddRow({SutKindName(kind), "durable open error", "", "", "", "",
+                    ""});
+      continue;
+    }
     Status load = sut->Load(data);
     if (!load.ok()) {
       table.AddRow({sut->name(), "load error", load.ToString(), "", "", "",
@@ -150,8 +180,11 @@ int main(int argc, char** argv) {
   table.Print();
 
   std::printf("\nWrite-throughput timelines (one char per %d ms; Neo4j "
-              "shows checkpoint dips, Titan-C drains steadily):\n",
-              int(options.timeline_bucket_millis));
+              "shows checkpoint dips, Titan-C drains steadily) "
+              "[checkpoints: %s]:\n",
+              int(options.timeline_bucket_millis),
+              durability.enabled ? "real fsync stalls (--durable)"
+                                 : "simulated stall floor");
   for (const auto& t : timelines) {
     std::printf("%-20s |%s|\n", t.name.c_str(),
                 Sparkline(t.writes).c_str());

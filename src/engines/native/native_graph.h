@@ -11,6 +11,8 @@
 #include "concurrency/epoch.h"
 #include "concurrency/versioned.h"
 #include "graph/property_graph.h"
+#include "storage/durability.h"
+#include "storage/wal.h"
 
 namespace graphbench {
 
@@ -27,6 +29,12 @@ struct NativeGraphOptions {
   /// serialization work, capped by `max_pause_micros`.
   uint64_t checkpoint_micros_per_dirty_write = 3;
   uint64_t checkpoint_max_pause_micros = 100000;
+  /// Real durability (--durable): every write appends a journal record
+  /// (optionally fsynced per commit), and the checkpoint appends the
+  /// newly serialized records to the store file and fsyncs it instead of
+  /// sleeping the simulated floor — the Figure 3 dips become genuine
+  /// fsync stalls.
+  storage::DurabilityOptions durability;
 };
 
 /// Specialized graph database with native graph storage: the Neo4j analog.
@@ -150,6 +158,9 @@ class NativeGraph : public PropertyGraph {
   Counts WriterCounts() const;
   // Checkpoint bookkeeping; called with write_mu_ held.
   void MaybeCheckpointLocked();
+  // Appends one journal record in durable mode (no-op otherwise); called
+  // with write_mu_ held at the end of each successful write.
+  void JournalLocked(char kind, const std::string& body);
 
   // Serializes records [from_vertex, from_edge) visible at `pin` into
   // `out`.
@@ -177,6 +188,13 @@ class NativeGraph : public PropertyGraph {
   std::string checkpoint_buffer_;
   uint64_t writes_since_checkpoint_ = 0;
   std::atomic<uint64_t> checkpoints_{0};
+
+  // Durable mode (writer-only, under write_mu_): the WAL journal and the
+  // store file the checkpoint appends to. Null when durability is off or
+  // the files failed to open (degrades to the simulated checkpoint).
+  std::unique_ptr<storage::Wal> journal_;
+  std::unique_ptr<storage::File> store_file_;
+  uint64_t store_bytes_written_ = 0;
 };
 
 }  // namespace graphbench

@@ -13,24 +13,56 @@
 #include "obs/profiler.h"
 #include "storage/column_table.h"
 #include "storage/heap_table.h"
+#include "storage/paged_table.h"
 
 namespace graphbench {
 
 Database::Database(StorageMode mode) : mode_(mode) {}
 
+Database::Database(StorageMode mode,
+                   const storage::DurabilityOptions& durability)
+    : mode_(mode), durability_(durability) {
+  if (!durability_.enabled) return;
+  const char* component =
+      mode == StorageMode::kRow ? "rel_row" : "rel_col";
+  auto pager = storage::Pager::Open(
+      storage::ResolveFileSystem(durability_),
+      storage::DbPath(durability_, component),
+      storage::WalPath(durability_, component),
+      storage::ToPagerOptions(durability_));
+  if (pager.ok()) {
+    pager_ = std::move(pager).value();
+  } else {
+    durability_error_ = pager.status();
+  }
+}
+
 Status Database::CreateTable(const TableSchema& schema) {
   std::unique_lock<obs::TimedSharedMutex> lock(catalog_mu_);
+  if (durability_.enabled && !durability_error_.ok()) {
+    return durability_error_;
+  }
   if (tables_.count(schema.name())) {
     return Status::AlreadyExists("table " + schema.name());
   }
   std::unique_ptr<Table> table;
-  if (mode_ == StorageMode::kRow) {
+  if (pager_ != nullptr) {
+    // Durable mode: both layouts persist through the slotted paged table
+    // (the columnar mode keeps its in-memory adjacency accelerator on
+    // top — DESIGN.md §12 discusses the deviation).
+    GB_ASSIGN_OR_RETURN(table, PagedTable::Create(pager_.get(), schema));
+  } else if (mode_ == StorageMode::kRow) {
     table = std::make_unique<HeapTable>(schema);
   } else {
     table = std::make_unique<ColumnTable>(schema);
   }
   tables_.emplace(schema.name(), std::move(table));
   return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (pager_ == nullptr) return Status::OK();
+  return pager_->Checkpoint();
 }
 
 Status Database::CreateIndex(std::string_view table, std::string_view column,

@@ -13,6 +13,7 @@
 #include "engines/relational/query_result.h"
 #include "lang/plan_cache.h"
 #include "lang/sql/ast.h"
+#include "storage/durability.h"
 #include "storage/hash_index.h"
 #include "storage/table.h"
 #include "storage/table_schema.h"
@@ -37,6 +38,11 @@ enum class StorageMode {
 class Database {
  public:
   explicit Database(StorageMode mode);
+  /// Durable variant: tables are PagedTable over a shared pager/WAL in
+  /// `durability.dir` (one db file per Database). Open failures are
+  /// deferred to the first CreateTable. With durability disabled this is
+  /// identical to Database(mode).
+  Database(StorageMode mode, const storage::DurabilityOptions& durability);
 
   Status CreateTable(const TableSchema& schema);
   /// Index on `column` of `table`; vertex-id columns per the paper's rule.
@@ -102,6 +108,11 @@ class Database {
   StorageMode mode() const { return mode_; }
   uint64_t TotalSizeBytes() const;
 
+  bool durable() const { return pager_ != nullptr; }
+  storage::Pager* pager() { return pager_.get(); }
+  /// Durable mode: flush + publish + WAL reset (no-op otherwise).
+  Status Checkpoint();
+
   /// Unweighted shortest-path length between application-level vertex ids
   /// over the registered edge table (undirected). -1 if unreachable.
   /// Public so tests can exercise both code paths directly.
@@ -158,6 +169,9 @@ class Database {
                                      const Value& to) const;
 
   StorageMode mode_;
+  storage::DurabilityOptions durability_;
+  std::unique_ptr<storage::Pager> pager_;
+  Status durability_error_;  // deferred pager-open failure
   mutable obs::TimedSharedMutex catalog_mu_{"relational.lock_wait_us"};
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   // "table.column" -> index

@@ -1,0 +1,531 @@
+#include "kv/paged_btree_kv.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/page_codec.h"
+
+namespace graphbench {
+
+using storage::GetU16;
+using storage::GetU32;
+using storage::GetU64;
+using storage::kPageDataSize;
+using storage::PageRef;
+using storage::PutU16;
+using storage::PutU32;
+using storage::PutU64;
+using storage::ReadBytes;
+using storage::ReadU16;
+using storage::ReadU32;
+using storage::ReadU64;
+using storage::ReadU8;
+
+namespace {
+
+constexpr uint8_t kLeafNode = 1;
+constexpr uint8_t kInteriorNode = 2;
+constexpr uint8_t kFlagTombstone = 1;
+constexpr uint8_t kFlagOverflow = 2;
+constexpr uint64_t kMetaMagic = 0x5442424247ull;  // "GBBBT"
+constexpr uint64_t kMetaPage = 1;
+// Structural overhead charged per entry, matching BTreeKv's accounting so
+// ApproximateSizeBytes is comparable across the backends.
+constexpr uint64_t kEntryOverhead = 32;
+
+}  // namespace
+
+struct PagedBTreeKv::NodeView {
+  struct Entry {
+    std::string key;
+    std::string value;  // inline leaf value
+    uint64_t child = 0;  // interior child page
+    uint64_t ov_page = 0;
+    uint64_t ov_len = 0;
+    bool tombstone = false;
+    bool overflow = false;
+  };
+
+  uint8_t type = kLeafNode;
+  uint64_t next_leaf = 0;
+  uint64_t leftmost_child = 0;
+  std::vector<Entry> entries;
+
+  size_t SerializedSize() const {
+    size_t size = 12;
+    for (const Entry& e : entries) {
+      if (type == kLeafNode) {
+        size += 1 + 2 + e.key.size();
+        size += e.overflow ? 16 : 4 + e.value.size();
+      } else {
+        size += 2 + e.key.size() + 8;
+      }
+    }
+    return size;
+  }
+
+  void Serialize(char* out) const {
+    std::string buf;
+    buf.reserve(SerializedSize());
+    buf.push_back(char(type));
+    buf.push_back(0);
+    PutU16(&buf, uint16_t(entries.size()));
+    PutU64(&buf, type == kLeafNode ? next_leaf : leftmost_child);
+    for (const Entry& e : entries) {
+      if (type == kLeafNode) {
+        uint8_t flags = (e.tombstone ? kFlagTombstone : 0) |
+                        (e.overflow ? kFlagOverflow : 0);
+        buf.push_back(char(flags));
+        PutU16(&buf, uint16_t(e.key.size()));
+        buf.append(e.key);
+        if (e.overflow) {
+          PutU64(&buf, e.ov_page);
+          PutU64(&buf, e.ov_len);
+        } else {
+          PutU32(&buf, uint32_t(e.value.size()));
+          buf.append(e.value);
+        }
+      } else {
+        PutU16(&buf, uint16_t(e.key.size()));
+        buf.append(e.key);
+        PutU64(&buf, e.child);
+      }
+    }
+    std::memcpy(out, buf.data(), buf.size());
+    // Zero the slack so unchanged tails never show up in commit deltas.
+    if (buf.size() < kPageDataSize) {
+      std::memset(out + buf.size(), 0, kPageDataSize - buf.size());
+    }
+  }
+
+  Status Deserialize(const char* data) {
+    std::string_view cursor(data, kPageDataSize);
+    uint8_t pad;
+    uint16_t nkeys;
+    uint64_t link;
+    if (!ReadU8(&cursor, &type) || !ReadU8(&cursor, &pad) ||
+        !ReadU16(&cursor, &nkeys) || !ReadU64(&cursor, &link) ||
+        (type != kLeafNode && type != kInteriorNode)) {
+      return Status::Corruption("paged_btree: bad node header");
+    }
+    next_leaf = type == kLeafNode ? link : 0;
+    leftmost_child = type == kInteriorNode ? link : 0;
+    entries.clear();
+    entries.reserve(nkeys);
+    for (uint16_t i = 0; i < nkeys; ++i) {
+      Entry e;
+      uint16_t klen;
+      std::string_view bytes;
+      if (type == kLeafNode) {
+        uint8_t flags;
+        if (!ReadU8(&cursor, &flags) || !ReadU16(&cursor, &klen) ||
+            !ReadBytes(&cursor, klen, &bytes)) {
+          return Status::Corruption("paged_btree: bad leaf entry");
+        }
+        e.key.assign(bytes);
+        e.tombstone = flags & kFlagTombstone;
+        e.overflow = flags & kFlagOverflow;
+        if (e.overflow) {
+          if (!ReadU64(&cursor, &e.ov_page) || !ReadU64(&cursor, &e.ov_len)) {
+            return Status::Corruption("paged_btree: bad overflow ref");
+          }
+        } else {
+          uint32_t vlen;
+          if (!ReadU32(&cursor, &vlen) || !ReadBytes(&cursor, vlen, &bytes)) {
+            return Status::Corruption("paged_btree: bad leaf value");
+          }
+          e.value.assign(bytes);
+        }
+      } else {
+        if (!ReadU16(&cursor, &klen) || !ReadBytes(&cursor, klen, &bytes) ||
+            !ReadU64(&cursor, &e.child)) {
+          return Status::Corruption("paged_btree: bad interior entry");
+        }
+        e.key.assign(bytes);
+      }
+      entries.push_back(std::move(e));
+    }
+    return Status::OK();
+  }
+};
+
+struct PagedBTreeKv::DescentStep {
+  uint64_t page_id = 0;
+  // Which child of this interior node the descent took (0 = leftmost).
+  size_t child_index = 0;
+};
+
+PagedBTreeKv::PagedBTreeKv(std::unique_ptr<storage::Pager> pager)
+    : pager_(std::move(pager)) {}
+
+PagedBTreeKv::~PagedBTreeKv() = default;
+
+Result<std::unique_ptr<PagedBTreeKv>> PagedBTreeKv::Open(
+    storage::FileSystem* fs, const std::string& db_path,
+    const std::string& wal_path, const storage::PagerOptions& options) {
+  GB_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
+                      storage::Pager::Open(fs, db_path, wal_path, options));
+  std::unique_ptr<PagedBTreeKv> kv(new PagedBTreeKv(std::move(pager)));
+  if (kv->pager_->page_count() <= kMetaPage) {
+    GB_RETURN_IF_ERROR(kv->InitFresh());
+  } else {
+    GB_RETURN_IF_ERROR(kv->LoadMeta());
+  }
+  return kv;
+}
+
+Status PagedBTreeKv::InitFresh() {
+  pager_->BeginOp();
+  auto meta_or = pager_->Allocate();
+  if (!meta_or.ok()) {
+    pager_->AbortOp();
+    return meta_or.status();
+  }
+  auto root_or = pager_->Allocate();
+  if (!root_or.ok()) {
+    pager_->AbortOp();
+    return root_or.status();
+  }
+  root_page_ = root_or->page_id();
+  first_leaf_ = root_page_;
+  count_ = 0;
+  bytes_ = 0;
+  root_or->MarkDirty();
+  NodeView root;
+  root.type = kLeafNode;
+  root.Serialize(root_or->data());
+  Status s = WriteMetaLocked();
+  if (!s.ok()) {
+    pager_->AbortOp();
+    return s;
+  }
+  return pager_->CommitOp();
+}
+
+Status PagedBTreeKv::LoadMeta() {
+  GB_ASSIGN_OR_RETURN(PageRef meta, pager_->Fetch(kMetaPage));
+  if (GetU64(meta.data()) != kMetaMagic) {
+    return Status::Corruption("paged_btree: bad meta page");
+  }
+  root_page_ = GetU64(meta.data() + 8);
+  first_leaf_ = GetU64(meta.data() + 16);
+  count_ = GetU64(meta.data() + 24);
+  bytes_ = GetU64(meta.data() + 32);
+  return Status::OK();
+}
+
+Status PagedBTreeKv::WriteMetaLocked() {
+  GB_ASSIGN_OR_RETURN(PageRef meta, pager_->Fetch(kMetaPage));
+  meta.MarkDirty();
+  char* p = meta.data();
+  storage::StoreU64(p, kMetaMagic);
+  storage::StoreU64(p + 8, root_page_);
+  storage::StoreU64(p + 16, first_leaf_);
+  storage::StoreU64(p + 24, count_);
+  storage::StoreU64(p + 32, bytes_);
+  return Status::OK();
+}
+
+Status PagedBTreeKv::ReadNode(uint64_t page_id, NodeView* node) const {
+  GB_ASSIGN_OR_RETURN(PageRef ref, pager_->Fetch(page_id));
+  return node->Deserialize(ref.data());
+}
+
+Status PagedBTreeKv::WriteNode(uint64_t page_id, const NodeView& node) {
+  GB_ASSIGN_OR_RETURN(PageRef ref, pager_->Fetch(page_id));
+  ref.MarkDirty();
+  node.Serialize(ref.data());
+  return Status::OK();
+}
+
+Status PagedBTreeKv::DescendToLeaf(std::string_view key,
+                                   std::vector<DescentStep>* path) const {
+  path->clear();
+  uint64_t page_id = root_page_;
+  for (;;) {
+    NodeView node;
+    GB_RETURN_IF_ERROR(ReadNode(page_id, &node));
+    DescentStep step;
+    step.page_id = page_id;
+    if (node.type == kLeafNode) {
+      path->push_back(step);
+      return Status::OK();
+    }
+    // Child 0 holds keys < entries[0].key; child i+1 holds keys >=
+    // entries[i].key.
+    size_t idx = 0;
+    while (idx < node.entries.size() && key >= node.entries[idx].key) ++idx;
+    step.child_index = idx;
+    path->push_back(step);
+    page_id = idx == 0 ? node.leftmost_child : node.entries[idx - 1].child;
+  }
+}
+
+/// Splits over-full nodes bottom-up along `path`. `nodes` holds the
+/// deserialized node for each path step; nodes->back() (the leaf) must
+/// already contain the upsert.
+Status PagedBTreeKv::SplitPathLocked(std::vector<DescentStep>* path,
+                                     std::vector<NodeView>* nodes) {
+  for (size_t level = path->size(); level-- > 0;) {
+    NodeView& node = (*nodes)[level];
+    if (node.SerializedSize() <= kPageDataSize) {
+      GB_RETURN_IF_ERROR(WriteNode((*path)[level].page_id, node));
+      return Status::OK();
+    }
+    size_t mid = node.entries.size() / 2;
+    NodeView right;
+    right.type = node.type;
+    std::string separator;
+    if (node.type == kLeafNode) {
+      right.entries.assign(node.entries.begin() + ptrdiff_t(mid),
+                           node.entries.end());
+      node.entries.resize(mid);
+      separator = right.entries.front().key;
+      right.next_leaf = node.next_leaf;
+    } else {
+      // The middle key moves up; its child becomes the right node's
+      // leftmost.
+      separator = node.entries[mid].key;
+      right.leftmost_child = node.entries[mid].child;
+      right.entries.assign(node.entries.begin() + ptrdiff_t(mid) + 1,
+                           node.entries.end());
+      node.entries.resize(mid);
+    }
+    GB_ASSIGN_OR_RETURN(PageRef right_ref, pager_->Allocate());
+    uint64_t right_id = right_ref.page_id();
+    right_ref.MarkDirty();
+    right.Serialize(right_ref.data());
+    if (node.type == kLeafNode) node.next_leaf = right_id;
+    GB_RETURN_IF_ERROR(WriteNode((*path)[level].page_id, node));
+
+    NodeView::Entry up;
+    up.key = std::move(separator);
+    up.child = right_id;
+    if (level == 0) {
+      // Root split: the tree grows a level.
+      NodeView new_root;
+      new_root.type = kInteriorNode;
+      new_root.leftmost_child = (*path)[level].page_id;
+      new_root.entries.push_back(std::move(up));
+      GB_ASSIGN_OR_RETURN(PageRef root_ref, pager_->Allocate());
+      root_ref.MarkDirty();
+      new_root.Serialize(root_ref.data());
+      root_page_ = root_ref.page_id();
+      return Status::OK();
+    }
+    NodeView& parent = (*nodes)[level - 1];
+    size_t at = (*path)[level - 1].child_index;
+    parent.entries.insert(parent.entries.begin() + ptrdiff_t(at),
+                          std::move(up));
+  }
+  return Status::OK();
+}
+
+Status PagedBTreeKv::MutateLeaf(std::string_view key, std::string_view value,
+                                bool is_delete) {
+  if (key.size() > kMaxKeyBytes) {
+    return Status::InvalidArgument("paged_btree: key too large");
+  }
+  std::vector<DescentStep> path;
+  GB_RETURN_IF_ERROR(DescendToLeaf(key, &path));
+  std::vector<NodeView> nodes(path.size());
+  for (size_t i = 0; i < path.size(); ++i) {
+    GB_RETURN_IF_ERROR(ReadNode(path[i].page_id, &nodes[i]));
+  }
+  NodeView& leaf = nodes.back();
+  auto it = std::lower_bound(
+      leaf.entries.begin(), leaf.entries.end(), key,
+      [](const NodeView::Entry& e, std::string_view k) { return e.key < k; });
+  bool found = it != leaf.entries.end() && it->key == key;
+
+  if (is_delete) {
+    if (!found || it->tombstone) {
+      return Status::NotFound("key not in btree");
+    }
+    bytes_ -= std::min<uint64_t>(
+        bytes_, key.size() + (it->overflow ? it->ov_len : it->value.size()) +
+                    kEntryOverhead);
+    --count_;
+    // Lazy tombstone: the slot stays (and keeps leaves ordered) but reads
+    // skip it. A dropped overflow chain is leaked — no free list
+    // (DESIGN.md §12).
+    it->tombstone = true;
+    it->overflow = false;
+    it->ov_page = it->ov_len = 0;
+    it->value.clear();
+  } else {
+    NodeView::Entry entry;
+    entry.key.assign(key);
+    if (value.size() > kMaxInlineValue) {
+      GB_ASSIGN_OR_RETURN(uint64_t first, storage::WriteOverflowChain(
+                                              pager_.get(), value));
+      entry.overflow = true;
+      entry.ov_page = first;
+      entry.ov_len = value.size();
+    } else {
+      entry.value.assign(value);
+    }
+    if (found) {
+      if (!it->tombstone) {
+        bytes_ -= std::min<uint64_t>(
+            bytes_, key.size() +
+                        (it->overflow ? it->ov_len : it->value.size()) +
+                        kEntryOverhead);
+        --count_;
+      }
+      *it = std::move(entry);
+    } else {
+      leaf.entries.insert(it, std::move(entry));
+    }
+    bytes_ += key.size() + value.size() + kEntryOverhead;
+    ++count_;
+  }
+
+  GB_RETURN_IF_ERROR(SplitPathLocked(&path, &nodes));
+  return WriteMetaLocked();
+}
+
+Status PagedBTreeKv::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<obs::TimedSharedMutex> lock(latch_);
+  pager_->BeginOp();
+  Status s = MutateLeaf(key, value, /*is_delete=*/false);
+  if (!s.ok()) {
+    pager_->AbortOp();
+    // Meta counters may have moved before the failure; re-sync from the
+    // (rolled back) meta page.
+    (void)LoadMeta();
+    return s;
+  }
+  return pager_->CommitOp();
+}
+
+Status PagedBTreeKv::Delete(std::string_view key) {
+  std::unique_lock<obs::TimedSharedMutex> lock(latch_);
+  pager_->BeginOp();
+  Status s = MutateLeaf(key, "", /*is_delete=*/true);
+  if (!s.ok()) {
+    pager_->AbortOp();
+    (void)LoadMeta();
+    return s;
+  }
+  return pager_->CommitOp();
+}
+
+Status PagedBTreeKv::Get(std::string_view key, std::string* value) const {
+  std::shared_lock<obs::TimedSharedMutex> lock(latch_);
+  std::vector<DescentStep> path;
+  GB_RETURN_IF_ERROR(DescendToLeaf(key, &path));
+  NodeView leaf;
+  GB_RETURN_IF_ERROR(ReadNode(path.back().page_id, &leaf));
+  auto it = std::lower_bound(
+      leaf.entries.begin(), leaf.entries.end(), key,
+      [](const NodeView::Entry& e, std::string_view k) { return e.key < k; });
+  if (it == leaf.entries.end() || it->key != key || it->tombstone) {
+    return Status::NotFound("key not in btree");
+  }
+  if (it->overflow) {
+    GB_ASSIGN_OR_RETURN(*value, storage::ReadOverflowChain(
+                                    pager_.get(), it->ov_page, it->ov_len));
+    return Status::OK();
+  }
+  value->assign(it->value);
+  return Status::OK();
+}
+
+Status PagedBTreeKv::ScanPrefix(
+    std::string_view prefix,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  std::shared_lock<obs::TimedSharedMutex> lock(latch_);
+  std::vector<DescentStep> path;
+  GB_RETURN_IF_ERROR(DescendToLeaf(prefix, &path));
+  uint64_t page_id = path.back().page_id;
+  while (page_id != 0) {
+    NodeView leaf;
+    GB_RETURN_IF_ERROR(ReadNode(page_id, &leaf));
+    for (const NodeView::Entry& e : leaf.entries) {
+      if (e.key.size() < prefix.size()) {
+        if (e.key < prefix) continue;
+        return Status::OK();
+      }
+      int cmp = e.key.compare(0, prefix.size(), prefix);
+      if (cmp < 0) continue;
+      if (cmp > 0) return Status::OK();
+      if (e.tombstone) continue;
+      std::string value;
+      if (e.overflow) {
+        GB_ASSIGN_OR_RETURN(value, storage::ReadOverflowChain(
+                                       pager_.get(), e.ov_page, e.ov_len));
+      } else {
+        value = e.value;
+      }
+      out->emplace_back(e.key, std::move(value));
+    }
+    page_id = leaf.next_leaf;
+  }
+  return Status::OK();
+}
+
+uint64_t PagedBTreeKv::Count() const {
+  std::shared_lock<obs::TimedSharedMutex> lock(latch_);
+  return count_;
+}
+
+uint64_t PagedBTreeKv::ApproximateSizeBytes() const {
+  std::shared_lock<obs::TimedSharedMutex> lock(latch_);
+  return bytes_;
+}
+
+/// Snapshot iterator mirroring BTreeKv::Iter: materializes the live
+/// keyspace under the shared latch so iteration never observes a
+/// half-applied structural change.
+class PagedBTreeKv::Iter : public KvIterator {
+ public:
+  explicit Iter(std::vector<std::pair<std::string, std::string>> entries)
+      : entries_(std::move(entries)) {}
+
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(std::string_view target) override {
+    pos_ = size_t(std::lower_bound(entries_.begin(), entries_.end(), target,
+                                   [](const auto& e, std::string_view t) {
+                                     return e.first < t;
+                                   }) -
+                  entries_.begin());
+  }
+  bool Valid() const override { return pos_ < entries_.size(); }
+  void Next() override { ++pos_; }
+  std::string_view key() const override { return entries_[pos_].first; }
+  std::string_view value() const override { return entries_[pos_].second; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t pos_ = 0;
+};
+
+std::unique_ptr<KvIterator> PagedBTreeKv::NewIterator() const {
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::shared_lock<obs::TimedSharedMutex> lock(latch_);
+    uint64_t page_id = first_leaf_;
+    while (page_id != 0) {
+      NodeView leaf;
+      if (!ReadNode(page_id, &leaf).ok()) break;
+      for (const NodeView::Entry& e : leaf.entries) {
+        if (e.tombstone) continue;
+        std::string value;
+        if (e.overflow) {
+          auto v = storage::ReadOverflowChain(pager_.get(), e.ov_page,
+                                              e.ov_len);
+          if (!v.ok()) continue;
+          value = std::move(*v);
+        } else {
+          value = e.value;
+        }
+        entries.emplace_back(e.key, std::move(value));
+      }
+      page_id = leaf.next_leaf;
+    }
+  }
+  return std::make_unique<Iter>(std::move(entries));
+}
+
+}  // namespace graphbench

@@ -1,0 +1,66 @@
+#ifndef GRAPHBENCH_STORAGE_DURABILITY_H_
+#define GRAPHBENCH_STORAGE_DURABILITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "storage/os_file.h"
+#include "storage/pager.h"
+
+namespace graphbench {
+namespace storage {
+
+/// Opt-in durable storage (the --durable flag). Default-constructed =
+/// disabled: every engine keeps its original in-memory substrate and all
+/// existing wiring behaves exactly as before.
+///
+/// When enabled, the SUTs with a natural persistent analog re-seat their
+/// storage on the pager/WAL substrate (DESIGN.md §12): Titan-B on
+/// PagedBTreeKv, Postgres/Virtuoso SQL on PagedTable, and Neo4j-Cypher's
+/// native store appends a WAL journal and fsyncs its store file at
+/// checkpoints (replacing the simulated sleep). The remaining SUTs model
+/// systems benchmarked memory-resident and stay in-memory.
+struct DurabilityOptions {
+  bool enabled = false;
+  /// Directory for db/wal files (required when enabled; must exist).
+  std::string dir;
+  /// Fsync the WAL on every committed op (the paper-faithful durable
+  /// configuration). Off: group durability at checkpoints/evictions only.
+  bool fsync_on_commit = false;
+  /// Auto-checkpoint every N ops (0 = only when the engine asks).
+  uint64_t checkpoint_interval_ops = 0;
+  /// Buffer-pool capacity in pages.
+  size_t cache_pages = 1024;
+  /// File-system override for tests (fault injection / crash simulation);
+  /// null = the real PosixFileSystem.
+  FileSystem* fs = nullptr;
+};
+
+inline FileSystem* ResolveFileSystem(const DurabilityOptions& options) {
+  return options.fs != nullptr ? options.fs : PosixFileSystem::Default();
+}
+
+inline PagerOptions ToPagerOptions(const DurabilityOptions& options) {
+  PagerOptions pager;
+  pager.cache_pages = options.cache_pages;
+  pager.fsync_on_commit = options.fsync_on_commit;
+  pager.checkpoint_interval_ops = options.checkpoint_interval_ops;
+  return pager;
+}
+
+/// Paths for one engine component ("titanb", "rel_row", ...): the db file
+/// and its WAL side file.
+inline std::string DbPath(const DurabilityOptions& options,
+                          std::string_view component) {
+  return options.dir + "/" + std::string(component) + ".db";
+}
+
+inline std::string WalPath(const DurabilityOptions& options,
+                           std::string_view component) {
+  return options.dir + "/" + std::string(component) + ".wal";
+}
+
+}  // namespace storage
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_STORAGE_DURABILITY_H_

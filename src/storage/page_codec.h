@@ -1,0 +1,96 @@
+#ifndef GRAPHBENCH_STORAGE_PAGE_CODEC_H_
+#define GRAPHBENCH_STORAGE_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace graphbench {
+namespace storage {
+
+/// Fixed-width little-endian-native integer packing shared by the WAL,
+/// pager, and paged containers. (Files are not interchanged across
+/// architectures, so native byte order is part of the format.)
+
+inline void PutU16(std::string* dst, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+inline uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// In-place variants for page buffers.
+inline void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void StoreU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+/// Bounds-checked cursor reads for record bodies; false on truncation.
+inline bool ReadU8(std::string_view* src, uint8_t* v) {
+  if (src->size() < 1) return false;
+  *v = uint8_t((*src)[0]);
+  src->remove_prefix(1);
+  return true;
+}
+
+inline bool ReadU16(std::string_view* src, uint16_t* v) {
+  if (src->size() < 2) return false;
+  *v = GetU16(src->data());
+  src->remove_prefix(2);
+  return true;
+}
+
+inline bool ReadU32(std::string_view* src, uint32_t* v) {
+  if (src->size() < 4) return false;
+  *v = GetU32(src->data());
+  src->remove_prefix(4);
+  return true;
+}
+
+inline bool ReadU64(std::string_view* src, uint64_t* v) {
+  if (src->size() < 8) return false;
+  *v = GetU64(src->data());
+  src->remove_prefix(8);
+  return true;
+}
+
+inline bool ReadBytes(std::string_view* src, size_t n, std::string_view* out) {
+  if (src->size() < n) return false;
+  *out = src->substr(0, n);
+  src->remove_prefix(n);
+  return true;
+}
+
+}  // namespace storage
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_STORAGE_PAGE_CODEC_H_

@@ -1,0 +1,569 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "storage/page_codec.h"
+
+namespace graphbench {
+namespace storage {
+
+namespace {
+
+constexpr char kDbMagic[8] = {'G', 'B', 'P', 'A', 'G', 'E', '1', 0};
+constexpr uint32_t kDbVersion = 1;
+// Two header slots inside page 0, written alternately so a torn header
+// write can never destroy the last good copy.
+constexpr uint64_t kHeaderSlotBytes = 44;
+constexpr uint64_t kHeaderSlotOffsets[2] = {0, 2048};
+
+// WAL record types owned by the pager.
+constexpr uint8_t kOpRecord = 1;
+
+// Sub-record tags inside an op record's body.
+constexpr uint8_t kSubImage = 1;  // [page_id u64][kPageDataSize bytes]
+constexpr uint8_t kSubDelta = 2;  // [page_id u64][off u16][len u16][bytes]
+
+struct HeaderSlot {
+  uint64_t generation = 0;
+  uint64_t checkpoint_lsn = 0;
+  uint64_t page_count = 0;
+};
+
+std::string SerializeHeaderSlot(const HeaderSlot& slot) {
+  std::string out(kDbMagic, sizeof(kDbMagic));
+  PutU32(&out, kDbVersion);
+  PutU32(&out, 0);  // reserved
+  PutU64(&out, slot.generation);
+  PutU64(&out, slot.checkpoint_lsn);
+  PutU64(&out, slot.page_count);
+  PutU32(&out, Crc32(out, 0));
+  return out;
+}
+
+bool ParseHeaderSlot(std::string_view buf, HeaderSlot* slot) {
+  if (buf.size() < kHeaderSlotBytes) return false;
+  if (std::memcmp(buf.data(), kDbMagic, sizeof(kDbMagic)) != 0) return false;
+  if (GetU32(buf.data() + 8) != kDbVersion) return false;
+  if (Crc32(buf.substr(0, 40), 0) != GetU32(buf.data() + 40)) return false;
+  slot->generation = GetU64(buf.data() + 16);
+  slot->checkpoint_lsn = GetU64(buf.data() + 24);
+  slot->page_count = GetU64(buf.data() + 32);
+  return true;
+}
+
+uint32_t PageCrc(const char* data_area, uint64_t page_lsn) {
+  return Crc32(std::string_view(data_area, kPageDataSize),
+               uint32_t(page_lsn) ^ uint32_t(page_lsn >> 32));
+}
+
+bool AllZero(std::string_view buf) {
+  for (char c : buf) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t Pager::SaltForGeneration(uint64_t generation) {
+  // Deterministic per-generation salt (SQLite-style): stale records left
+  // behind by a WAL reset that never hit the platter carry the old
+  // generation's CRC seed and fail validation on replay.
+  uint64_t salt = generation * 0x9E3779B97F4A7C15ull;
+  salt ^= salt >> 32;
+  salt ^= 0xD1B54A32D192ED03ull;
+  return salt != 0 ? salt : 1;
+}
+
+void Pager::SealPage(Frame* frame, std::string* out) {
+  out->assign(frame->data, kPageSize);
+  StoreU64(out->data(), frame->page_lsn);
+  StoreU32(out->data() + 8,
+           PageCrc(frame->data + kPageHeaderBytes, frame->page_lsn));
+  StoreU32(out->data() + 12, 0);
+}
+
+Pager::Pager(FileSystem* fs, std::unique_ptr<File> db,
+             const PagerOptions& opts)
+    : fs_(fs), db_(std::move(db)), options_(opts) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  evictions_ = reg.GetCounter("pager.evictions");
+  flushes_ = reg.GetCounter("pager.flushes");
+  checkpoints_ = reg.GetCounter("pager.checkpoints");
+  ops_ = reg.GetCounter("pager.ops");
+  cached_pages_ = reg.GetGauge("pager.cached_pages");
+}
+
+Pager::~Pager() = default;
+
+Result<std::unique_ptr<Pager>> Pager::Open(FileSystem* fs,
+                                           const std::string& db_path,
+                                           const std::string& wal_path,
+                                           const PagerOptions& options) {
+  GB_ASSIGN_OR_RETURN(std::unique_ptr<File> db, fs->Open(db_path));
+  GB_ASSIGN_OR_RETURN(uint64_t size, db->Size());
+  std::unique_ptr<Pager> pager(new Pager(fs, std::move(db), options));
+  std::lock_guard<std::mutex> lock(pager->mu_);
+  if (size == 0) {
+    // Fresh database: publish generation 1, then start its log.
+    GB_RETURN_IF_ERROR(pager->WriteHeaderLocked());
+    GB_RETURN_IF_ERROR(pager->db_->Sync());
+    GB_ASSIGN_OR_RETURN(
+        pager->wal_, Wal::Create(fs, wal_path, SaltForGeneration(1)));
+    return pager;
+  }
+
+  std::string page0;
+  GB_RETURN_IF_ERROR(pager->db_->ReadAt(0, kPageSize, &page0));
+  page0.resize(kPageSize, '\0');
+  HeaderSlot slots[2];
+  bool valid[2];
+  for (int i = 0; i < 2; ++i) {
+    valid[i] = ParseHeaderSlot(
+        std::string_view(page0).substr(kHeaderSlotOffsets[i]), &slots[i]);
+  }
+  int chosen = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (valid[i] &&
+        (chosen < 0 || slots[i].generation > slots[chosen].generation)) {
+      chosen = i;
+    }
+  }
+  if (chosen < 0) {
+    return Status::Corruption("pager: no valid header slot in " + db_path);
+  }
+  pager->generation_ = slots[chosen].generation;
+  pager->checkpoint_lsn_ = slots[chosen].checkpoint_lsn;
+  pager->page_count_ = std::max<uint64_t>(slots[chosen].page_count, 1);
+  // Next header write goes to the slot NOT holding the chosen copy.
+  pager->header_slot_b_next_ = (chosen == 0);
+  GB_RETURN_IF_ERROR(pager->RecoverLocked(wal_path));
+  return pager;
+}
+
+Status Pager::RecoverLocked(const std::string& wal_path) {
+  auto started = std::chrono::steady_clock::now();
+  WalScanResult scan;
+  GB_ASSIGN_OR_RETURN(
+      wal_, Wal::Open(fs_, wal_path, SaltForGeneration(generation_), &scan));
+  for (const WalRecord& record : scan.records) {
+    if (record.type != kOpRecord) continue;
+    std::string_view cursor(record.body);
+    while (!cursor.empty()) {
+      uint8_t tag;
+      uint64_t page_id;
+      if (!ReadU8(&cursor, &tag) || !ReadU64(&cursor, &page_id)) {
+        return Status::Corruption("pager: malformed op sub-record");
+      }
+      if (page_id == 0) {
+        return Status::Corruption("pager: op record touches header page");
+      }
+      page_count_ = std::max(page_count_, page_id + 1);
+      GB_ASSIGN_OR_RETURN(Frame * frame,
+                          FetchLocked(page_id, /*for_recovery=*/true));
+      if (tag == kSubImage) {
+        std::string_view image;
+        if (!ReadBytes(&cursor, kPageDataSize, &image)) {
+          return Status::Corruption("pager: truncated page image");
+        }
+        // Full-page images apply unconditionally: they are the repair
+        // path for pages torn by an interrupted flush.
+        std::memcpy(frame->data + kPageHeaderBytes, image.data(),
+                    kPageDataSize);
+        frame->page_lsn = record.lsn;
+        frame->dirty = true;
+        frame->image_logged = true;
+      } else if (tag == kSubDelta) {
+        uint16_t off, len;
+        std::string_view bytes;
+        if (!ReadU16(&cursor, &off) || !ReadU16(&cursor, &len) ||
+            off + size_t(len) > kPageDataSize ||
+            !ReadBytes(&cursor, len, &bytes)) {
+          return Status::Corruption("pager: truncated page delta");
+        }
+        // LSN-gated so redo is idempotent against pages that were
+        // flushed (and stamped) before the crash.
+        if (record.lsn > frame->page_lsn) {
+          std::memcpy(frame->data + kPageHeaderBytes + off, bytes.data(),
+                      len);
+          frame->page_lsn = record.lsn;
+          frame->dirty = true;
+          frame->image_logged = true;
+        }
+      } else {
+        return Status::Corruption("pager: unknown op sub-record tag");
+      }
+    }
+    ++recovered_records_;
+  }
+  wal_->AdvanceLsn(std::max(checkpoint_lsn_, scan.last_lsn) + 1);
+  recovery_micros_ = uint64_t(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("wal.recovered_records")->Increment(recovered_records_);
+  reg.GetCounter("wal.truncated_bytes")->Increment(scan.truncated_bytes);
+  reg.GetGauge("pager.recovery_ms")->Set(int64_t(recovery_micros_ / 1000));
+  return Status::OK();
+}
+
+Result<Pager::Frame*> Pager::FetchLocked(uint64_t page_id,
+                                         bool for_recovery) {
+  if (page_id == 0) {
+    return Status::InvalidArgument("pager: page 0 is the header page");
+  }
+  if (!for_recovery && page_id >= page_count_) {
+    return Status::InvalidArgument("pager: page id out of range");
+  }
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) return it->second.get();
+
+  GB_RETURN_IF_ERROR(EvictIfNeededLocked());
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  std::memset(frame->data, 0, kPageSize);
+
+  std::string buf;
+  GB_RETURN_IF_ERROR(db_->ReadAt(page_id * kPageSize, kPageSize, &buf));
+  if (buf.size() == kPageSize) {
+    uint64_t page_lsn = GetU64(buf.data());
+    uint32_t stored_crc = GetU32(buf.data() + 8);
+    bool ok;
+    if (page_lsn == 0 && stored_crc == 0) {
+      // Never-sealed page: valid only when actually all zeros.
+      ok = AllZero(buf);
+    } else {
+      ok = PageCrc(buf.data() + kPageHeaderBytes, page_lsn) == stored_crc;
+    }
+    if (ok) {
+      std::memcpy(frame->data, buf.data(), kPageSize);
+      frame->page_lsn = page_lsn;
+    } else if (!for_recovery) {
+      return Status::Corruption("pager: checksum mismatch on page " +
+                                std::to_string(page_id));
+    }
+    // During recovery a torn page stays zeroed; the WAL's full-page
+    // image for it (guaranteed by first-touch image logging) repairs it.
+  }
+  // Short read: page allocated but never flushed — virgin zeros.
+
+  Frame* raw = frame.get();
+  frames_.emplace(page_id, std::move(frame));
+  cached_pages_->Set(int64_t(frames_.size()));
+  return raw;
+}
+
+Status Pager::FlushFrameLocked(Frame* frame) {
+  // WAL rule: the log covering this page's last mutation must be durable
+  // before the page itself is written in place.
+  GB_RETURN_IF_ERROR(wal_->SyncTo(frame->page_lsn));
+  std::string sealed;
+  SealPage(frame, &sealed);
+  GB_RETURN_IF_ERROR(db_->WriteAt(frame->page_id * kPageSize, sealed));
+  frame->dirty = false;
+  flushes_->Increment();
+  return Status::OK();
+}
+
+Status Pager::EvictIfNeededLocked() {
+  while (frames_.size() >= options_.cache_pages && !lru_.empty()) {
+    uint64_t victim_id = lru_.back();
+    auto it = frames_.find(victim_id);
+    Frame* victim = it->second.get();
+    if (victim->dirty) GB_RETURN_IF_ERROR(FlushFrameLocked(victim));
+    lru_.pop_back();
+    frames_.erase(it);
+    evictions_->Increment();
+  }
+  cached_pages_->Set(int64_t(frames_.size()));
+  return Status::OK();
+}
+
+Status Pager::WriteHeaderLocked() {
+  HeaderSlot slot;
+  slot.generation = generation_;
+  slot.checkpoint_lsn = checkpoint_lsn_;
+  slot.page_count = page_count_;
+  uint64_t offset = kHeaderSlotOffsets[header_slot_b_next_ ? 1 : 0];
+  GB_RETURN_IF_ERROR(db_->WriteAt(offset, SerializeHeaderSlot(slot)));
+  header_slot_b_next_ = !header_slot_b_next_;
+  return Status::OK();
+}
+
+void Pager::PinLocked(Frame* frame) {
+  ++frame->pins;
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+  }
+}
+
+void Pager::UnpinLocked(Frame* frame) {
+  --frame->pins;
+  if (frame->pins == 0 && !frame->in_lru) {
+    lru_.push_front(frame->page_id);
+    frame->lru_pos = lru_.begin();
+    frame->in_lru = true;
+  }
+}
+
+void Pager::Unpin(void* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  UnpinLocked(static_cast<Frame*>(frame));
+}
+
+Result<PageRef> Pager::Fetch(uint64_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GB_ASSIGN_OR_RETURN(Frame * frame,
+                      FetchLocked(page_id, /*for_recovery=*/false));
+  PinLocked(frame);
+  return PageRef(this, frame, page_id);
+}
+
+Result<PageRef> Pager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GB_RETURN_IF_ERROR(EvictIfNeededLocked());
+  uint64_t page_id = page_count_++;
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  std::memset(frame->data, 0, kPageSize);
+  Frame* raw = frame.get();
+  frames_.emplace(page_id, std::move(frame));
+  cached_pages_->Set(int64_t(frames_.size()));
+  PinLocked(raw);
+  return PageRef(this, raw, page_id);
+}
+
+uint64_t Pager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+void Pager::BeginOp() {
+  op_mu_.lock();
+  in_op_ = true;
+}
+
+void Pager::MarkDirtyFrame(void* frame_ptr) {
+  Frame* frame = static_cast<Frame*>(frame_ptr);
+  if (!in_op_ || frame->touched_in_op) return;
+  frame->pre_image.assign(frame->data + kPageHeaderBytes, kPageDataSize);
+  frame->touched_in_op = true;
+  op_frames_[frame->page_id] = frame;
+  // Op pin: the frame must survive (unevicted) until Commit/AbortOp even
+  // if the caller drops its PageRef early.
+  std::lock_guard<std::mutex> lock(mu_);
+  PinLocked(frame);
+}
+
+Status Pager::CommitOp() {
+  if (degraded_) {
+    AbortOp();
+    return Status::Internal(
+        "pager: degraded after failed checkpoint; commits refused");
+  }
+  std::string body;
+  std::vector<Frame*> changed;
+  std::vector<Frame*> imaged;
+  for (auto& [page_id, frame] : op_frames_) {
+    const char* now = frame->data + kPageHeaderBytes;
+    const std::string& was = frame->pre_image;
+    if (std::memcmp(now, was.data(), kPageDataSize) == 0) {
+      continue;  // touched but unchanged: nothing to log
+    }
+    if (!frame->image_logged) {
+      // First touch this WAL generation: log the full image so a flush
+      // torn mid-page is repairable on replay.
+      body.push_back(char(kSubImage));
+      PutU64(&body, page_id);
+      body.append(now, kPageDataSize);
+      imaged.push_back(frame);
+    } else {
+      size_t first = 0;
+      while (first < kPageDataSize && now[first] == was[first]) ++first;
+      size_t last = kPageDataSize;
+      while (last > first && now[last - 1] == was[last - 1]) --last;
+      body.push_back(char(kSubDelta));
+      PutU64(&body, page_id);
+      PutU16(&body, uint16_t(first));
+      PutU16(&body, uint16_t(last - first));
+      body.append(now + first, last - first);
+    }
+    changed.push_back(frame);
+  }
+
+  auto cleanup = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [page_id, frame] : op_frames_) {
+      frame->touched_in_op = false;
+      frame->pre_image.clear();
+      frame->pre_image.shrink_to_fit();
+      UnpinLocked(frame);
+    }
+    op_frames_.clear();
+    in_op_ = false;
+  };
+
+  if (body.empty()) {
+    cleanup();
+    op_mu_.unlock();
+    ops_->Increment();
+    return Status::OK();
+  }
+
+  Result<uint64_t> lsn = wal_->Append(kOpRecord, body);
+  if (!lsn.ok()) {
+    // Nothing reached the log: roll back in memory so no un-logged
+    // mutation can ever be flushed without WAL coverage.
+    AbortOp();
+    return lsn.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Frame* frame : changed) {
+      frame->page_lsn = *lsn;
+      frame->dirty = true;
+    }
+    for (Frame* frame : imaged) frame->image_logged = true;
+  }
+  Status sync_status = Status::OK();
+  if (options_.fsync_on_commit) {
+    // On failure the record is appended but not durable: commit-unknown.
+    // In-memory state stands (it is WAL-covered); the caller must report
+    // the op failed.
+    sync_status = wal_->Sync();
+  }
+  cleanup();
+  op_mu_.unlock();
+  ops_->Increment();
+  GB_RETURN_IF_ERROR(sync_status);
+
+  if (options_.checkpoint_interval_ops > 0 &&
+      ++ops_since_checkpoint_ >= options_.checkpoint_interval_ops) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+void Pager::AbortOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [page_id, frame] : op_frames_) {
+    std::memcpy(frame->data + kPageHeaderBytes, frame->pre_image.data(),
+                kPageDataSize);
+    frame->touched_in_op = false;
+    frame->pre_image.clear();
+    frame->pre_image.shrink_to_fit();
+    UnpinLocked(frame);
+  }
+  op_frames_.clear();
+  in_op_ = false;
+  op_mu_.unlock();
+}
+
+Status Pager::Checkpoint() {
+  // op_mu_ first (the global lock order): no op may be mid-flight, or a
+  // flush could write uncommitted — hence un-logged — bytes in place.
+  std::lock_guard<std::mutex> op_lock(op_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  GB_RETURN_IF_ERROR(wal_->Sync());
+  for (auto& [page_id, frame] : frames_) {
+    if (frame->dirty) GB_RETURN_IF_ERROR(FlushFrameLocked(frame.get()));
+  }
+  GB_RETURN_IF_ERROR(db_->Sync());
+  checkpoint_lsn_ = wal_->next_lsn() - 1;
+  ++generation_;
+  GB_RETURN_IF_ERROR(WriteHeaderLocked());
+  GB_RETURN_IF_ERROR(db_->Sync());
+  // Header published: from here the old log is dead. If the reset fails
+  // we must refuse further commits — their records would land in a log
+  // the published generation cannot replay.
+  Status reset = wal_->ResetForCheckpoint(SaltForGeneration(generation_));
+  if (!reset.ok()) {
+    degraded_ = true;
+    return reset;
+  }
+  for (auto& [page_id, frame] : frames_) frame->image_logged = false;
+  ops_since_checkpoint_ = 0;
+  ++checkpoints_taken_;
+  checkpoints_->Increment();
+  return Status::OK();
+}
+
+// --- PageRef --------------------------------------------------------------
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (pager_ != nullptr) pager_->Unpin(frame_);
+    pager_ = other.pager_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pager_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() {
+  if (pager_ != nullptr) pager_->Unpin(frame_);
+}
+
+char* PageRef::data() {
+  return static_cast<Pager::Frame*>(frame_)->data + kPageHeaderBytes;
+}
+
+const char* PageRef::data() const {
+  return static_cast<Pager::Frame*>(frame_)->data + kPageHeaderBytes;
+}
+
+void PageRef::MarkDirty() { pager_->MarkDirtyFrame(frame_); }
+
+// --- Overflow chains ------------------------------------------------------
+
+namespace {
+constexpr size_t kOverflowPayload = kPageDataSize - 8;
+}  // namespace
+
+Result<uint64_t> WriteOverflowChain(Pager* pager, std::string_view data) {
+  size_t pages = std::max<size_t>(1, (data.size() + kOverflowPayload - 1) /
+                                         kOverflowPayload);
+  std::vector<PageRef> refs;
+  refs.reserve(pages);
+  for (size_t i = 0; i < pages; ++i) {
+    GB_ASSIGN_OR_RETURN(PageRef ref, pager->Allocate());
+    refs.push_back(std::move(ref));
+  }
+  for (size_t i = 0; i < pages; ++i) {
+    refs[i].MarkDirty();
+    uint64_t next = (i + 1 < pages) ? refs[i + 1].page_id() : 0;
+    StoreU64(refs[i].data(), next);
+    size_t off = i * kOverflowPayload;
+    size_t len = std::min(kOverflowPayload, data.size() - off);
+    if (len > 0) std::memcpy(refs[i].data() + 8, data.data() + off, len);
+  }
+  return refs[0].page_id();
+}
+
+Result<std::string> ReadOverflowChain(Pager* pager, uint64_t first_page,
+                                      uint64_t total_len) {
+  std::string out;
+  out.reserve(total_len);
+  uint64_t page_id = first_page;
+  while (out.size() < total_len) {
+    if (page_id == 0) {
+      return Status::Corruption("pager: overflow chain ended early");
+    }
+    GB_ASSIGN_OR_RETURN(PageRef ref, pager->Fetch(page_id));
+    size_t len =
+        std::min<uint64_t>(kOverflowPayload, total_len - out.size());
+    out.append(ref.data() + 8, len);
+    page_id = GetU64(ref.data());
+  }
+  return out;
+}
+
+}  // namespace storage
+}  // namespace graphbench

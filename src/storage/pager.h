@@ -1,0 +1,209 @@
+#ifndef GRAPHBENCH_STORAGE_PAGER_H_
+#define GRAPHBENCH_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "storage/os_file.h"
+#include "storage/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphbench {
+namespace storage {
+
+/// Fixed page geometry. Every page carries a 16-byte header (LSN +
+/// checksum) maintained by the pager; clients see only the data area.
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderBytes = 16;
+inline constexpr size_t kPageDataSize = kPageSize - kPageHeaderBytes;
+
+struct PagerOptions {
+  /// Buffer-pool capacity in pages; beyond it, LRU eviction (dirty
+  /// victims are flushed under the WAL rule first).
+  size_t cache_pages = 256;
+  /// Group-fsync the WAL on every CommitOp (fsync-per-commit durability).
+  /// Off: commits are durable only at the next Sync/flush/checkpoint —
+  /// the cheaper, lose-a-tail-on-crash configuration.
+  bool fsync_on_commit = false;
+  /// Take a checkpoint automatically every N committed ops (0 = manual).
+  uint64_t checkpoint_interval_ops = 0;
+};
+
+class Pager;
+
+/// Pinned page handle. The frame cannot be evicted while a PageRef to it
+/// is live. Call MarkDirty() before the first mutation inside an op so
+/// the pager can snapshot the pre-image for physiological logging.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  bool valid() const { return pager_ != nullptr; }
+  uint64_t page_id() const { return page_id_; }
+  /// The kPageDataSize-byte client data area.
+  char* data();
+  const char* data() const;
+  /// Snapshots the pre-image into the current op (first call per op) and
+  /// marks the page as touched. Must be called inside BeginOp/CommitOp
+  /// and before mutating data().
+  void MarkDirty();
+
+ private:
+  friend class Pager;
+  PageRef(Pager* pager, void* frame, uint64_t page_id)
+      : pager_(pager), frame_(frame), page_id_(page_id) {}
+
+  Pager* pager_ = nullptr;
+  void* frame_ = nullptr;
+  uint64_t page_id_ = 0;
+};
+
+/// Buffer-pool pager with a write-ahead log: the durable substrate under
+/// PagedBTreeKv, PagedTable, and the native store's journal (DESIGN.md
+/// §12).
+///
+/// Mutations happen in ops: BeginOp, fetch + MarkDirty + mutate pages,
+/// CommitOp. Commit emits ONE WAL record containing a physiological
+/// sub-record per touched page — the full page image on the first touch
+/// after a checkpoint (the full-page-write that makes torn db-file pages
+/// recoverable), a byte-range delta afterwards — so a torn WAL tail
+/// drops whole ops, never half of one.
+///
+/// Checkpoint flushes all dirty pages, fsyncs the db file, publishes a
+/// new header generation, and resets the WAL under the generation's
+/// salt. Recovery picks the newer valid header copy, replays the WAL's
+/// valid prefix (LSN-gated, so redo is idempotent), and truncates the
+/// torn tail.
+class Pager {
+ public:
+  static Result<std::unique_ptr<Pager>> Open(FileSystem* fs,
+                                             const std::string& db_path,
+                                             const std::string& wal_path,
+                                             const PagerOptions& options);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Pins page `page_id` (loading and checksum-validating it on a miss).
+  Result<PageRef> Fetch(uint64_t page_id);
+
+  /// Allocates the next page id (zeroed), pinned. Call inside an op and
+  /// MarkDirty before writing.
+  Result<PageRef> Allocate();
+
+  /// Pages in the file, header page included (page ids are < this).
+  uint64_t page_count() const;
+
+  // --- Op lifecycle (single writer at a time; BeginOp serializes) -------
+  void BeginOp();
+  /// Logs the op's page changes as one WAL record, stamps touched pages
+  /// with its LSN, and group-fsyncs when fsync_on_commit. On a WAL error
+  /// the in-memory changes stand but the op must be reported failed
+  /// (commit-unknown: it may or may not survive a crash).
+  Status CommitOp();
+  /// Restores pre-images of every page touched since BeginOp (for
+  /// validation failures before any logging).
+  void AbortOp();
+
+  /// Flush-all + db fsync + header publish + WAL reset.
+  Status Checkpoint();
+
+  Wal* wal() { return wal_.get(); }
+  const PagerOptions& options() const { return options_; }
+
+  /// Stats from the Open-time recovery pass (also exported as obs
+  /// counters wal.recovered_records / wal.truncated_bytes and the gauge
+  /// pager.recovery_ms).
+  uint64_t recovered_records() const { return recovered_records_; }
+  uint64_t recovery_micros() const { return recovery_micros_; }
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+ private:
+  struct Frame {
+    uint64_t page_id = 0;
+    uint64_t page_lsn = 0;
+    bool dirty = false;
+    /// A full image of this page is already in the current WAL
+    /// generation, so later ops may log deltas.
+    bool image_logged = false;
+    int pins = 0;
+    bool touched_in_op = false;
+    std::string pre_image;  // data-area snapshot at first MarkDirty
+    std::list<uint64_t>::iterator lru_pos;
+    bool in_lru = false;
+    char data[kPageSize];
+  };
+  friend class PageRef;
+
+  Pager(FileSystem* fs, std::unique_ptr<File> db, const PagerOptions& opts);
+
+  static uint64_t SaltForGeneration(uint64_t generation);
+  static void SealPage(Frame* frame, std::string* out);
+
+  Status RecoverLocked(const std::string& wal_path);
+  Result<Frame*> FetchLocked(uint64_t page_id, bool for_recovery);
+  Status FlushFrameLocked(Frame* frame);
+  Status EvictIfNeededLocked();
+  Status WriteHeaderLocked();
+  void PinLocked(Frame* frame);
+  void UnpinLocked(Frame* frame);
+  void Unpin(void* frame);
+  void MarkDirtyFrame(void* frame);
+
+  FileSystem* fs_;
+  std::unique_ptr<File> db_;
+  std::unique_ptr<Wal> wal_;
+  PagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
+  std::list<uint64_t> lru_;  // front = most recent; only unpinned pages
+  uint64_t page_count_ = 1;  // page 0 is the header
+  uint64_t generation_ = 1;
+  uint64_t checkpoint_lsn_ = 0;
+  bool header_slot_b_next_ = false;
+  uint64_t ops_since_checkpoint_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t recovered_records_ = 0;
+  uint64_t recovery_micros_ = 0;
+
+  std::mutex op_mu_;  // held from BeginOp to Commit/AbortOp
+  std::map<uint64_t, Frame*> op_frames_;  // touched pages, id-ordered
+  bool in_op_ = false;
+  /// Set when a checkpoint failed after publishing the new header but
+  /// before resetting the WAL: later appends would land in a log the
+  /// published generation can no longer replay, so commits are refused.
+  bool degraded_ = false;
+
+  obs::Counter* evictions_;
+  obs::Counter* flushes_;
+  obs::Counter* checkpoints_;
+  obs::Counter* ops_;
+  obs::Gauge* cached_pages_;
+};
+
+/// Overflow chains for values that don't fit a page: each overflow page
+/// stores [next u64][payload]. Write inside the current op; returns the
+/// first page id. Freed pages are not reclaimed (no free list — a known
+/// deviation, DESIGN.md §12).
+Result<uint64_t> WriteOverflowChain(Pager* pager, std::string_view data);
+Result<std::string> ReadOverflowChain(Pager* pager, uint64_t first_page,
+                                      uint64_t total_len);
+
+}  // namespace storage
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_STORAGE_PAGER_H_

@@ -1,0 +1,224 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+namespace graphbench {
+namespace storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'B', 'W', 'A', 'L', '1', 0, 0};
+constexpr uint64_t kHeaderBytes = 24;
+// Sanity ceiling on one record's payload; anything larger is treated as
+// torn-tail garbage by the scanner.
+constexpr uint64_t kMaxPayload = uint64_t(1) << 26;
+
+void PutU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+void PutU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+Wal::Wal(std::unique_ptr<File> file, uint64_t salt, uint64_t append_end,
+         uint64_t next_lsn)
+    : file_(std::move(file)),
+      salt_(salt),
+      appended_end_(append_end),
+      synced_end_(append_end),
+      next_lsn_(next_lsn) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  appends_ = reg.GetCounter("wal.appends");
+  log_bytes_ = reg.GetCounter("wal.log_bytes");
+  fsyncs_ = reg.GetCounter("wal.fsyncs");
+  group_commits_ = reg.GetCounter("wal.group_commits");
+}
+
+std::string Wal::SerializeHeader(uint64_t salt) {
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kWalVersion);
+  PutU32(&header, 0);  // reserved
+  PutU64(&header, salt);
+  return header;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Create(FileSystem* fs,
+                                         const std::string& path,
+                                         uint64_t salt) {
+  GB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, fs->Open(path));
+  GB_RETURN_IF_ERROR(file->Truncate(0));
+  GB_RETURN_IF_ERROR(file->Append(SerializeHeader(salt)));
+  GB_RETURN_IF_ERROR(file->Sync());
+  return std::unique_ptr<Wal>(
+      new Wal(std::move(file), salt, kHeaderBytes, /*next_lsn=*/1));
+}
+
+Result<WalScanResult> Wal::Scan(FileSystem* fs, const std::string& path,
+                                uint64_t expected_salt) {
+  WalScanResult result;
+  if (!fs->Exists(path)) return result;
+  GB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, fs->Open(path));
+  GB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string contents;
+  GB_RETURN_IF_ERROR(file->ReadAt(0, size_t(size), &contents));
+
+  if (contents.size() < kHeaderBytes ||
+      std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0 ||
+      GetU32(contents.data() + 8) != kWalVersion ||
+      GetU64(contents.data() + 16) != expected_salt) {
+    result.truncated_bytes = contents.size();
+    return result;  // header_ok stays false: stale or foreign log
+  }
+  result.header_ok = true;
+  result.valid_end = kHeaderBytes;
+
+  const uint32_t crc_seed =
+      uint32_t(expected_salt) ^ uint32_t(expected_salt >> 32);
+  uint64_t off = kHeaderBytes;
+  uint64_t prev_lsn = 0;
+  while (off + 8 <= contents.size()) {
+    uint32_t len = GetU32(contents.data() + off);
+    uint32_t crc = GetU32(contents.data() + off + 4);
+    if (len < 9 || len > kMaxPayload || off + 8 + len > contents.size()) {
+      break;  // torn tail
+    }
+    std::string_view payload(contents.data() + off + 8, len);
+    if (Crc32(payload, crc_seed) != crc) break;  // corrupt record
+    uint64_t lsn = GetU64(payload.data());
+    if (lsn <= prev_lsn) break;  // stale bytes from an older generation
+    WalRecord record;
+    record.lsn = lsn;
+    record.type = uint8_t(payload[8]);
+    record.body.assign(payload.substr(9));
+    result.records.push_back(std::move(record));
+    prev_lsn = lsn;
+    off += 8 + len;
+    result.valid_end = off;
+  }
+  result.last_lsn = prev_lsn;
+  result.truncated_bytes = contents.size() - result.valid_end;
+  return result;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(FileSystem* fs,
+                                       const std::string& path,
+                                       uint64_t salt, WalScanResult* scan) {
+  GB_ASSIGN_OR_RETURN(WalScanResult scanned, Scan(fs, path, salt));
+  if (!scanned.header_ok) {
+    *scan = std::move(scanned);
+    return Create(fs, path, salt);
+  }
+  GB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, fs->Open(path));
+  if (scanned.truncated_bytes > 0) {
+    // Discard the torn tail so the next append can't splice a valid-CRC
+    // record after garbage the scanner already rejected.
+    GB_RETURN_IF_ERROR(file->Truncate(scanned.valid_end));
+    GB_RETURN_IF_ERROR(file->Sync());
+  }
+  uint64_t next_lsn = scanned.last_lsn + 1;
+  uint64_t valid_end = scanned.valid_end;
+  *scan = std::move(scanned);
+  return std::unique_ptr<Wal>(
+      new Wal(std::move(file), salt, valid_end, next_lsn));
+}
+
+Result<uint64_t> Wal::Append(uint8_t type, std::string_view body) {
+  std::string payload;
+  payload.reserve(9 + body.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t lsn = next_lsn_++;
+  PutU64(&payload, lsn);
+  payload.push_back(char(type));
+  payload.append(body);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(&frame, uint32_t(payload.size()));
+  PutU32(&frame, RecordCrc(payload));
+  frame.append(payload);
+  GB_RETURN_IF_ERROR(file_->Append(frame));
+  appended_end_ += frame.size();
+  last_appended_lsn_ = lsn;
+  appends_->Increment();
+  log_bytes_->Increment(frame.size());
+  bytes_logged_ += frame.size();
+  return lsn;
+}
+
+Status Wal::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t target = appended_end_;
+  for (;;) {
+    if (synced_end_ >= target) {
+      // A concurrent leader's fsync already covered our appends.
+      group_commits_->Increment();
+      return Status::OK();
+    }
+    if (!sync_in_flight_) break;
+    sync_cv_.wait(lock);
+  }
+  sync_in_flight_ = true;
+  uint64_t covered_end = appended_end_;
+  uint64_t covered_lsn = last_appended_lsn_;
+  lock.unlock();
+  Status s = file_->Sync();
+  lock.lock();
+  sync_in_flight_ = false;
+  if (s.ok()) {
+    synced_end_ = std::max(synced_end_, covered_end);
+    synced_lsn_ = std::max(synced_lsn_, covered_lsn);
+    fsyncs_->Increment();
+    ++fsync_count_;
+  }
+  sync_cv_.notify_all();
+  return s;
+}
+
+Status Wal::SyncTo(uint64_t lsn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (synced_lsn_ >= lsn) return Status::OK();
+  }
+  return Sync();
+}
+
+Status Wal::ResetForCheckpoint(uint64_t new_salt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GB_RETURN_IF_ERROR(file_->Truncate(0));
+  GB_RETURN_IF_ERROR(file_->Append(SerializeHeader(new_salt)));
+  GB_RETURN_IF_ERROR(file_->Sync());
+  fsyncs_->Increment();
+  ++fsync_count_;
+  salt_ = new_salt;
+  appended_end_ = kHeaderBytes;
+  synced_end_ = kHeaderBytes;
+  // next_lsn_ / synced_lsn_ intentionally keep counting.
+  synced_lsn_ = last_appended_lsn_;
+  return Status::OK();
+}
+
+void Wal::AdvanceLsn(uint64_t next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next > next_lsn_) next_lsn_ = next;
+}
+
+}  // namespace storage
+}  // namespace graphbench

@@ -1,0 +1,146 @@
+#ifndef GRAPHBENCH_STORAGE_WAL_H_
+#define GRAPHBENCH_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/os_file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace graphbench {
+namespace storage {
+
+/// Write-ahead log format version (the header is versioned so future
+/// format changes can refuse old logs instead of misreading them).
+inline constexpr uint32_t kWalVersion = 1;
+
+/// Framed WAL record as seen by Scan/replay. `type` is opaque to the log;
+/// the pager uses it to distinguish page-op records from checkpoint marks.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint8_t type = 0;
+  std::string body;
+};
+
+/// Outcome of scanning a log file front to back.
+struct WalScanResult {
+  /// Every record whose length/CRC/LSN chain validated, in order.
+  std::vector<WalRecord> records;
+  /// File offset one past the last valid record; bytes beyond this are
+  /// the torn tail (or stale garbage) and must be truncated before
+  /// appending resumes.
+  uint64_t valid_end = 0;
+  /// Bytes discarded past valid_end.
+  uint64_t truncated_bytes = 0;
+  uint64_t last_lsn = 0;
+  /// False when the header is missing, from a different version, or from
+  /// a different salt generation (a stale pre-checkpoint log): no records
+  /// are returned and the caller should start a fresh log.
+  bool header_ok = false;
+};
+
+/// Append-only write-ahead log over the File abstraction.
+///
+/// On-disk layout: a 24-byte header (magic, version, salt), then records
+/// framed as [len u32][crc u32][payload], payload = [lsn u64][type u8]
+/// [body]. The CRC covers the payload and is seeded with the salt, so
+/// records from an earlier log generation (left behind by a truncate that
+/// never reached the platter) fail validation instead of replaying.
+///
+/// Appends are cheap buffered writes; Sync() is the group-commit barrier:
+/// concurrent committers ride one fsync — the leader syncs everything
+/// appended so far, followers observing their bytes already covered
+/// return without touching the disk.
+class Wal {
+ public:
+  /// Creates (truncating any prior contents) a fresh log with `salt`.
+  static Result<std::unique_ptr<Wal>> Create(FileSystem* fs,
+                                             const std::string& path,
+                                             uint64_t salt);
+
+  /// Read-only validation scan (the replay half of recovery). Never
+  /// modifies the file.
+  static Result<WalScanResult> Scan(FileSystem* fs, const std::string& path,
+                                    uint64_t expected_salt);
+
+  /// Opens for appending: scans, truncates the torn tail, and positions
+  /// the next append after the last valid record. When the header doesn't
+  /// match `salt` (stale or absent log) the file is reset to a fresh
+  /// header and `*scan` reports no records.
+  static Result<std::unique_ptr<Wal>> Open(FileSystem* fs,
+                                           const std::string& path,
+                                           uint64_t salt,
+                                           WalScanResult* scan);
+
+  /// Appends one record, assigning the next LSN. Not durable until
+  /// Sync().
+  Result<uint64_t> Append(uint8_t type, std::string_view body);
+
+  /// Group-commit fsync barrier covering every append issued before the
+  /// call.
+  Status Sync();
+
+  /// Sync only if `lsn` isn't already durable (the pager's WAL rule on
+  /// page flush).
+  Status SyncTo(uint64_t lsn);
+
+  /// Checkpoint epilogue: truncates to an empty log under `new_salt` and
+  /// syncs the header. LSNs keep counting — they are compared against
+  /// page LSNs stamped in earlier generations.
+  Status ResetForCheckpoint(uint64_t new_salt);
+
+  /// LSN the next Append will be assigned.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Highest LSN known durable.
+  uint64_t synced_lsn() const { return synced_lsn_; }
+  /// Ensures LSNs resume past `next` (recovery hands the checkpoint LSN
+  /// forward so LSNs stay monotonic across generations).
+  void AdvanceLsn(uint64_t next);
+
+  uint64_t size_bytes() const { return appended_end_; }
+
+  /// Per-instance traffic totals (the obs counters aggregate across every
+  /// Wal in the process; benches compare instances).
+  uint64_t fsyncs() const { return fsync_count_; }
+  uint64_t log_bytes() const { return bytes_logged_; }
+
+ private:
+  Wal(std::unique_ptr<File> file, uint64_t salt, uint64_t append_end,
+      uint64_t next_lsn);
+
+  static std::string SerializeHeader(uint64_t salt);
+  uint32_t RecordCrc(std::string_view payload) const {
+    return Crc32(payload, uint32_t(salt_) ^ uint32_t(salt_ >> 32));
+  }
+
+  std::unique_ptr<File> file_;
+  uint64_t salt_;
+
+  std::mutex mu_;
+  std::condition_variable sync_cv_;
+  bool sync_in_flight_ = false;
+  uint64_t appended_end_;    // file offset after the last append
+  uint64_t synced_end_ = 0;  // file offset covered by the last fsync
+  uint64_t next_lsn_;
+  uint64_t synced_lsn_ = 0;
+  uint64_t last_appended_lsn_ = 0;
+  uint64_t fsync_count_ = 0;
+  uint64_t bytes_logged_ = 0;
+
+  obs::Counter* appends_;
+  obs::Counter* log_bytes_;
+  obs::Counter* fsyncs_;
+  obs::Counter* group_commits_;
+};
+
+}  // namespace storage
+}  // namespace graphbench
+
+#endif  // GRAPHBENCH_STORAGE_WAL_H_

@@ -8,6 +8,7 @@
 #include "obs/profiler.h"
 #include "kv/btree_kv.h"
 #include "kv/lsm_kv.h"
+#include "kv/paged_btree_kv.h"
 #include "providers/native_provider.h"
 #include "providers/sqlg_provider.h"
 #include "sut/relational_sut.h"
@@ -585,6 +586,20 @@ std::unique_ptr<GremlinSut> MakeTitanCSut(
 std::unique_ptr<GremlinSut> MakeTitanBSut(
     GremlinServerOptions server_options) {
   return MakeTitanSut(std::make_unique<BTreeKv>(), "Titan-B (Gremlin)",
+                      server_options);
+}
+
+Result<std::unique_ptr<GremlinSut>> MakeTitanBSut(
+    const storage::DurabilityOptions& durability,
+    GremlinServerOptions server_options) {
+  if (!durability.enabled) return MakeTitanBSut(server_options);
+  GB_ASSIGN_OR_RETURN(
+      std::unique_ptr<PagedBTreeKv> backend,
+      PagedBTreeKv::Open(storage::ResolveFileSystem(durability),
+                         storage::DbPath(durability, "titanb"),
+                         storage::WalPath(durability, "titanb"),
+                         storage::ToPagerOptions(durability)));
+  return MakeTitanSut(std::move(backend), "Titan-B (Gremlin)",
                       server_options);
 }
 

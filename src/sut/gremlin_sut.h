@@ -7,6 +7,7 @@
 #include "engines/relational/database.h"
 #include "obs/metrics.h"
 #include "snb/schema.h"
+#include "storage/durability.h"
 #include "sut/sut.h"
 #include "tinkerpop/gremlin_server.h"
 #include "tinkerpop/structure.h"
@@ -108,6 +109,12 @@ std::unique_ptr<GremlinSut> MakeNeo4jGremlinSut(
 std::unique_ptr<GremlinSut> MakeTitanCSut(
     GremlinServerOptions server_options = {});
 std::unique_ptr<GremlinSut> MakeTitanBSut(
+    GremlinServerOptions server_options = {});
+/// Durable Titan-B (--durable): the BerkeleyDB analog backed by
+/// PagedBTreeKv over the pager/WAL substrate. Returns the open error when
+/// the db/wal files cannot be opened or recovered.
+Result<std::unique_ptr<GremlinSut>> MakeTitanBSut(
+    const storage::DurabilityOptions& durability,
     GremlinServerOptions server_options = {});
 std::unique_ptr<GremlinSut> MakeSqlgSut(
     GremlinServerOptions server_options = {});

@@ -71,6 +71,12 @@ RelationalSut::RelationalSut(StorageMode mode)
       db_(mode),
       probe_(mode == StorageMode::kRow ? "postgres" : "virtuoso") {}
 
+RelationalSut::RelationalSut(StorageMode mode,
+                             const storage::DurabilityOptions& durability)
+    : mode_(mode),
+      db_(mode, durability),
+      probe_(mode == StorageMode::kRow ? "postgres" : "virtuoso") {}
+
 Status RelationalSut::CreateSnbSchema(Database* db) {
   using T = Value::Type;
   GB_RETURN_IF_ERROR(db->CreateTable(TableSchema(

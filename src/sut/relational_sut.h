@@ -18,6 +18,11 @@ namespace graphbench {
 class RelationalSut : public Sut {
  public:
   explicit RelationalSut(StorageMode mode);
+  /// Durable variant (--durable): tables persist through the pager/WAL
+  /// substrate. Identical to RelationalSut(mode) when
+  /// `durability.enabled` is false.
+  RelationalSut(StorageMode mode,
+                const storage::DurabilityOptions& durability);
 
   std::string name() const override {
     return mode_ == StorageMode::kRow ? "Postgres (SQL)" : "Virtuoso (SQL)";

@@ -1,5 +1,7 @@
 #include "sut/sut.h"
 
+#include <cstdio>
+
 #include "sut/cypher_sut.h"
 #include "sut/gremlin_sut.h"
 #include "sut/matrix_sut.h"
@@ -33,8 +35,42 @@ std::unique_ptr<Sut> MakeSut(SutKind kind) {
   return nullptr;
 }
 
+namespace {
+
+// Durable variants for the configurations that have a paged analog; the
+// rest fall back to the in-memory factory (documented in DESIGN.md §12).
+std::unique_ptr<Sut> MakeDurableSut(SutKind kind,
+                                    const storage::DurabilityOptions& dur) {
+  switch (kind) {
+    case SutKind::kTitanB: {
+      Result<std::unique_ptr<GremlinSut>> sut = MakeTitanBSut(dur);
+      if (!sut.ok()) {
+        std::fprintf(stderr, "titan-b: durable open failed: %s\n",
+                     sut.status().message().c_str());
+        return nullptr;
+      }
+      return std::move(sut).value();
+    }
+    case SutKind::kPostgresSql:
+      return std::make_unique<RelationalSut>(StorageMode::kRow, dur);
+    case SutKind::kVirtuosoSql:
+      return std::make_unique<RelationalSut>(StorageMode::kColumnar, dur);
+    case SutKind::kNeo4jCypher: {
+      NativeGraphOptions graph_options;
+      graph_options.durability = dur;
+      return std::make_unique<CypherSut>(graph_options);
+    }
+    default:
+      return MakeSut(kind);
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<Sut> MakeSut(SutKind kind, const SutOptions& options) {
-  std::unique_ptr<Sut> sut = MakeSut(kind);
+  std::unique_ptr<Sut> sut = options.durability.enabled
+                                 ? MakeDurableSut(kind, options.durability)
+                                 : MakeSut(kind);
   if (sut == nullptr) return sut;
   if (options.plan_cache) sut->EnablePlanCache();
   if (options.landmarks) sut->EnableLandmarks(options.landmark_options);

@@ -12,6 +12,7 @@
 #include "lang/plan_cache.h"
 #include "obs/profiler.h"
 #include "snb/schema.h"
+#include "storage/durability.h"
 #include "util/result.h"
 
 namespace graphbench {
@@ -135,6 +136,13 @@ struct SutOptions {
   bool landmarks = false;
   /// Tuning for the landmark index; only read when `landmarks` is true.
   LandmarkOptions landmark_options;
+  /// Durable storage (the --durable flag): when `durability.enabled`, the
+  /// SUTs with a paged analog open pager/WAL-backed stores under
+  /// `durability.dir` — Titan-B's BerkeleyDB analog becomes PagedBTreeKv,
+  /// the relational engines put heap/column tables on paged storage, and
+  /// Neo4j-Cypher journals writes and fsyncs real checkpoints. The other
+  /// configurations stay memory-resident (documented in DESIGN.md §12).
+  storage::DurabilityOptions durability;
 };
 
 /// Creates a fresh SUT of the given kind with the selected opt-in read

@@ -7,23 +7,35 @@
 #include "kv/btree_kv.h"
 #include "kv/key_codec.h"
 #include "kv/lsm_kv.h"
+#include "kv/paged_btree_kv.h"
+#include "storage/os_file.h"
 #include "util/random.h"
 
 namespace graphbench {
 namespace {
 
-// Both KV backends must satisfy the same ordered-store contract.
+// Every KV backend — the two in-memory stores and the durable paged
+// B-tree — must satisfy the same ordered-store contract.
 class KvStoreContractTest : public ::testing::TestWithParam<const char*> {
  protected:
   std::unique_ptr<KvStore> Make() const {
     if (std::string(GetParam()) == "btree") {
       return std::make_unique<BTreeKv>(/*fanout=*/8);  // small: force splits
     }
+    if (std::string(GetParam()) == "paged") {
+      storage::PagerOptions opts;
+      opts.cache_pages = 16;  // small: force evictions mid-test
+      auto kv = PagedBTreeKv::Open(&fs_, "kv.db", "kv.wal", opts);
+      EXPECT_TRUE(kv.ok()) << kv.status().ToString();
+      return std::move(kv).value();
+    }
     LsmOptions opts;
     opts.memtable_bytes = 1024;  // small: force flushes/compactions
     opts.max_runs = 3;
     return std::make_unique<LsmKv>(opts);
   }
+
+  mutable storage::MemFileSystem fs_;
 };
 
 TEST_P(KvStoreContractTest, PutGetDelete) {
@@ -126,7 +138,94 @@ TEST_P(KvStoreContractTest, SizeAccountingMovesWithData) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, KvStoreContractTest,
-                         ::testing::Values("btree", "lsm"));
+                         ::testing::Values("btree", "lsm", "paged"));
+
+// Scans must skip tombstoned slots wherever they sit in the leaf chain —
+// the lazy-delete representation is invisible through every read API.
+TEST_P(KvStoreContractTest, ScanAcrossTombstones) {
+  auto kv = Make();
+  for (int i = 0; i < 200; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "p%05d", i);
+    ASSERT_TRUE(kv->Put(buf, std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 200; i += 2) {  // delete every even key
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "p%05d", i);
+    ASSERT_TRUE(kv->Delete(buf).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(kv->ScanPrefix("p", &rows).ok());
+  ASSERT_EQ(rows.size(), 100u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "p%05d", int(2 * i + 1));
+    EXPECT_EQ(rows[i].first, buf);
+  }
+  // The iterator agrees, including across a tombstone-only leaf region.
+  auto it = kv->NewIterator();
+  it->Seek("p00099");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "p00099");
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "p00101");
+  EXPECT_EQ(kv->Count(), 100u);
+}
+
+TEST(PagedBTreeKvTest, ReopenAfterCheckpointRecoversEverything) {
+  storage::MemFileSystem fs;
+  storage::PagerOptions opts;
+  opts.cache_pages = 16;
+  std::map<std::string, std::string> ref;
+  {
+    auto kv = PagedBTreeKv::Open(&fs, "kv.db", "kv.wal", opts);
+    ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+    Rng rng(13);
+    for (int i = 0; i < 800; ++i) {
+      std::string key = "key" + std::to_string(rng.Uniform(300));
+      std::string value = "v" + std::to_string(rng.Next() % 100000);
+      ASSERT_TRUE((*kv)->Put(key, value).ok());
+      ref[key] = value;
+    }
+    ASSERT_TRUE((*kv)->Checkpoint().ok());
+    // Post-checkpoint writes live only in the WAL at reopen time.
+    for (int i = 0; i < 50; ++i) {
+      std::string key = "tail" + std::to_string(i);
+      ASSERT_TRUE((*kv)->Put(key, "after-ckpt").ok());
+      ref[key] = "after-ckpt";
+    }
+    ASSERT_TRUE((*kv)->pager()->wal()->Sync().ok());
+  }
+  auto reopened = PagedBTreeKv::Open(&fs, "kv.db", "kv.wal", opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GT((*reopened)->pager()->recovered_records(), 0u);
+  for (const auto& [k, v] : ref) {
+    std::string got;
+    ASSERT_TRUE((*reopened)->Get(k, &got).ok()) << k;
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ((*reopened)->Count(), ref.size());
+}
+
+TEST(PagedBTreeKvTest, LargeValuesRoundTripThroughOverflowChains) {
+  storage::MemFileSystem fs;
+  storage::PagerOptions opts;
+  opts.cache_pages = 32;
+  auto kv = PagedBTreeKv::Open(&fs, "kv.db", "kv.wal", opts);
+  ASSERT_TRUE(kv.ok());
+  std::string big(3 * 4096 + 57, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = char('a' + i % 26);
+  ASSERT_TRUE((*kv)->Put("big", big).ok());
+  ASSERT_TRUE((*kv)->Put("small", "s").ok());
+  std::string got;
+  ASSERT_TRUE((*kv)->Get("big", &got).ok());
+  EXPECT_EQ(got, big);
+  // Overwrite shrinks it back inline; the old chain must not resurface.
+  ASSERT_TRUE((*kv)->Put("big", "tiny").ok());
+  ASSERT_TRUE((*kv)->Get("big", &got).ok());
+  EXPECT_EQ(got, "tiny");
+}
 
 TEST(BTreeKvTest, ReportsTransactionalIsolation) {
   BTreeKv kv;

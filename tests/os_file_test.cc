@@ -1,0 +1,164 @@
+#include "storage/os_file.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace graphbench {
+namespace storage {
+namespace {
+
+TEST(Crc32Test, KnownVectorsAndSeedChaining) {
+  // CRC-32C of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Different seeds must produce different checksums (the salt property
+  // the WAL's generation rejection relies on).
+  EXPECT_NE(Crc32("payload", 1), Crc32("payload", 2));
+}
+
+TEST(MemFileSystemTest, ReadWriteAppendTruncate) {
+  MemFileSystem fs;
+  auto file = fs.Open("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(0, 64, &out).ok());
+  EXPECT_EQ(out, "hello world");
+  ASSERT_TRUE((*file)->WriteAt(6, "WORLD").ok());
+  ASSERT_TRUE((*file)->ReadAt(6, 5, &out).ok());
+  EXPECT_EQ(out, "WORLD");
+  ASSERT_TRUE((*file)->Truncate(5).ok());
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+  // Reading past EOF is a short read, not an error.
+  ASSERT_TRUE((*file)->ReadAt(100, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MemFileSystemTest, SparseHolesReadAsZeros) {
+  MemFileSystem fs;
+  auto file = fs.Open("f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(10, "x").ok());
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(0, 11, &out).ok());
+  ASSERT_EQ(out.size(), 11u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], '\0');
+  EXPECT_EQ(out[10], 'x');
+}
+
+TEST(MemFileSystemTest, ContentsOutliveHandlesAndCrashKeepsSynced) {
+  MemFileSystem fs;
+  {
+    auto file = fs.Open("f");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("durable").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Append("-pending").ok());
+  }
+  EXPECT_EQ(fs.PendingBytes(), 8u);
+  Rng rng(1);
+  fs.Crash(&rng);
+  EXPECT_EQ(fs.PendingBytes(), 0u);
+  auto file = fs.Open("f");
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(0, 64, &out).ok());
+  // The synced prefix always survives; the pending suffix may or may not.
+  ASSERT_GE(out.size(), 7u);
+  EXPECT_EQ(out.substr(0, 7), "durable");
+}
+
+TEST(MemFileSystemTest, CrashTearsAtSectorBoundaries) {
+  // A large unsynced write must survive only as a 512-aligned prefix (or
+  // fully, or not at all) — never at byte granularity.
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    MemFileSystem fs;
+    auto file = fs.Open("f");
+    ASSERT_TRUE(file.ok());
+    std::string data(4096, 'd');
+    ASSERT_TRUE((*file)->Append(data).ok());
+    Rng rng(seed);
+    fs.Crash(&rng);
+    auto size = (*file)->Size();
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size % kSectorBytes, 0u) << "seed " << seed;
+    EXPECT_LE(*size, data.size());
+  }
+}
+
+TEST(MemFileSystemTest, RemoveAndExists) {
+  MemFileSystem fs;
+  EXPECT_FALSE(fs.Exists("f"));
+  ASSERT_TRUE(fs.Open("f").ok());
+  EXPECT_TRUE(fs.Exists("f"));
+  ASSERT_TRUE(fs.Remove("f").ok());
+  EXPECT_FALSE(fs.Exists("f"));
+  // Directories don't exist in the in-memory namespace; CreateDir accepts
+  // anything so callers can be path-layout agnostic.
+  EXPECT_TRUE(fs.CreateDir("any/dir").ok());
+}
+
+TEST(FaultFileTest, FailsAfterScheduledFsyncCount) {
+  MemFileSystem fs;
+  auto base = fs.Open("f");
+  ASSERT_TRUE(base.ok());
+  FaultOptions opts;
+  opts.fail_after_fsyncs = 2;
+  FaultFile file(std::move(*base), opts);
+  ASSERT_TRUE(file.Append("a").ok());
+  EXPECT_TRUE(file.Sync().ok());   // 1st: ok
+  EXPECT_FALSE(file.Sync().ok());  // 2nd: scheduled failure
+  EXPECT_FALSE(file.Sync().ok());  // and every one after
+  EXPECT_EQ(file.syncs_attempted(), 3u);
+  // The failed fsync left the write pending — at the crash's mercy.
+  EXPECT_EQ(fs.PendingBytes(), 0u);  // first sync covered it
+}
+
+TEST(FaultFileTest, ShortWritePersistsAlignedPrefixAndErrors) {
+  MemFileSystem fs;
+  auto base = fs.Open("f");
+  ASSERT_TRUE(base.ok());
+  FaultOptions opts;
+  opts.short_write_at = 2;
+  FaultFile file(std::move(*base), opts);
+  ASSERT_TRUE(file.Append(std::string(512, 'a')).ok());
+  EXPECT_FALSE(file.Append(std::string(1024, 'b')).ok());  // torn short
+  auto size = file.Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size % kSectorBytes, 0u);
+  EXPECT_LT(*size, 512u + 1024u);
+}
+
+TEST(FaultFileTest, DiskFullAfterByteBudget) {
+  MemFileSystem fs;
+  auto base = fs.Open("f");
+  ASSERT_TRUE(base.ok());
+  FaultOptions opts;
+  opts.fail_after_write_bytes = 100;
+  FaultFile file(std::move(*base), opts);
+  ASSERT_TRUE(file.Append(std::string(100, 'a')).ok());
+  EXPECT_FALSE(file.Append("b").ok());
+}
+
+TEST(FaultFileSystemTest, PathFilterScopesTheFaultSchedule) {
+  MemFileSystem base;
+  FaultOptions opts;
+  opts.fail_after_fsyncs = 1;
+  FaultFileSystem fs(&base, opts, ".wal");
+  auto wal = fs.Open("store.wal");
+  auto db = fs.Open("store.db");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE((*wal)->Sync().ok());  // matches filter: faulted
+  EXPECT_TRUE((*db)->Sync().ok());    // passes through unwrapped
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace graphbench

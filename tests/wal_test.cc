@@ -1,0 +1,213 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "storage/os_file.h"
+#include "util/random.h"
+
+namespace graphbench {
+namespace storage {
+namespace {
+
+// The salt the checked-in golden log (tests/data/wal_v1.golden) was
+// generated with, and the three records it frames.
+constexpr uint64_t kGoldenSalt = 0x0123456789ABCDEF;
+
+std::string ReadGoldenFile() {
+  std::string path = std::string(GRAPHBENCH_TEST_DATA) + "/wal_v1.golden";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string FileContents(MemFileSystem* fs, const std::string& path) {
+  auto file = fs->Open(path);
+  EXPECT_TRUE(file.ok());
+  auto size = (*file)->Size();
+  EXPECT_TRUE(size.ok());
+  std::string out;
+  EXPECT_TRUE((*file)->ReadAt(0, size_t(*size), &out).ok());
+  return out;
+}
+
+void WriteFileContents(MemFileSystem* fs, const std::string& path,
+                       const std::string& contents) {
+  auto file = fs->Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Truncate(0).ok());
+  ASSERT_TRUE((*file)->Append(contents).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+}
+
+// Byte-for-byte format pin: appending the golden record sequence must
+// reproduce the checked-in file exactly. Any encoding change — framing,
+// CRC seed, header layout — trips this before it can silently orphan
+// existing logs.
+TEST(WalGoldenTest, AppendReproducesGoldenBytes) {
+  MemFileSystem fs;
+  auto wal = Wal::Create(&fs, "wal", kGoldenSalt);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_TRUE((*wal)->Append(7, "alpha").ok());
+  ASSERT_TRUE((*wal)->Append(7, "beta-record").ok());
+  ASSERT_TRUE((*wal)->Append(9, "").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+
+  std::string golden = ReadGoldenFile();
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(FileContents(&fs, "wal"), golden);
+}
+
+// The replay half of the round trip: the golden bytes scan back into
+// exactly the records that produced them.
+TEST(WalGoldenTest, GoldenBytesReplayToOriginalRecords) {
+  MemFileSystem fs;
+  WriteFileContents(&fs, "wal", ReadGoldenFile());
+
+  auto scan = Wal::Scan(&fs, "wal", kGoldenSalt);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->header_ok);
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0].lsn, 1u);
+  EXPECT_EQ(scan->records[0].type, 7u);
+  EXPECT_EQ(scan->records[0].body, "alpha");
+  EXPECT_EQ(scan->records[1].lsn, 2u);
+  EXPECT_EQ(scan->records[1].body, "beta-record");
+  EXPECT_EQ(scan->records[2].lsn, 3u);
+  EXPECT_EQ(scan->records[2].type, 9u);
+  EXPECT_EQ(scan->records[2].body, "");
+  EXPECT_EQ(scan->last_lsn, 3u);
+}
+
+// A log stamped with a future format version must be refused whole, not
+// misread record by record.
+TEST(WalGoldenTest, RejectsUnknownVersion) {
+  MemFileSystem fs;
+  std::string bytes = ReadGoldenFile();
+  bytes[8] = char(kWalVersion + 1);  // version field, first byte (LE)
+  WriteFileContents(&fs, "wal", bytes);
+
+  auto scan = Wal::Scan(&fs, "wal", kGoldenSalt);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->header_ok);
+  EXPECT_TRUE(scan->records.empty());
+}
+
+// A salt mismatch means the log belongs to an older checkpoint
+// generation: nothing in it may replay.
+TEST(WalGoldenTest, RejectsStaleSalt) {
+  MemFileSystem fs;
+  WriteFileContents(&fs, "wal", ReadGoldenFile());
+  auto scan = Wal::Scan(&fs, "wal", kGoldenSalt + 1);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->header_ok);
+  EXPECT_TRUE(scan->records.empty());
+}
+
+// Corrupting one byte of a record body invalidates that record's CRC and
+// everything after it, but the prefix still replays.
+TEST(WalGoldenTest, CrcCorruptionCutsScanAtTheBadRecord) {
+  MemFileSystem fs;
+  std::string bytes = ReadGoldenFile();
+  // Record 2's body starts after header(24) + record1 frame(8+14) = 46,
+  // frame header 8, payload lsn+type 9: flip a body byte.
+  size_t body_off = 24 + 22 + 8 + 9 + 2;
+  ASSERT_LT(body_off, bytes.size());
+  bytes[body_off] ^= 0x40;
+  WriteFileContents(&fs, "wal", bytes);
+
+  auto scan = Wal::Scan(&fs, "wal", kGoldenSalt);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->header_ok);
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].body, "alpha");
+  EXPECT_GT(scan->truncated_bytes, 0u);
+}
+
+// Open() truncates a torn tail (a partial append a crash left behind) and
+// resumes LSNs after the last valid record.
+TEST(WalTest, OpenTruncatesTornTailAndResumesAppending) {
+  MemFileSystem fs;
+  std::string bytes = ReadGoldenFile();
+  std::string torn = bytes.substr(0, bytes.size() - 5);
+  WriteFileContents(&fs, "wal", torn);
+
+  WalScanResult scan;
+  auto wal = Wal::Open(&fs, "wal", kGoldenSalt, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_EQ(scan.records.size(), 2u);  // record 3 lost its tail
+  EXPECT_GT(scan.truncated_bytes, 0u);
+
+  auto lsn = (*wal)->Append(7, "resumed");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 3u);  // continues after last valid LSN
+  ASSERT_TRUE((*wal)->Sync().ok());
+
+  auto rescan = Wal::Scan(&fs, "wal", kGoldenSalt);
+  ASSERT_TRUE(rescan.ok());
+  ASSERT_EQ(rescan->records.size(), 3u);
+  EXPECT_EQ(rescan->records[2].body, "resumed");
+}
+
+// ResetForCheckpoint starts a new salt generation; records written under
+// the old salt no longer validate, and LSNs keep counting.
+TEST(WalTest, ResetForCheckpointInvalidatesOldGeneration) {
+  MemFileSystem fs;
+  auto wal = Wal::Create(&fs, "wal", /*salt=*/11);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, "pre-checkpoint").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  ASSERT_TRUE((*wal)->ResetForCheckpoint(/*new_salt=*/12).ok());
+  auto lsn = (*wal)->Append(1, "post-checkpoint");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);  // monotonic across the reset
+  ASSERT_TRUE((*wal)->Sync().ok());
+
+  auto stale = Wal::Scan(&fs, "wal", /*expected_salt=*/11);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->header_ok);
+  auto fresh = Wal::Scan(&fs, "wal", /*expected_salt=*/12);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->records.size(), 1u);
+  EXPECT_EQ(fresh->records[0].body, "post-checkpoint");
+}
+
+// Unsynced appends may be lost or torn by a crash, but the synced prefix
+// always survives and the scan never returns a half-record.
+TEST(WalTest, CrashLosesOnlyUnsyncedSuffix) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    MemFileSystem fs;
+    auto wal = Wal::Create(&fs, "wal", /*salt=*/5);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wal)->Append(1, "synced" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wal)->Append(1, "pending" + std::to_string(i)).ok());
+    }
+    fs.Crash(&rng);
+
+    auto scan = Wal::Scan(&fs, "wal", /*expected_salt=*/5);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_TRUE(scan->header_ok);
+    ASSERT_GE(scan->records.size(), 5u);
+    ASSERT_LE(scan->records.size(), 10u);
+    for (size_t i = 0; i < scan->records.size(); ++i) {
+      EXPECT_EQ(scan->records[i].lsn, i + 1);
+      std::string expect = i < 5 ? "synced" + std::to_string(i)
+                                 : "pending" + std::to_string(i - 5);
+      EXPECT_EQ(scan->records[i].body, expect);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace graphbench
