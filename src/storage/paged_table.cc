@@ -181,17 +181,29 @@ Status PagedTable::LoadMeta(uint64_t meta_page) {
   live_rows_ = GetU64(meta.data() + 16);
   bytes_ = GetU64(meta.data() + 24);
   uint64_t dir = GetU64(meta.data() + 32);
-  slot_pages_.clear();
+  // The chain is newest-dir-page-first (GrowLocked pushes at the head),
+  // but ids within a page are in allocation order. Collect per-page runs
+  // and flatten them oldest-run-first so slot_pages_ matches write-time
+  // order — otherwise RowId / kSlotsPerPage resolves to the wrong page
+  // once the table spans more than one directory page.
+  std::vector<std::vector<uint64_t>> runs;
   while (dir != 0) {
     GB_ASSIGN_OR_RETURN(PageRef page, pager_->Fetch(dir));
     uint32_t count = GetU32(page.data() + 8);
     if (count > kDirCapacity) {
       return Status::Corruption("paged_table: bad directory page");
     }
+    std::vector<uint64_t> run;
+    run.reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
-      slot_pages_.push_back(GetU64(page.data() + kDirHeader + i * 8));
+      run.push_back(GetU64(page.data() + kDirHeader + i * 8));
     }
+    runs.push_back(std::move(run));
     dir = GetU64(page.data());
+  }
+  slot_pages_.clear();
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    slot_pages_.insert(slot_pages_.end(), it->begin(), it->end());
   }
   return Status::OK();
 }
@@ -215,8 +227,9 @@ Status PagedTable::GrowLocked() {
   uint64_t slots_id = slots.page_id();
 
   // Append to the directory chain: new dir pages are pushed at the head
-  // so we never walk the chain on the write path; LoadMeta re-walks it
-  // in chain order and reverses per-page runs below.
+  // so we never walk the chain on the write path; LoadMeta walks the
+  // chain newest-first and reverses the run order to recover allocation
+  // order.
   GB_ASSIGN_OR_RETURN(PageRef meta, pager_->Fetch(meta_page_));
   uint64_t head = GetU64(meta.data() + 32);
   if (head != 0) {

@@ -409,16 +409,27 @@ Status Pager::CommitOp() {
   };
 
   if (body.empty()) {
+    // Nothing new to log, but the durability contract still applies: the
+    // bytes this op "wrote" may have been put there by an earlier
+    // commit-unknown op whose record is still unsynced, and acking now
+    // without an fsync would report data durable that is not. Sync
+    // short-circuits when the log is already covered, so the common case
+    // stays fsync-free.
+    Status sync_status =
+        options_.fsync_on_commit ? wal_->Sync() : Status::OK();
     cleanup();
     op_mu_.unlock();
     ops_->Increment();
-    return Status::OK();
+    return sync_status;
   }
 
   Result<uint64_t> lsn = wal_->Append(kOpRecord, body);
   if (!lsn.ok()) {
-    // Nothing reached the log: roll back in memory so no un-logged
-    // mutation can ever be flushed without WAL coverage.
+    // The record is not in the log's valid prefix (a short write may
+    // have persisted a partial frame, but the next append overwrites it
+    // and the scanner rejects it as a torn tail meanwhile): roll back in
+    // memory so no un-logged mutation can ever be flushed without WAL
+    // coverage.
     AbortOp();
     return lsn.status();
   }
@@ -438,14 +449,16 @@ Status Pager::CommitOp() {
     sync_status = wal_->Sync();
   }
   cleanup();
+  // Counted (and the checkpoint decision made) while op_mu_ is still
+  // held: concurrent committers would otherwise race on the counter.
+  bool checkpoint_due =
+      options_.checkpoint_interval_ops > 0 &&
+      ++ops_since_checkpoint_ >= options_.checkpoint_interval_ops;
   op_mu_.unlock();
   ops_->Increment();
   GB_RETURN_IF_ERROR(sync_status);
 
-  if (options_.checkpoint_interval_ops > 0 &&
-      ++ops_since_checkpoint_ >= options_.checkpoint_interval_ops) {
-    return Checkpoint();
-  }
+  if (checkpoint_due) return Checkpoint();
   return Status::OK();
 }
 
@@ -469,6 +482,10 @@ Status Pager::Checkpoint() {
   // flush could write uncommitted — hence un-logged — bytes in place.
   std::lock_guard<std::mutex> op_lock(op_mu_);
   std::lock_guard<std::mutex> lock(mu_);
+  if (degraded_) {
+    return Status::Internal(
+        "pager: degraded after failed checkpoint; checkpoint refused");
+  }
   GB_RETURN_IF_ERROR(wal_->Sync());
   for (auto& [page_id, frame] : frames_) {
     if (frame->dirty) GB_RETURN_IF_ERROR(FlushFrameLocked(frame.get()));
@@ -476,8 +493,19 @@ Status Pager::Checkpoint() {
   GB_RETURN_IF_ERROR(db_->Sync());
   checkpoint_lsn_ = wal_->next_lsn() - 1;
   ++generation_;
-  GB_RETURN_IF_ERROR(WriteHeaderLocked());
-  GB_RETURN_IF_ERROR(db_->Sync());
+  // From the first header-write byte onward, a failure leaves the
+  // published generation ambiguous: the new-generation header may reach
+  // the platter even though the call errored, in which case recovery
+  // rejects the still-active old-salt WAL and every commit appended to
+  // it after this point would be silently dropped. Refuse further
+  // commits on ANY failure at or past the header write — not just a
+  // failed WAL reset.
+  Status publish = WriteHeaderLocked();
+  if (publish.ok()) publish = db_->Sync();
+  if (!publish.ok()) {
+    degraded_ = true;
+    return publish;
+  }
   // Header published: from here the old log is dead. If the reset fails
   // we must refuse further commits — their records would land in a log
   // the published generation cannot replay.

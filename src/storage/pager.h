@@ -183,9 +183,10 @@ class Pager {
   std::mutex op_mu_;  // held from BeginOp to Commit/AbortOp
   std::map<uint64_t, Frame*> op_frames_;  // touched pages, id-ordered
   bool in_op_ = false;
-  /// Set when a checkpoint failed after publishing the new header but
-  /// before resetting the WAL: later appends would land in a log the
-  /// published generation can no longer replay, so commits are refused.
+  /// Set when a checkpoint failed at or after the new-generation header
+  /// write (publish ambiguous or WAL reset failed): later appends could
+  /// land in a log the published generation can no longer replay, so
+  /// commits are refused.
   bool degraded_ = false;
 
   obs::Counter* evictions_;

@@ -154,7 +154,12 @@ Result<uint64_t> Wal::Append(uint8_t type, std::string_view body) {
   PutU32(&frame, uint32_t(payload.size()));
   PutU32(&frame, RecordCrc(payload));
   frame.append(payload);
-  GB_RETURN_IF_ERROR(file_->Append(frame));
+  // Positioned write, NOT a file append: a failed write can persist a
+  // sector-aligned partial frame past appended_end_ (which does not
+  // advance on failure), and the next record must overwrite that garbage
+  // — an append after it would leave a CRC-invalid hole that makes every
+  // later record unreachable to the scanner.
+  GB_RETURN_IF_ERROR(file_->WriteAt(appended_end_, frame));
   appended_end_ += frame.size();
   last_appended_lsn_ = lsn;
   appends_->Increment();

@@ -80,7 +80,9 @@ class Wal {
                                            WalScanResult* scan);
 
   /// Appends one record, assigning the next LSN. Not durable until
-  /// Sync().
+  /// Sync(). On failure the append position does not advance, so a
+  /// partial frame left behind by a short write is overwritten by the
+  /// next (retried or unrelated) record instead of orphaning it.
   Result<uint64_t> Append(uint8_t type, std::string_view body);
 
   /// Group-commit fsync barrier covering every append issued before the

@@ -81,9 +81,14 @@ struct TrialConfig {
   bool fsync_on_commit = true;
   int ops = 150;
   int checkpoint_every = 0;  // 0 = never
-  // Fault schedule (fail_after_fsyncs <= 0 disarms) and which file it
-  // targets (".wal" or ".db").
+  // Upper bound on ordinary (non-overflow) value sizes; the short-write
+  // schedule uses values wider than a sector so torn frames persist
+  // meaningful prefixes.
+  int value_max = 40;
+  // Fault schedule (<= 0 disarms each) and which file it targets
+  // (".wal" or ".db").
   int64_t fail_after_fsyncs = -1;
+  int64_t short_write_at = -1;
   std::string fault_filter;
 };
 
@@ -93,16 +98,18 @@ void RunTrial(const TrialConfig& config) {
                " fsync_on_commit=" + std::to_string(config.fsync_on_commit) +
                " ckpt_every=" + std::to_string(config.checkpoint_every) +
                " fail_after_fsyncs=" +
-               std::to_string(config.fail_after_fsyncs) + " filter=" +
+               std::to_string(config.fail_after_fsyncs) + " short_write_at=" +
+               std::to_string(config.short_write_at) + " filter=" +
                config.fault_filter);
   Rng rng(config.seed * 2654435761u + 13);
 
   MemFileSystem base;
   std::unique_ptr<FaultFileSystem> faulty;
   storage::FileSystem* fs = &base;
-  if (config.fail_after_fsyncs > 0) {
+  if (config.fail_after_fsyncs > 0 || config.short_write_at > 0) {
     FaultOptions fault;
     fault.fail_after_fsyncs = config.fail_after_fsyncs;
+    fault.short_write_at = config.short_write_at;
     faulty = std::make_unique<FaultFileSystem>(&base, fault,
                                               config.fault_filter);
     fs = faulty.get();
@@ -128,29 +135,40 @@ void RunTrial(const TrialConfig& config) {
       uint64_t kind = rng.Uniform(10);
       if (kind < 7) {
         // Mostly puts; occasionally a multi-page overflow value.
-        size_t len = rng.Uniform(20) == 0 ? 5000 : rng.Uniform(40) + 1;
+        size_t len = rng.Uniform(20) == 0
+                         ? 5000
+                         : rng.Uniform(uint64_t(config.value_max)) + 1;
         op.value = std::string(len, char('a' + rng.Uniform(26)));
       }
+      // The WAL append offset advances exactly when an op's record
+      // reached the log — the discriminator between the two failure
+      // modes below. (A read-back would not do: with the WAL fsync
+      // dead, Get itself can fail on a dirty eviction.)
+      uint64_t wal_bytes = kv->pager()->wal()->size_bytes();
       Status s = op.value.has_value() ? kv->Put(op.key, *op.value)
                                       : kv->Delete(op.key);
       if (s.IsNotFound()) continue;  // delete of a missing key: no-op
       if (!s.ok()) {
-        // Commit-unknown (e.g. the scheduled fsync failure): the op's
-        // record may or may not be in the log. Keep it as an optional
-        // final history entry and stop writing — a later successful op
-        // after a rolled-back one would break prefix semantics.
-        history.push_back(std::move(op));
-        break;
+        // A failed op is either rolled back (WAL append failed or the
+        // pager is degraded: state unchanged, no record in the log) or
+        // commit-unknown (record appended but the fsync failed: the
+        // in-memory state stands and the record may replay). The log is
+        // exactly the sequence of applied ops: commit-unknown ops stay
+        // in the history as maybe-durable entries, rolled-back ops
+        // never happened. The workload keeps going either way — later
+        // acked commits must survive regardless of earlier failures.
+        bool record_logged = kv->pager()->wal()->size_bytes() != wal_bytes;
+        if (record_logged) history.push_back(std::move(op));
+        continue;
       }
       history.push_back(std::move(op));
       if (config.fsync_on_commit) durable_floor = history.size();
       if (config.checkpoint_every > 0 &&
           (i + 1) % config.checkpoint_every == 0) {
-        if (kv->Checkpoint().ok()) {
-          durable_floor = history.size();
-        } else {
-          break;  // degraded pager refuses further commits
-        }
+        // A failed checkpoint may degrade the pager (header-publish
+        // ambiguity); keep issuing ops — they must then be refused and
+        // rolled back, never acked into a log recovery cannot replay.
+        if (kv->Checkpoint().ok()) durable_floor = history.size();
       }
     }
   }
@@ -172,10 +190,24 @@ void RunTrial(const TrialConfig& config) {
     if (k >= durable_floor && candidate == recovered) break;
     if (k < history.size()) ApplyOp(&candidate, history[k]);
   }
+  std::string history_dump;
+  for (size_t i = 0; i < history.size(); ++i) {
+    history_dump += (i < durable_floor ? " [A]" : " [M]");
+    history_dump += history[i].key + "=" +
+                    (history[i].value.has_value()
+                         ? history[i].value->substr(0, 4)
+                         : std::string("<del>"));
+    if (history_dump.size() > 2000) {
+      history_dump += "...";
+      break;
+    }
+  }
   ASSERT_LE(k, history.size())
-      << "recovered state matches no acknowledged prefix\n  recovered: "
-      << DescribeState(recovered) << "\n  full oracle: "
-      << DescribeState(candidate);
+      << "recovered state matches no acknowledged prefix\n  durable_floor="
+      << durable_floor << " history=" << history.size()
+      << "\n  recovered: " << DescribeState(recovered)
+      << "\n  full oracle: " << DescribeState(candidate)
+      << "\n  history:" << history_dump;
 
   // And the store must keep working after recovery.
   ASSERT_TRUE((*reopened)->Put("post-recovery", "ok").ok());
@@ -235,6 +267,29 @@ TEST(CrashRecoveryPropertyTest, SurvivesScheduledDbFsyncFailures) {
       config.checkpoint_every = 19;  // checkpoints hit the db file
       config.fail_after_fsyncs = fail_after;
       config.fault_filter = ".db";
+      RunTrial(config);
+    }
+  }
+}
+
+// A short write tears one WAL frame mid-run (the op is rolled back); all
+// later acked commits must still be recoverable — the next record has to
+// overwrite the partial frame, not splice itself after garbage that cuts
+// the scan short.
+TEST(CrashRecoveryPropertyTest, SurvivesWalShortWrites) {
+  int trials = FullDepth() ? 40 : 6;
+  std::vector<int64_t> schedule = FullDepth()
+                                      ? std::vector<int64_t>{2, 3, 5, 9, 25}
+                                      : std::vector<int64_t>{3, 9};
+  for (int64_t write_at : schedule) {
+    for (int t = 0; t < trials; ++t) {
+      TrialConfig config;
+      config.seed = uint64_t(4000 + t) * 29 + uint64_t(write_at);
+      config.fsync_on_commit = true;
+      // Values wider than a sector so the torn frame persists a prefix.
+      config.value_max = 1200;
+      config.short_write_at = write_at;  // write #1 is the header
+      config.fault_filter = ".wal";
       RunTrial(config);
     }
   }

@@ -163,6 +163,93 @@ TEST(PagerTest, CommitUnknownOnWalFsyncFailure) {
   EXPECT_EQ(ReadPage(pager.get(), 1, 1), "x");
 }
 
+// A checkpoint that fails at or after the header write leaves the
+// published generation ambiguous: if the unsynced new-generation header
+// lands in the crash, recovery rejects the still-active old-salt WAL. A
+// commit appended (and acked) after that point would be silently
+// dropped, so the pager must refuse commits from the failure onward.
+TEST(PagerTest, CheckpointFailureAfterHeaderPublishDegradesPager) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    MemFileSystem base;
+    FaultOptions fault;
+    // db-file syncs: #1 create-header, #2 the checkpoint's pre-header
+    // flush barrier, #3 the post-header-publish sync. Fail from #3 on.
+    fault.fail_after_fsyncs = 3;
+    FaultFileSystem fs(&base, fault, ".db");
+    PagerOptions options;
+    options.fsync_on_commit = true;
+    auto opened = Pager::Open(&fs, "t.db", "t.wal", options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& pager = *opened;
+    pager->BeginOp();
+    auto page = pager->Allocate();
+    ASSERT_TRUE(page.ok());
+    page->MarkDirty();
+    std::memcpy(page->data(), "acked", 5);
+    page = PageRef();
+    ASSERT_TRUE(pager->CommitOp().ok());
+
+    EXPECT_FALSE(pager->Checkpoint().ok());
+
+    // Degraded: later commits are refused (and rolled back in memory),
+    // as are further checkpoints.
+    pager->BeginOp();
+    page = pager->Fetch(1);
+    ASSERT_TRUE(page.ok());
+    page->MarkDirty();
+    std::memcpy(page->data(), "late!", 5);
+    page = PageRef();
+    EXPECT_FALSE(pager->CommitOp().ok());
+    EXPECT_EQ(ReadPage(pager.get(), 1, 5), "acked");
+    EXPECT_FALSE(pager->Checkpoint().ok());
+    pager.reset();
+
+    // Whichever way the crash resolves the ambiguous header write, the
+    // acked pre-checkpoint commit must survive recovery.
+    base.Crash(&rng);
+    auto reopened = Pager::Open(&base, "t.db", "t.wal", options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(ReadPage(reopened->get(), 1, 5), "acked")
+        << "trial " << trial;
+  }
+}
+
+// An op that rewrites identical bytes logs no record, but under
+// fsync-per-commit it must not ack while the record that actually put
+// those bytes there is still unsynced (commit-unknown): an OK would
+// promise durability a crash can break.
+TEST(PagerTest, NoChangeCommitStillHonorsFsyncContract) {
+  MemFileSystem base;
+  FaultOptions fault;
+  fault.fail_after_fsyncs = 2;  // wal create's sync passes; later fail
+  FaultFileSystem fs(&base, fault, ".wal");
+  PagerOptions options;
+  options.fsync_on_commit = true;
+  auto opened = Pager::Open(&fs, "t.db", "t.wal", options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& pager = *opened;
+
+  // Appended but the fsync fails: commit-unknown, state stands.
+  pager->BeginOp();
+  auto page = pager->Allocate();
+  ASSERT_TRUE(page.ok());
+  page->MarkDirty();
+  std::memcpy(page->data(), "maybe", 5);
+  page = PageRef();
+  EXPECT_FALSE(pager->CommitOp().ok());
+
+  // Identical rewrite: nothing to log, but the covering record is still
+  // unsynced — the commit must retry the fsync and report its failure.
+  pager->BeginOp();
+  page = pager->Fetch(1);
+  ASSERT_TRUE(page.ok());
+  page->MarkDirty();
+  std::memcpy(page->data(), "maybe", 5);
+  page = PageRef();
+  EXPECT_FALSE(pager->CommitOp().ok());
+}
+
 TEST(PagerTest, TornPageRepairedByFullPageImage) {
   Rng rng(17);
   for (int trial = 0; trial < 20; ++trial) {

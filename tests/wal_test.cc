@@ -208,6 +208,37 @@ TEST(WalTest, CrashLosesOnlyUnsyncedSuffix) {
   }
 }
 
+// A failed append may persist a sector-aligned partial frame. Because
+// appends are positioned writes at the (unadvanced) append offset, the
+// next record overwrites that garbage — it must never splice itself
+// after it, which would make every later record unreachable to the
+// scanner.
+TEST(WalTest, ShortWriteDoesNotOrphanLaterRecords) {
+  MemFileSystem base;
+  FaultOptions fault;
+  fault.short_write_at = 3;  // write 1 = header, write 2 = record A
+  FaultFileSystem faulty(&base, fault);
+  auto wal = Wal::Create(&faulty, "wal", /*salt=*/77);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+
+  // Bodies > one sector so the torn prefix actually persists bytes.
+  std::string body_a(600, 'a'), body_b(700, 'b'), body_c(650, 'c');
+  ASSERT_TRUE((*wal)->Append(1, body_a).ok());
+  auto torn = (*wal)->Append(1, body_b);
+  ASSERT_FALSE(torn.ok());  // the scheduled short write
+  auto lsn_c = (*wal)->Append(1, body_c);
+  ASSERT_TRUE(lsn_c.ok()) << lsn_c.status().ToString();
+  ASSERT_TRUE((*wal)->Sync().ok());
+
+  auto scan = Wal::Scan(&base, "wal", /*expected_salt=*/77);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->header_ok);
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].body, body_a);
+  EXPECT_EQ(scan->records[1].body, body_c);
+  EXPECT_EQ(scan->records[1].lsn, 3u);  // the torn record's LSN is skipped
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace graphbench
